@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Shared implementation for Figures 4-7: per-category prediction
+ * success of l / s2 / fcm1-3 for every benchmark.
+ */
+
+#ifndef VP_BENCH_CATEGORY_FIGURE_HH
+#define VP_BENCH_CATEGORY_FIGURE_HH
+
+#include <cstdio>
+
+#include "exp/suite.hh"
+#include "sim/table.hh"
+
+namespace vp::bench {
+
+/**
+ * Run the canonical suite and print the accuracy table restricted to
+ * @p cat (the body of Figures 4-7).
+ */
+inline int
+runCategoryFigure(int figure_number, isa::Category cat,
+                  const char *paper_note)
+{
+    exp::SuiteOptions options;
+    options.predictors = {"l", "s2", "fcm1", "fcm2", "fcm3"};
+
+    const auto runs = exp::runSuite(options);
+    const auto cat_name = std::string(isa::categoryName(cat));
+
+    std::printf("Figure %d: Prediction Success for %s Instructions "
+                "(%% of predictions)\n\n",
+                figure_number, cat_name.c_str());
+
+    sim::TextTable table;
+    table.row().cell("benchmark");
+    for (const auto &spec : options.predictors)
+        table.cell(spec);
+    table.cell("dyn share%");
+    table.rule();
+
+    for (const auto &run : runs) {
+        table.row().cell(run.name);
+        for (size_t i = 0; i < options.predictors.size(); ++i)
+            table.cell(run.accuracyPct(i, cat), 1);
+        table.cell(100.0 * run.exec.categoryShare(cat), 1);
+    }
+    table.rule();
+    table.row().cell("mean");
+    for (size_t i = 0; i < options.predictors.size(); ++i)
+        table.cell(exp::meanAccuracyPct(runs, i, cat), 1);
+    table.cell("");
+
+    std::printf("%s\n", table.render().c_str());
+    std::printf("paper: %s\n", paper_note);
+    return 0;
+}
+
+} // namespace vp::bench
+
+#endif // VP_BENCH_CATEGORY_FIGURE_HH

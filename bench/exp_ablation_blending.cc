@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Ablation (Section 2.2): fcm design choices — blending with lazy
+ * exclusion (the paper's configuration) vs full blending vs no
+ * blending, and exact counts vs small saturating counters with
+ * halving.
+ */
+
+#include <cstdio>
+
+#include "exp/suite.hh"
+#include "sim/table.hh"
+
+using namespace vp;
+
+int
+main()
+{
+    exp::SuiteOptions options;
+    options.predictors = {"fcm3", "fcm3-full", "fcm3-pure", "fcm3-sat"};
+
+    const auto runs = exp::runSuite(options);
+
+    std::printf("Ablation: fcm blending and counter policies "
+                "(order 3, %% correct)\n"
+                "fcm3 = lazy exclusion + exact counts (the paper's "
+                "configuration)\n\n");
+
+    sim::TextTable table;
+    table.row().cell("benchmark").cell("lazy").cell("full")
+         .cell("no-blend").cell("small-ctr").rule();
+    for (const auto &run : runs) {
+        table.row().cell(run.name);
+        for (size_t i = 0; i < options.predictors.size(); ++i)
+            table.cell(run.accuracyPct(i), 1);
+    }
+    table.rule();
+    table.row().cell("mean");
+    for (size_t i = 0; i < options.predictors.size(); ++i)
+        table.cell(exp::meanAccuracyPct(runs, i), 1);
+    std::printf("%s\n", table.render().c_str());
+
+    const double lazy = exp::meanAccuracyPct(runs, 0);
+    const double pure = exp::meanAccuracyPct(runs, 2);
+    std::printf("expectations: blending >> no blending (order-3 "
+                "contexts alone leave cold-start\nholes): lazy=%.1f "
+                "no-blend=%.1f %s; small counters track exact counts "
+                "closely\n(recency weighting rarely hurts).\n",
+                lazy, pure, lazy > pure ? "(ok)" : "(CHECK)");
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Figure 3 of the paper: overall prediction success of last value (l),
+ * two-delta stride (s2) and fcm orders 1-3, per benchmark.
+ *
+ * Paper result (MICRO-30, 1997, Figure 3): l averages ~40%
+ * (23%-61%), s2 ~56% (38%-80%), fcm3 ~78% (56%->90%), with
+ * l < s2 < fcm1 < fcm2 < fcm3 throughout and diminishing gains per
+ * added order.
+ */
+
+#include <cstdio>
+
+#include "exp/paper_data.hh"
+#include "exp/suite.hh"
+#include "sim/table.hh"
+
+using namespace vp;
+
+int
+main()
+{
+    exp::SuiteOptions options;
+    options.predictors = {"l", "s2", "fcm1", "fcm2", "fcm3"};
+
+    const auto runs = exp::runSuite(options);
+
+    std::printf("Figure 3: Prediction Success for All Instructions "
+                "(%% of predictions)\n\n");
+
+    sim::TextTable table;
+    table.row().cell("benchmark");
+    for (const auto &spec : options.predictors)
+        table.cell(spec);
+    table.cell("| paper fcm3");
+    table.rule();
+
+    for (const auto &run : runs) {
+        table.row().cell(run.name);
+        for (size_t i = 0; i < options.predictors.size(); ++i)
+            table.cell(run.accuracyPct(i), 1);
+        table.cell(exp::paper::figure3Fcm3(run.name), 0);
+    }
+    table.rule();
+    table.row().cell("mean");
+    for (size_t i = 0; i < options.predictors.size(); ++i)
+        table.cell(exp::meanAccuracyPct(runs, i), 1);
+    table.cell(exp::paper::figure3Fcm3("mean"), 0);
+
+    std::printf("%s\n", table.render().c_str());
+
+    std::printf("shape checks (paper: l < s2 < fcm1 < fcm2 < fcm3):\n");
+    bool ordered = true;
+    for (const auto &run : runs) {
+        for (size_t i = 1; i < options.predictors.size(); ++i) {
+            if (run.accuracyPct(i) + 1e-9 < run.accuracyPct(i - 1)) {
+                std::printf("  ORDER VIOLATION in %s: %s (%.1f) < %s "
+                            "(%.1f)\n",
+                            run.name.c_str(),
+                            options.predictors[i].c_str(),
+                            run.accuracyPct(i),
+                            options.predictors[i - 1].c_str(),
+                            run.accuracyPct(i - 1));
+                ordered = false;
+            }
+        }
+    }
+    if (ordered)
+        std::printf("  predictor ordering holds for every benchmark\n");
+    std::printf("  fcm3 - s2 mean gap: %.1f points (paper: ~22)\n",
+                exp::meanAccuracyPct(runs, 4) -
+                        exp::meanAccuracyPct(runs, 1));
+    return 0;
+}

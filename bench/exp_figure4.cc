@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Figure 4 of the paper: prediction success for Add/Subtract
+ * instructions.
+ */
+
+#include "category_figure.hh"
+
+int
+main()
+{
+    return vp::bench::runCategoryFigure(
+            4, vp::isa::Category::AddSub,
+            "add/subtract is the most stride-predictable category; "
+            "stride clearly beats\nlast value here (the predictor "
+            "operation matches the instruction), and fcm\nbeats "
+            "both.");
+}

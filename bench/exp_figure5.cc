@@ -1,0 +1,16 @@
+/**
+ * @file
+ * Figure 5 of the paper: prediction success for load instructions.
+ */
+
+#include "category_figure.hh"
+
+int
+main()
+{
+    return vp::bench::runCategoryFigure(
+            5, vp::isa::Category::Loads,
+            "loads are harder than add/subtract for every predictor; "
+            "stride gains over\nlast value are small because loaded "
+            "values rarely stride.");
+}

@@ -1,0 +1,16 @@
+/**
+ * @file
+ * Figure 6 of the paper: prediction success for logic instructions.
+ */
+
+#include "category_figure.hh"
+
+int
+main()
+{
+    return vp::bench::runCategoryFigure(
+            6, vp::isa::Category::Logic,
+            "logical instructions are very predictable, especially "
+            "by fcm (flag-like\nvalues recur in patterns); stride "
+            "adds little over last value.");
+}

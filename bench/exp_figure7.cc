@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Figure 7 of the paper: prediction success for shift instructions.
+ */
+
+#include "category_figure.hh"
+
+int
+main()
+{
+    return vp::bench::runCategoryFigure(
+            7, vp::isa::Category::Shift,
+            "shifts are the most difficult category to predict "
+            "correctly; the stride\noperation does not match the "
+            "shift functionality, so stride sits close to\nlast "
+            "value (Section 4.1 suggests per-type computational "
+            "predictors).");
+}

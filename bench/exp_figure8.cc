@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Figure 8 of the paper: contribution of the different predictors —
+ * which subsets of {last value, stride, fcm3} predict each dynamic
+ * instruction correctly, overall and per category.
+ *
+ * Paper result: ~18% predicted by none (np), ~40% by all three
+ * (lsf), >20% only by fcm (f), and stride/last-value capture <5%
+ * that fcm misses — the case for a hybrid with fcm in it.
+ */
+
+#include <cstdio>
+
+#include "exp/paper_data.hh"
+#include "exp/suite.hh"
+#include "sim/table.hh"
+
+using namespace vp;
+
+namespace {
+
+const char *bucketNames[8] = {"np", "l", "s", "ls", "f", "lf", "sf",
+                              "lsf"};
+
+} // anonymous namespace
+
+int
+main()
+{
+    exp::SuiteOptions options;
+    options.predictors = {"l", "s2", "fcm3"};
+    options.overlap = 3;
+
+    const auto runs = exp::runSuite(options);
+
+    core::OverlapTracker all(3);
+    for (const auto &run : runs)
+        all.merge(*run.overlap);
+
+    std::printf("Figure 8: Contribution of different Predictors "
+                "(%% of predictions)\n"
+                "subset letters: l = last value, s = stride s2, "
+                "f = fcm3; np = none correct\n\n");
+
+    sim::TextTable table;
+    table.row().cell("subset").cell("All");
+    for (const auto cat : exp::reportedCategories())
+        table.cell(std::string(isa::categoryName(cat)));
+    table.rule();
+    for (int mask = 0; mask < 8; ++mask) {
+        table.row().cell(bucketNames[mask]);
+        const double overall =
+                100.0 * all.fraction(static_cast<uint32_t>(mask));
+        table.cell(overall, 1);
+        for (const auto cat : exp::reportedCategories()) {
+            table.cell(100.0 * all.fraction(
+                               cat, static_cast<uint32_t>(mask)),
+                       1);
+        }
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    const double np = 100.0 * all.fraction(0b000);
+    const double lsf = 100.0 * all.fraction(0b111);
+    const double f_only = 100.0 * all.fraction(0b100);
+    const double not_f_comp = 100.0 * (all.fraction(0b001) +
+                                       all.fraction(0b010) +
+                                       all.fraction(0b011));
+    const double l_only = 100.0 * all.fraction(0b001);
+
+    std::printf("summary vs paper:\n");
+    std::printf("  np     = %5.1f%%  (paper ~%.0f%%)\n", np,
+                exp::paper::Figure8::np);
+    std::printf("  lsf    = %5.1f%%  (paper ~%.0f%%)\n", lsf,
+                exp::paper::Figure8::lsf);
+    std::printf("  f only = %5.1f%%  (paper >%.0f%%)\n", f_only,
+                exp::paper::Figure8::fOnly);
+    std::printf("  l/s/ls = %5.1f%%  (paper <5%%: computational "
+                "predictors add little beyond fcm)\n", not_f_comp);
+    std::printf("  l only = %5.1f%%  (paper: last value adds "
+                "almost nothing)\n", l_only);
+    std::printf("  oracle union(l,s,f) accuracy = %.1f%%\n",
+                100.0 * all.unionFraction(0b111));
+    return 0;
+}

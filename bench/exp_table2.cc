@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Tables 2 and 3 of the paper: benchmark characteristics (dynamic
+ * instruction counts and the fraction eligible for prediction) and
+ * the instruction category definitions.
+ *
+ * Paper result (Table 2): predicted fractions range 62%-84%.
+ */
+
+#include <cstdio>
+
+#include "exp/paper_data.hh"
+#include "exp/suite.hh"
+#include "sim/table.hh"
+
+using namespace vp;
+
+int
+main()
+{
+    exp::SuiteOptions options;
+    options.predictors = {"l"};     // counts only; one cheap predictor
+
+    const auto runs = exp::runSuite(options);
+
+    std::printf("Table 3: Instruction Categories\n\n");
+    sim::TextTable cats;
+    cats.row().cell("Instruction Types").cell("Code").rule();
+    cats.row().cell("Addition, Subtraction").cell("AddSub");
+    cats.row().cell("Loads").cell("Loads");
+    cats.row().cell("And, Or, Xor, Nor, Not").cell("Logic");
+    cats.row().cell("Shifts").cell("Shift");
+    cats.row().cell("Compare and Set").cell("Set");
+    cats.row().cell("Multiply and Divide").cell("MultDiv");
+    cats.row().cell("Load immediate").cell("Lui");
+    cats.row().cell("Min/Max/Abs/Neg/Mov, Other").cell("Other");
+    std::printf("%s\n", cats.render().c_str());
+
+    std::printf("Table 2: Benchmark Characteristics\n\n");
+    sim::TextTable table;
+    table.row().cell("benchmark").cell("dyn instr (k)")
+         .cell("predicted (k)").cell("predicted %")
+         .cell("| paper %").rule();
+
+    for (const auto &run : runs) {
+        table.row().cell(run.name);
+        table.cell(static_cast<uint64_t>(run.exec.retired / 1000));
+        table.cell(static_cast<uint64_t>(run.exec.predicted / 1000));
+        table.cell(100.0 * run.exec.predictedFraction(), 1);
+        table.cell(exp::paper::table2PredictedPct(run.name), 0);
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    std::printf("shape check: paper predicted fractions span 62%%-84%%\n");
+    for (const auto &run : runs) {
+        const double pct = 100.0 * run.exec.predictedFraction();
+        if (pct < 55.0 || pct > 92.0) {
+            std::printf("  WARNING: %s predicted%% = %.1f outside a "
+                        "plausible band\n", run.name.c_str(), pct);
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Table 4 of the paper: static count of predicted instructions by
+ * instruction type, per benchmark.
+ *
+ * Absolute counts are incomparable (SPEC binaries have tens of
+ * thousands of statics; the proxies have the hot kernels only), so
+ * the shape check is the *ranking*: AddSub and Loads dominate the
+ * static mix, as in the paper.
+ */
+
+#include <cstdio>
+
+#include "exp/suite.hh"
+#include "sim/table.hh"
+
+using namespace vp;
+
+int
+main()
+{
+    exp::SuiteOptions options;
+    options.predictors = {"l"};
+
+    const auto runs = exp::runSuite(options);
+
+    std::printf("Table 4: Predicted Instructions - Static Count\n\n");
+
+    sim::TextTable table;
+    table.row().cell("Type");
+    for (const auto &run : runs)
+        table.cell(run.name);
+    table.rule();
+
+    for (int c = 0; c < isa::numPredictedCategories; ++c) {
+        const auto cat = static_cast<isa::Category>(c);
+        table.row().cell(std::string(isa::categoryName(cat)));
+        for (const auto &run : runs) {
+            table.cell(static_cast<uint64_t>(
+                    run.staticByCategory[c]));
+        }
+    }
+    table.rule();
+    table.row().cell("total");
+    for (const auto &run : runs)
+        table.cell(static_cast<uint64_t>(run.staticPredicted));
+
+    std::printf("%s\n", table.render().c_str());
+
+    std::printf("shape check (paper: AddSub + Loads are the two "
+                "largest static categories):\n");
+    for (const auto &run : runs) {
+        const auto addsub =
+                run.staticByCategory[int(isa::Category::AddSub)];
+        const auto loads =
+                run.staticByCategory[int(isa::Category::Loads)];
+        size_t others = 0;
+        for (int c = 2; c < isa::numPredictedCategories; ++c)
+            others = std::max(others, run.staticByCategory[c]);
+        std::printf("  %-9s AddSub=%zu Loads=%zu max(other)=%zu %s\n",
+                    run.name.c_str(), addsub, loads, others,
+                    (addsub + loads) > 2 * others ? "ok" : "CHECK");
+    }
+    return 0;
+}

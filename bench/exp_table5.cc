@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Table 5 of the paper: dynamic percentage of predicted instructions
+ * by instruction type, per benchmark, printed beside the paper's
+ * exact values.
+ *
+ * Shape checks: AddSub and Loads carry the majority of dynamic
+ * predictions everywhere; perl/xlisp are the most load-heavy;
+ * compress/ijpeg are shift-heavy; MultDiv is small except ijpeg.
+ */
+
+#include <cstdio>
+
+#include "exp/paper_data.hh"
+#include "exp/suite.hh"
+#include "sim/table.hh"
+
+using namespace vp;
+
+int
+main()
+{
+    exp::SuiteOptions options;
+    options.predictors = {"l"};
+
+    const auto runs = exp::runSuite(options);
+
+    std::printf("Table 5: Predicted Instructions - Dynamic (%%)\n"
+                "each cell: measured (paper)\n\n");
+
+    sim::TextTable table;
+    table.row().cell("Type");
+    for (const auto &run : runs)
+        table.cell(run.name);
+    table.rule();
+
+    for (int c = 0; c < isa::numPredictedCategories; ++c) {
+        const auto cat = static_cast<isa::Category>(c);
+        const std::string cat_name(isa::categoryName(cat));
+        table.row().cell(cat_name);
+        for (const auto &run : runs) {
+            char cell[64];
+            const double measured =
+                    100.0 * run.exec.categoryShare(cat);
+            const double paper = exp::paper::table5DynamicPct(
+                    run.name, cat_name);
+            if (paper > 0)
+                std::snprintf(cell, sizeof(cell), "%.1f (%.1f)",
+                              measured, paper);
+            else
+                std::snprintf(cell, sizeof(cell), "%.1f", measured);
+            table.cell(cell);
+        }
+    }
+
+    std::printf("%s\n", table.render().c_str());
+
+    std::printf("shape checks:\n");
+    for (const auto &run : runs) {
+        const double addsub =
+                100.0 * run.exec.categoryShare(isa::Category::AddSub);
+        const double loads =
+                100.0 * run.exec.categoryShare(isa::Category::Loads);
+        std::printf("  %-9s AddSub+Loads = %.1f%% of predictions %s\n",
+                    run.name.c_str(), addsub + loads,
+                    addsub + loads > 50 ? "(majority, ok)" : "(CHECK)");
+    }
+    return 0;
+}

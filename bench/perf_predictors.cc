@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark): predictor lookup/update
+ * throughput and table growth on representative value streams.
+ *
+ * The paper ignores predictor cost by design; these numbers put the
+ * "context prediction is the more expensive approach" remark of
+ * Section 4.2 on an engineering footing for this implementation.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/fcm.hh"
+#include "core/hybrid.hh"
+#include "core/last_value.hh"
+#include "core/stride.hh"
+#include "synth/sequences.hh"
+
+using namespace vp;
+using namespace vp::core;
+using namespace vp::synth;
+
+namespace {
+
+/** Mixed stream over many PCs: constants, strides, repeated RNS. */
+std::vector<std::pair<uint64_t, uint64_t>>
+mixedStream(size_t events)
+{
+    std::vector<std::pair<uint64_t, uint64_t>> stream;
+    stream.reserve(events);
+    const auto constants = constantSeq(42, events / 4 + 1);
+    const auto strides = strideSeq(0, 8, events / 4 + 1);
+    const auto rns = repeatedNonStrideSeq(3, 7, events / 4 + 1);
+    const auto ns = nonStrideSeq(5, events / 4 + 1);
+    for (size_t i = 0; stream.size() < events; ++i) {
+        stream.emplace_back(0, constants[i]);
+        stream.emplace_back(1, strides[i]);
+        stream.emplace_back(2, rns[i]);
+        stream.emplace_back(3, ns[i]);
+    }
+    stream.resize(events);
+    return stream;
+}
+
+template <typename MakePred>
+void
+runPredictor(benchmark::State &state, MakePred make)
+{
+    const auto stream = mixedStream(4096);
+    auto pred = make();
+    size_t i = 0;
+    for (auto _ : state) {
+        const auto &[pc, value] = stream[i];
+        benchmark::DoNotOptimize(pred->predict(pc));
+        pred->update(pc, value);
+        i = (i + 1) % stream.size();
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.counters["table_entries"] =
+            static_cast<double>(pred->tableEntries());
+}
+
+void
+BM_LastValue(benchmark::State &state)
+{
+    runPredictor(state,
+                 [] { return std::make_unique<LastValuePredictor>(); });
+}
+
+void
+BM_StrideTwoDelta(benchmark::State &state)
+{
+    runPredictor(state,
+                 [] { return std::make_unique<StridePredictor>(); });
+}
+
+void
+BM_Fcm(benchmark::State &state)
+{
+    const int order = static_cast<int>(state.range(0));
+    runPredictor(state, [order] {
+        FcmConfig config;
+        config.order = order;
+        return std::make_unique<FcmPredictor>(config);
+    });
+    state.SetLabel("order " + std::to_string(order));
+}
+
+void
+BM_Hybrid(benchmark::State &state)
+{
+    runPredictor(state,
+                 [] { return std::make_unique<HybridPredictor>(); });
+}
+
+/** Table growth: unique-context footprint on a non-repeating stream. */
+void
+BM_FcmTableGrowth(benchmark::State &state)
+{
+    const auto values = nonStrideSeq(11, 4096);
+    for (auto _ : state) {
+        FcmConfig config;
+        config.order = 3;
+        FcmPredictor pred(config);
+        for (auto v : values)
+            pred.update(0, v);
+        benchmark::DoNotOptimize(pred.tableEntries());
+    }
+}
+
+BENCHMARK(BM_LastValue);
+BENCHMARK(BM_StrideTwoDelta);
+BENCHMARK(BM_Fcm)->Arg(1)->Arg(2)->Arg(3)->Arg(8);
+BENCHMARK(BM_Hybrid);
+BENCHMARK(BM_FcmTableGrowth)->Unit(benchmark::kMillisecond);
+
+} // anonymous namespace
+
+BENCHMARK_MAIN();

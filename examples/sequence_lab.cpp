@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Sequence laboratory: interactively explore how each predictor
+ * model behaves on the paper's sequence classes and compositions.
+ *
+ * Usage:
+ *   sequence_lab                      run the built-in gallery
+ *   sequence_lab 5 5 9 9 9 ...       analyze your own sequence
+ *
+ * For each sequence every predictor prints its learning time (LT),
+ * learning degree (LD) and overall accuracy — the Section 2.3
+ * vocabulary of the paper.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/fcm.hh"
+#include "core/last_value.hh"
+#include "core/learning.hh"
+#include "core/stride.hh"
+#include "sim/table.hh"
+#include "synth/sequences.hh"
+
+using namespace vp;
+using namespace vp::core;
+using namespace vp::synth;
+
+namespace {
+
+std::vector<PredictorPtr>
+gallery()
+{
+    std::vector<PredictorPtr> preds;
+    preds.push_back(std::make_unique<LastValuePredictor>());
+    StrideConfig naive;
+    naive.policy = StridePolicy::Simple;
+    preds.push_back(std::make_unique<StridePredictor>(naive));
+    preds.push_back(std::make_unique<StridePredictor>());
+    for (int order : {1, 2, 3}) {
+        FcmConfig config;
+        config.order = order;
+        preds.push_back(std::make_unique<FcmPredictor>(config));
+    }
+    return preds;
+}
+
+void
+analyze(const std::string &label, const std::vector<uint64_t> &seq)
+{
+    std::printf("%s  (%zu values)\n", label.c_str(), seq.size());
+    sim::TextTable table;
+    table.row().cell("predictor").cell("LT").cell("LD%")
+         .cell("accuracy%").rule();
+    for (auto &pred : gallery()) {
+        const auto result = analyzeLearning(*pred, seq);
+        table.row().cell(pred->name());
+        if (result.learningTime < 0)
+            table.cell("-");
+        else
+            table.cell(result.learningTime);
+        table.cell(100.0 * result.learningDegree, 0);
+        table.cell(100.0 * result.accuracy, 1);
+    }
+    std::printf("%s\n", table.render().c_str());
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc > 1) {
+        std::vector<uint64_t> seq;
+        for (int i = 1; i < argc; ++i)
+            seq.push_back(std::strtoull(argv[i], nullptr, 0));
+        analyze("your sequence", seq);
+        return 0;
+    }
+
+    std::printf("Sequence laboratory: predictor anatomy on the "
+                "paper's sequence classes\n\n");
+
+    analyze("C: constant 7 7 7 ...", constantSeq(7, 60));
+    analyze("S: stride 3 7 11 15 ...", strideSeq(3, 4, 60));
+    analyze("NS: non-stride (random)", nonStrideSeq(1, 60));
+    analyze("RS: repeated stride, period 5",
+            repeatedStrideSeq(1, 1, 5, 60));
+    analyze("RNS: repeated non-stride, period 5",
+            repeatedNonStrideSeq(5, 5, 60));
+    analyze("composition: stride phase then constant phase",
+            concatSeq({strideSeq(0, 2, 30), constantSeq(99, 30)}));
+    analyze("composition: two interleaved repeated strides",
+            interleaveSeq({repeatedStrideSeq(0, 1, 4, 30),
+                           repeatedStrideSeq(100, 3, 4, 30)}));
+
+    std::printf("Try your own: sequence_lab 5 5 9 9 9 1 2 3\n");
+    return 0;
+}

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Example: per-static-instruction predictability explorer.
+ *
+ * Runs one workload, evaluates the canonical predictors, and prints
+ * the hottest static instructions with their disassembly and per-
+ * predictor accuracy — the view a microarchitect uses to understand
+ * *why* a benchmark is (un)predictable.
+ *
+ * Usage: trace_explorer [workload] [top-n] [scale]
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/fcm.hh"
+#include "core/last_value.hh"
+#include "core/stride.hh"
+#include "isa/disasm.hh"
+#include "sim/table.hh"
+#include "vm/machine.hh"
+#include "workloads/workload.hh"
+
+using namespace vp;
+
+namespace {
+
+/** Per-PC accuracy accounting for a small fixed predictor set. */
+class PcBreakdown : public vm::TraceSink
+{
+  public:
+    PcBreakdown()
+    {
+        predictors_.push_back(std::make_unique<core::LastValuePredictor>());
+        predictors_.push_back(std::make_unique<core::StridePredictor>());
+        core::FcmConfig fcm;
+        fcm.order = 3;
+        predictors_.push_back(std::make_unique<core::FcmPredictor>(fcm));
+    }
+
+    void
+    onValue(const vm::TraceEvent &event) override
+    {
+        auto &cell = cells_[event.pc];
+        ++cell.total;
+        for (size_t i = 0; i < predictors_.size(); ++i) {
+            auto &pred = *predictors_[i];
+            const auto p = pred.predict(event.pc);
+            if (p.valid && p.value == event.value)
+                ++cell.correct[i];
+            pred.update(event.pc, event.value);
+        }
+    }
+
+    struct Cell
+    {
+        uint64_t total = 0;
+        uint64_t correct[3] = {0, 0, 0};
+    };
+
+    const std::map<uint64_t, Cell> &cells() const { return cells_; }
+
+  private:
+    std::vector<core::PredictorPtr> predictors_;
+    std::map<uint64_t, Cell> cells_;
+};
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string name = argc > 1 ? argv[1] : "compress";
+    const int top_n = argc > 2 ? std::atoi(argv[2]) : 25;
+    const int scale = argc > 3 ? std::atoi(argv[3]) : 100;
+
+    workloads::WorkloadConfig config;
+    config.scale = scale;
+    const auto prog = workloads::findWorkload(name).build(config);
+
+    PcBreakdown breakdown;
+    vm::Machine machine;
+    machine.setSink(&breakdown);
+    const auto run = machine.run(prog);
+    if (!run.ok()) {
+        std::fprintf(stderr, "%s did not halt: %s\n", name.c_str(),
+                     run.diagnostic.c_str());
+        return 1;
+    }
+
+    // Sort PCs by dynamic weight.
+    std::vector<std::pair<uint64_t, PcBreakdown::Cell>> hot(
+            breakdown.cells().begin(), breakdown.cells().end());
+    std::sort(hot.begin(), hot.end(), [](const auto &a, const auto &b) {
+        return a.second.total > b.second.total;
+    });
+
+    uint64_t total = 0, shown = 0;
+    for (const auto &[pc, cell] : hot)
+        total += cell.total;
+
+    std::printf("%s: %llu predicted events over %zu static "
+                "instructions\n\n",
+                name.c_str(), static_cast<unsigned long long>(total),
+                hot.size());
+
+    sim::TextTable table;
+    table.row().cell("pc").cell("events").cell("%dyn")
+         .cell("l%").cell("s2%").cell("fcm3%").cell("instruction")
+         .rule();
+    for (int i = 0; i < top_n && i < static_cast<int>(hot.size()); ++i) {
+        const auto &[pc, cell] = hot[i];
+        shown += cell.total;
+        table.row().cell(pc).cell(cell.total);
+        table.cell(100.0 * cell.total / total, 1);
+        for (int p = 0; p < 3; ++p)
+            table.cell(100.0 * cell.correct[p] / cell.total, 0);
+        table.cell(isa::disassemble(prog.code[pc]));
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("top %d instructions cover %.1f%% of the trace\n",
+                top_n, 100.0 * shown / total);
+    return 0;
+}

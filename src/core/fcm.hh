@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Finite context method (FCM) predictors (Section 2.2 of the paper).
+ */
+
+#ifndef VP_CORE_FCM_HH
+#define VP_CORE_FCM_HH
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/predictor.hh"
+
+namespace vp::core {
+
+/** How predictions of different orders are combined. */
+enum class FcmBlending {
+    /**
+     * No blending: only the exact order-k context is consulted. An
+     * order-k predictor then needs a full-length history before it can
+     * match anything (used for the Table 1 / Figure 2 analyses).
+     */
+    None,
+
+    /**
+     * Blending with *lazy exclusion* (the paper's configuration): the
+     * longest matching context of orders k..0 supplies the prediction,
+     * and only the tables of that order and higher are updated.
+     */
+    LazyExclusion,
+
+    /** Full blending: all orders 0..k are updated on every value. */
+    Full
+};
+
+/** FCM configuration. */
+struct FcmConfig
+{
+    /** Context length k: number of preceding values used. */
+    int order = 3;
+
+    FcmBlending blending = FcmBlending::LazyExclusion;
+
+    /**
+     * Counter ceiling. 0 means exact (unbounded) counts, the paper's
+     * idealized configuration. A small positive value (say 15) enables
+     * the text-compression trick: when any count saturates, all
+     * counters of that context are halved, weighting recent history
+     * more heavily.
+     */
+    uint32_t counterMax = 0;
+};
+
+/**
+ * Order-k finite context method predictor.
+ *
+ * Per static PC the predictor keeps the k most recent values (the
+ * context) and, for every order j <= k, an exact table mapping each
+ * observed length-j value pattern to the frequency of each value that
+ * followed it. Contexts are matched by full concatenation of history
+ * values, so there is no aliasing between contexts (Section 3).
+ *
+ * The predicted value is the one with the maximum count under the
+ * longest matching context; ties go to the most recently observed
+ * value. Cold entries decline to predict (counted as incorrect by the
+ * evaluation harness, consistent with the paper's accounting).
+ */
+class FcmPredictor : public ValuePredictor
+{
+  public:
+    explicit FcmPredictor(FcmConfig config = {});
+
+    Prediction predict(uint64_t pc) const override;
+    void update(uint64_t pc, uint64_t actual) override;
+    std::string name() const override;
+    void reset() override;
+    size_t tableEntries() const override;
+
+  private:
+    /** Follower frequencies for one context. */
+    struct Followers
+    {
+        struct Cell
+        {
+            uint64_t value;
+            uint32_t count;
+            uint64_t seq;       ///< recency stamp for tie-breaking
+        };
+
+        /** Typically 1-2 distinct followers; linear scan is right. */
+        std::vector<Cell> cells;
+
+        /** Record one occurrence of @p value following this context. */
+        void bump(uint64_t value, uint64_t seq, uint32_t counter_max);
+
+        /** Best follower: max count, ties to the most recent. */
+        const Cell *best() const;
+    };
+
+    /**
+     * Hash for a concatenated value context. Transparent so lookups
+     * can use a std::span view of the history without allocating.
+     */
+    struct KeyHash
+    {
+        using is_transparent = void;
+
+        size_t
+        operator()(std::span<const uint64_t> key) const
+        {
+            // Mixed FNV-ish hash over whole values.
+            uint64_t hash = 1469598103934665603ull;
+            for (uint64_t v : key) {
+                hash ^= v;
+                hash *= 1099511628211ull;
+                hash ^= hash >> 29;
+            }
+            return static_cast<size_t>(hash);
+        }
+
+        size_t
+        operator()(const std::vector<uint64_t> &key) const
+        {
+            return (*this)(std::span<const uint64_t>(key));
+        }
+    };
+
+    /** Transparent equality over exact value concatenations. */
+    struct KeyEqual
+    {
+        using is_transparent = void;
+
+        bool
+        operator()(std::span<const uint64_t> a,
+                   std::span<const uint64_t> b) const
+        {
+            return a.size() == b.size() &&
+                   std::equal(a.begin(), a.end(), b.begin());
+        }
+
+        bool
+        operator()(const std::vector<uint64_t> &a,
+                   std::span<const uint64_t> b) const
+        {
+            return (*this)(std::span<const uint64_t>(a), b);
+        }
+
+        bool
+        operator()(std::span<const uint64_t> a,
+                   const std::vector<uint64_t> &b) const
+        {
+            return (*this)(a, std::span<const uint64_t>(b));
+        }
+
+        bool
+        operator()(const std::vector<uint64_t> &a,
+                   const std::vector<uint64_t> &b) const
+        {
+            return (*this)(std::span<const uint64_t>(a),
+                           std::span<const uint64_t>(b));
+        }
+    };
+
+    using ContextTable = std::unordered_map<std::vector<uint64_t>,
+                                            Followers, KeyHash, KeyEqual>;
+
+    /** All prediction state for one static instruction. */
+    struct PcState
+    {
+        /** Most recent values, oldest first, up to `order` of them. */
+        std::vector<uint64_t> history;
+
+        /** tables[j]: contexts of length j (j = 0 is a single entry). */
+        std::vector<ContextTable> tables;
+    };
+
+    /** View of the length-j context (newest history values). */
+    static std::span<const uint64_t> contextKey(const PcState &state,
+                                                int j);
+
+    /**
+     * Longest order with a context match, or -1 if none (not even the
+     * order-0 table has been trained).
+     */
+    int longestMatch(const PcState &state) const;
+
+    FcmConfig config_;
+    std::unordered_map<uint64_t, PcState> table_;
+    uint64_t seq_ = 0;
+};
+
+} // namespace vp::core
+
+#endif // VP_CORE_FCM_HH

@@ -1,0 +1,85 @@
+#include "core/hybrid.hh"
+
+#include <algorithm>
+
+namespace vp::core {
+
+HybridPredictor::HybridPredictor(HybridConfig config)
+    : config_(config), stride_(config.stride), fcm_(config.fcm)
+{
+}
+
+Prediction
+HybridPredictor::predict(uint64_t pc) const
+{
+    const Prediction from_fcm = fcm_.predict(pc);
+    const Prediction from_stride = stride_.predict(pc);
+
+    auto it = chooser_.find(pc);
+    const int counter = it == chooser_.end() ? config_.chooserInit
+                                             : it->second;
+    const bool prefer_fcm = counter >= 0;
+
+    if (prefer_fcm && from_fcm.valid)
+        return from_fcm;
+    if (!prefer_fcm && from_stride.valid)
+        return from_stride;
+    // Preferred component declined; fall back to the other one.
+    return prefer_fcm ? from_stride : from_fcm;
+}
+
+void
+HybridPredictor::update(uint64_t pc, uint64_t actual)
+{
+    const Prediction from_fcm = fcm_.predict(pc);
+    const Prediction from_stride = stride_.predict(pc);
+    const bool fcm_ok = from_fcm.valid && from_fcm.value == actual;
+    const bool stride_ok =
+            from_stride.valid && from_stride.value == actual;
+
+    auto [it, inserted] = chooser_.try_emplace(pc, config_.chooserInit);
+    int &counter = it->second;
+
+    ++choices_;
+    if (counter >= 0)
+        ++choseFcm_;
+
+    // Train the chooser only when the components disagree in outcome.
+    if (fcm_ok && !stride_ok)
+        counter = std::min(counter + 1, config_.chooserMax);
+    else if (stride_ok && !fcm_ok)
+        counter = std::max(counter - 1, -config_.chooserMax - 1);
+
+    stride_.update(pc, actual);
+    fcm_.update(pc, actual);
+}
+
+std::string
+HybridPredictor::name() const
+{
+    return "hyb(" + stride_.name() + "+" + fcm_.name() + ")";
+}
+
+void
+HybridPredictor::reset()
+{
+    stride_.reset();
+    fcm_.reset();
+    chooser_.clear();
+    choseFcm_ = 0;
+    choices_ = 0;
+}
+
+size_t
+HybridPredictor::tableEntries() const
+{
+    return stride_.tableEntries() + fcm_.tableEntries() + chooser_.size();
+}
+
+double
+HybridPredictor::fcmChoiceFraction() const
+{
+    return choices_ ? static_cast<double>(choseFcm_) / choices_ : 0.0;
+}
+
+} // namespace vp::core

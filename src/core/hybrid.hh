@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Hybrid stride+FCM predictor with a PC-indexed chooser.
+ *
+ * Section 4.2 of the paper concludes that "a hybrid fcm-stride
+ * predictor with choosing seems to be a good approach"; this is that
+ * predictor, built as an extension study (the paper itself stops at
+ * the suggestion).
+ */
+
+#ifndef VP_CORE_HYBRID_HH
+#define VP_CORE_HYBRID_HH
+
+#include <unordered_map>
+
+#include "core/fcm.hh"
+#include "core/predictor.hh"
+#include "core/stride.hh"
+
+namespace vp::core {
+
+/** Hybrid configuration. */
+struct HybridConfig
+{
+    StrideConfig stride;
+    FcmConfig fcm;
+
+    /**
+     * Chooser: a per-PC signed counter; >= 0 selects the FCM
+     * component, < 0 the stride component. Incremented when only FCM
+     * is correct, decremented when only stride is correct.
+     */
+    int chooserMax = 7;
+
+    /** Initial chooser bias (0 = start on FCM). */
+    int chooserInit = 0;
+};
+
+/**
+ * McFarling-style chooser hybrid of the paper's s2 and fcm predictors.
+ *
+ * Both components are always trained; the chooser learns, per static
+ * instruction, which component to believe. This implements the
+ * "choose among the two component predictors via the PC address"
+ * approach sketched in Section 4.2.
+ */
+class HybridPredictor : public ValuePredictor
+{
+  public:
+    explicit HybridPredictor(HybridConfig config = {});
+
+    Prediction predict(uint64_t pc) const override;
+    void update(uint64_t pc, uint64_t actual) override;
+    std::string name() const override;
+    void reset() override;
+    size_t tableEntries() const override;
+
+    /** Fraction of dynamic choices that selected the FCM component. */
+    double fcmChoiceFraction() const;
+
+  private:
+    HybridConfig config_;
+    StridePredictor stride_;
+    FcmPredictor fcm_;
+    std::unordered_map<uint64_t, int> chooser_;
+    uint64_t choseFcm_ = 0;
+    uint64_t choices_ = 0;
+};
+
+} // namespace vp::core
+
+#endif // VP_CORE_HYBRID_HH

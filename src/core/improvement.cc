@@ -1,0 +1,56 @@
+#include "core/improvement.hh"
+
+#include <algorithm>
+#include <optional>
+
+namespace vp::core {
+
+std::vector<ImprovementTracker::CurvePoint>
+ImprovementTracker::curve(std::optional<isa::Category> cat) const
+{
+    // Collect the per-static improvement deltas for the category.
+    std::vector<int64_t> deltas;
+    deltas.reserve(table_.size());
+    int64_t total_improvement = 0;
+    for (const auto &[pc, cell] : table_) {
+        if (cat && cell.cat != *cat)
+            continue;
+        const int64_t delta = static_cast<int64_t>(cell.aCorrect) -
+                static_cast<int64_t>(cell.bCorrect);
+        deltas.push_back(delta);
+        if (delta > 0)
+            total_improvement += delta;
+    }
+
+    std::sort(deltas.begin(), deltas.end(), std::greater<>());
+
+    std::vector<CurvePoint> points;
+    points.reserve(deltas.size() + 1);
+    points.push_back({0.0, 0.0});
+    if (deltas.empty() || total_improvement == 0)
+        return points;
+
+    int64_t running = 0;
+    for (size_t i = 0; i < deltas.size(); ++i) {
+        running += deltas[i];
+        points.push_back({
+            100.0 * static_cast<double>(i + 1) / deltas.size(),
+            100.0 * static_cast<double>(running) / total_improvement,
+        });
+    }
+    return points;
+}
+
+double
+ImprovementTracker::staticPctForImprovement(
+        double improvement_fraction) const
+{
+    const auto points = curve();
+    for (const auto &point : points) {
+        if (point.improvementPct >= 100.0 * improvement_fraction)
+            return point.staticPct;
+    }
+    return 100.0;
+}
+
+} // namespace vp::core

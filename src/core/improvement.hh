@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Per-static-instruction improvement profile (Figure 9 of the paper).
+ */
+
+#ifndef VP_CORE_IMPROVEMENT_HH
+#define VP_CORE_IMPROVEMENT_HH
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/opcode.hh"
+
+namespace vp::core {
+
+/**
+ * Tracks, per static PC, how often each of two predictors (canonically
+ * FCM vs stride) was correct, and derives the cumulative-improvement
+ * curve of Figure 9: sort static instructions by (fcm correct - stride
+ * correct) descending and plot the running fraction of total
+ * improvement against the running fraction of static instructions.
+ */
+class ImprovementTracker
+{
+  public:
+    /** Record one dynamic event. */
+    void
+    record(uint64_t pc, isa::Category cat, bool a_correct, bool b_correct)
+    {
+        auto &cell = table_[pc];
+        cell.cat = cat;
+        ++cell.total;
+        if (a_correct)
+            ++cell.aCorrect;
+        if (b_correct)
+            ++cell.bCorrect;
+    }
+
+    /** One point of the cumulative curve. */
+    struct CurvePoint
+    {
+        double staticPct;       ///< % of static instructions consumed
+        double improvementPct;  ///< % of total improvement accumulated
+    };
+
+    /**
+     * Cumulative improvement curve over static instructions of
+     * category @p cat (or all predicted categories when nullopt).
+     *
+     * The x axis covers *all* static instructions seen, so the curve
+     * flattens once the instructions where A beats B are exhausted,
+     * and can dip if B beats A on the tail — exactly the shape of
+     * Figure 9.
+     */
+    std::vector<CurvePoint> curve(
+            std::optional<isa::Category> cat = std::nullopt) const;
+
+    /**
+     * Smallest % of static instructions accounting for at least
+     * @p improvement_fraction of the total improvement.
+     */
+    double staticPctForImprovement(double improvement_fraction) const;
+
+    /** Number of distinct static instructions observed. */
+    size_t staticCount() const { return table_.size(); }
+
+  private:
+    struct Cell
+    {
+        isa::Category cat = isa::Category::Other;
+        uint64_t total = 0;
+        uint64_t aCorrect = 0;
+        uint64_t bCorrect = 0;
+    };
+
+    std::unordered_map<uint64_t, Cell> table_;
+};
+
+} // namespace vp::core
+
+#endif // VP_CORE_IMPROVEMENT_HH

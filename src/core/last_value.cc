@@ -1,0 +1,82 @@
+#include "core/last_value.hh"
+
+#include <algorithm>
+
+namespace vp::core {
+
+LastValuePredictor::LastValuePredictor(LvConfig config) : config_(config)
+{
+}
+
+Prediction
+LastValuePredictor::predict(uint64_t pc) const
+{
+    auto it = table_.find(pc);
+    if (it == table_.end())
+        return Prediction::none();
+    return Prediction::of(it->second.value);
+}
+
+void
+LastValuePredictor::update(uint64_t pc, uint64_t actual)
+{
+    auto [it, inserted] = table_.try_emplace(pc);
+    Entry &entry = it->second;
+
+    if (inserted) {
+        entry.value = actual;
+        entry.counter = config_.counterThreshold;
+        entry.candidate = actual;
+        entry.candidateRun = 1;
+        return;
+    }
+
+    switch (config_.policy) {
+      case LvPolicy::AlwaysUpdate:
+        entry.value = actual;
+        break;
+
+      case LvPolicy::SaturatingCounter:
+        if (actual == entry.value) {
+            entry.counter = std::min(entry.counter + 1, config_.counterMax);
+        } else {
+            entry.counter = std::max(entry.counter - 1, 0);
+            if (entry.counter < config_.counterThreshold)
+                entry.value = actual;
+        }
+        break;
+
+      case LvPolicy::Consecutive:
+        if (actual == entry.value) {
+            entry.candidateRun = 0;
+        } else if (actual == entry.candidate) {
+            if (++entry.candidateRun >= config_.consecutiveRequired) {
+                entry.value = actual;
+                entry.candidateRun = 0;
+            }
+        } else {
+            entry.candidate = actual;
+            entry.candidateRun = 1;
+        }
+        break;
+    }
+}
+
+std::string
+LastValuePredictor::name() const
+{
+    switch (config_.policy) {
+      case LvPolicy::AlwaysUpdate: return "l";
+      case LvPolicy::SaturatingCounter: return "l-sat";
+      case LvPolicy::Consecutive: return "l-consec";
+    }
+    return "l";
+}
+
+void
+LastValuePredictor::reset()
+{
+    table_.clear();
+}
+
+} // namespace vp::core

@@ -1,0 +1,51 @@
+#include "core/learning.hh"
+
+namespace vp::core {
+
+LearningResult
+analyzeLearning(ValuePredictor &predictor,
+                const std::vector<uint64_t> &sequence, uint64_t pc)
+{
+    LearningResult result;
+    result.correctAt.reserve(sequence.size());
+    result.predictionAt.reserve(sequence.size());
+
+    uint64_t correct_total = 0;
+    uint64_t after_first = 0;
+    uint64_t after_first_correct = 0;
+
+    for (size_t i = 0; i < sequence.size(); ++i) {
+        const uint64_t actual = sequence[i];
+        const Prediction pred = predictor.predict(pc);
+        const bool correct = pred.valid && pred.value == actual;
+
+        result.predictionAt.push_back(pred);
+        result.correctAt.push_back(correct);
+
+        if (correct) {
+            ++correct_total;
+            if (result.learningTime < 0) {
+                // i values were observed before this prediction.
+                result.learningTime = static_cast<int64_t>(i);
+            } else {
+                ++after_first_correct;
+            }
+        }
+        if (result.learningTime >= 0 &&
+            i > static_cast<size_t>(result.learningTime)) {
+            ++after_first;
+        }
+
+        predictor.update(pc, actual);
+    }
+
+    result.accuracy = sequence.empty()
+            ? 0.0
+            : static_cast<double>(correct_total) / sequence.size();
+    result.learningDegree = after_first
+            ? static_cast<double>(after_first_correct) / after_first
+            : 0.0;
+    return result;
+}
+
+} // namespace vp::core

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Learning-time / learning-degree analysis (Table 1, Figure 2).
+ */
+
+#ifndef VP_CORE_LEARNING_HH
+#define VP_CORE_LEARNING_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/predictor.hh"
+
+namespace vp::core {
+
+/**
+ * Result of running a predictor over a single value sequence.
+ *
+ * Learning Time (LT) is "the number of values that have to be observed
+ * before the first correct prediction"; Learning Degree (LD) is "the
+ * percentage of correct predictions following the first correct
+ * prediction" (Section 2.3 of the paper).
+ */
+struct LearningResult
+{
+    /** Values observed before the first correct prediction; -1 never. */
+    int64_t learningTime = -1;
+
+    /** Correct fraction among predictions after the first correct. */
+    double learningDegree = 0.0;
+
+    /** Overall accuracy across the whole sequence. */
+    double accuracy = 0.0;
+
+    /** Per-step correctness, for plotting Figure 2 style traces. */
+    std::vector<bool> correctAt;
+
+    /** Per-step predictions (invalid encoded as no-prediction). */
+    std::vector<Prediction> predictionAt;
+};
+
+/**
+ * Feed @p sequence through @p predictor at a single synthetic PC,
+ * using the paper's predict-then-update protocol, and measure LT/LD.
+ */
+LearningResult analyzeLearning(ValuePredictor &predictor,
+                               const std::vector<uint64_t> &sequence,
+                               uint64_t pc = 0);
+
+} // namespace vp::core
+
+#endif // VP_CORE_LEARNING_HH

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Correct-set overlap tracking (Figure 8 of the paper).
+ */
+
+#ifndef VP_CORE_OVERLAP_HH
+#define VP_CORE_OVERLAP_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "isa/opcode.hh"
+
+namespace vp::core {
+
+/**
+ * Tracks, per dynamic prediction, which subset of up to 8 predictors
+ * predicted it correctly.
+ *
+ * For the paper's Figure 8 the predictors are (bit 0) last value,
+ * (bit 1) stride s2, (bit 2) fcm order 3; bucket 0 is "np" (no
+ * predictor correct), bucket 7 is "lsf" (all three), etc.
+ */
+class OverlapTracker
+{
+  public:
+    static constexpr int maxPredictors = 8;
+
+    explicit OverlapTracker(int num_predictors)
+        : numPredictors_(num_predictors),
+          buckets_(size_t(1) << num_predictors)
+    {
+        for (auto &per_cat : catBuckets_)
+            per_cat.resize(size_t(1) << num_predictors);
+    }
+
+    int numPredictors() const { return numPredictors_; }
+
+    /** Record one event; bit i of @p mask = predictor i was correct. */
+    void
+    record(isa::Category cat, uint32_t mask)
+    {
+        ++total_;
+        ++buckets_[mask];
+        ++catBuckets_[static_cast<int>(cat)][mask];
+        ++catTotals_[static_cast<int>(cat)];
+    }
+
+    uint64_t total() const { return total_; }
+    uint64_t bucket(uint32_t mask) const { return buckets_[mask]; }
+
+    uint64_t
+    bucket(isa::Category cat, uint32_t mask) const
+    {
+        return catBuckets_[static_cast<int>(cat)][mask];
+    }
+
+    uint64_t
+    total(isa::Category cat) const
+    {
+        return catTotals_[static_cast<int>(cat)];
+    }
+
+    /** Fraction of events in bucket @p mask. */
+    double
+    fraction(uint32_t mask) const
+    {
+        return total_ ? static_cast<double>(buckets_[mask]) / total_ : 0.0;
+    }
+
+    double
+    fraction(isa::Category cat, uint32_t mask) const
+    {
+        const auto t = total(cat);
+        return t ? static_cast<double>(bucket(cat, mask)) / t : 0.0;
+    }
+
+    /** Fraction of events where at least one predictor in @p set hit. */
+    double
+    unionFraction(uint32_t set) const
+    {
+        if (!total_)
+            return 0.0;
+        uint64_t n = 0;
+        for (uint32_t mask = 0; mask < buckets_.size(); ++mask) {
+            if (mask & set)
+                n += buckets_[mask];
+        }
+        return static_cast<double>(n) / total_;
+    }
+
+    void
+    merge(const OverlapTracker &other)
+    {
+        total_ += other.total_;
+        for (size_t i = 0; i < buckets_.size(); ++i)
+            buckets_[i] += other.buckets_[i];
+        for (int c = 0; c < isa::numCategories; ++c) {
+            catTotals_[c] += other.catTotals_[c];
+            for (size_t i = 0; i < buckets_.size(); ++i)
+                catBuckets_[c][i] += other.catBuckets_[c][i];
+        }
+    }
+
+  private:
+    int numPredictors_;
+    uint64_t total_ = 0;
+    std::vector<uint64_t> buckets_;
+    std::array<std::vector<uint64_t>, isa::numCategories> catBuckets_;
+    std::array<uint64_t, isa::numCategories> catTotals_{};
+};
+
+} // namespace vp::core
+
+#endif // VP_CORE_OVERLAP_HH

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Abstract value-predictor interface.
+ *
+ * All predictors in the study follow the paper's restricted model
+ * (Section 2): the only input used to access prediction tables is the
+ * program counter of the instruction being predicted, and tables are
+ * updated with the value the instruction actually produced, immediately
+ * after the prediction is made.
+ */
+
+#ifndef VP_CORE_PREDICTOR_HH
+#define VP_CORE_PREDICTOR_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace vp::core {
+
+/** Outcome of a table lookup. */
+struct Prediction
+{
+    bool valid = false;     ///< false: predictor declines (cold entry)
+    uint64_t value = 0;     ///< predicted value when valid
+
+    static Prediction none() { return {}; }
+
+    static Prediction
+    of(uint64_t value)
+    {
+        return {true, value};
+    }
+};
+
+/**
+ * Interface implemented by every predictor model.
+ *
+ * The simulation protocol per dynamic instruction is:
+ * @code
+ *   Prediction p = pred.predict(pc);
+ *   bool correct = p.valid && p.value == actual;
+ *   pred.update(pc, actual);       // immediate update (Section 3)
+ * @endcode
+ *
+ * Implementations use unbounded, alias-free tables: each static PC has
+ * its own entry. predict() must not mutate observable state; all
+ * learning happens in update().
+ */
+class ValuePredictor
+{
+  public:
+    virtual ~ValuePredictor() = default;
+
+    /** Look up a prediction for the instruction at @p pc. */
+    virtual Prediction predict(uint64_t pc) const = 0;
+
+    /** Train the table with the value actually produced at @p pc. */
+    virtual void update(uint64_t pc, uint64_t actual) = 0;
+
+    /** Human-readable name ("l", "s2", "fcm3", ...). */
+    virtual std::string name() const = 0;
+
+    /** Discard all learned state. */
+    virtual void reset() = 0;
+
+    /**
+     * Approximate number of table entries currently allocated, for
+     * the cost discussions in Section 4.3 of the paper.
+     */
+    virtual size_t tableEntries() const = 0;
+};
+
+using PredictorPtr = std::unique_ptr<ValuePredictor>;
+
+} // namespace vp::core
+
+#endif // VP_CORE_PREDICTOR_HH

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Accuracy accounting for one predictor over one trace.
+ */
+
+#ifndef VP_CORE_STATS_HH
+#define VP_CORE_STATS_HH
+
+#include <array>
+#include <cstdint>
+
+#include "isa/opcode.hh"
+
+namespace vp::core {
+
+/**
+ * Per-predictor prediction counts, overall and per category.
+ *
+ * "Accuracy" is correct predictions over *all* prediction-eligible
+ * dynamic instructions, so events where a cold predictor declines
+ * count against it — the same accounting as the paper's figures.
+ */
+class PredictionStats
+{
+  public:
+    void
+    record(isa::Category cat, bool correct)
+    {
+        ++total_;
+        ++catTotal_[static_cast<int>(cat)];
+        if (correct) {
+            ++correct_;
+            ++catCorrect_[static_cast<int>(cat)];
+        }
+    }
+
+    uint64_t total() const { return total_; }
+    uint64_t correct() const { return correct_; }
+
+    uint64_t
+    total(isa::Category cat) const
+    {
+        return catTotal_[static_cast<int>(cat)];
+    }
+
+    uint64_t
+    correct(isa::Category cat) const
+    {
+        return catCorrect_[static_cast<int>(cat)];
+    }
+
+    /** Overall accuracy in [0,1]. */
+    double
+    accuracy() const
+    {
+        return total_ ? static_cast<double>(correct_) / total_ : 0.0;
+    }
+
+    /** Per-category accuracy in [0,1]. */
+    double
+    accuracy(isa::Category cat) const
+    {
+        const auto t = total(cat);
+        return t ? static_cast<double>(correct(cat)) / t : 0.0;
+    }
+
+    void
+    merge(const PredictionStats &other)
+    {
+        total_ += other.total_;
+        correct_ += other.correct_;
+        for (int i = 0; i < isa::numCategories; ++i) {
+            catTotal_[i] += other.catTotal_[i];
+            catCorrect_[i] += other.catCorrect_[i];
+        }
+    }
+
+  private:
+    uint64_t total_ = 0;
+    uint64_t correct_ = 0;
+    std::array<uint64_t, isa::numCategories> catTotal_{};
+    std::array<uint64_t, isa::numCategories> catCorrect_{};
+};
+
+} // namespace vp::core
+
+#endif // VP_CORE_STATS_HH

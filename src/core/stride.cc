@@ -1,0 +1,89 @@
+#include "core/stride.hh"
+
+#include <algorithm>
+
+namespace vp::core {
+
+StridePredictor::StridePredictor(StrideConfig config) : config_(config)
+{
+}
+
+Prediction
+StridePredictor::predict(uint64_t pc) const
+{
+    auto it = table_.find(pc);
+    if (it == table_.end())
+        return Prediction::none();
+    const Entry &entry = it->second;
+    return Prediction::of(entry.last + static_cast<uint64_t>(entry.s2));
+}
+
+void
+StridePredictor::update(uint64_t pc, uint64_t actual)
+{
+    auto [it, inserted] = table_.try_emplace(pc);
+    Entry &entry = it->second;
+
+    if (inserted) {
+        entry.last = actual;
+        entry.counter = config_.counterThreshold;
+        return;
+    }
+
+    const int64_t delta = static_cast<int64_t>(actual - entry.last);
+
+    switch (config_.policy) {
+      case StridePolicy::Simple:
+        entry.s1 = entry.s2 = delta;
+        entry.haveDelta = true;
+        break;
+
+      case StridePolicy::SaturatingCounter: {
+        const bool correct =
+                entry.last + static_cast<uint64_t>(entry.s2) == actual;
+        if (correct) {
+            entry.counter = std::min(entry.counter + 1, config_.counterMax);
+        } else {
+            entry.counter = std::max(entry.counter - 1, 0);
+            if (entry.counter < config_.counterThreshold)
+                entry.s2 = delta;
+        }
+        entry.s1 = delta;
+        entry.haveDelta = true;
+        break;
+      }
+
+      case StridePolicy::TwoDelta:
+        if (!entry.haveDelta) {
+            // First delta initializes both strides.
+            entry.s1 = entry.s2 = delta;
+            entry.haveDelta = true;
+        } else {
+            if (delta == entry.s1)
+                entry.s2 = delta;
+            entry.s1 = delta;
+        }
+        break;
+    }
+
+    entry.last = actual;
+}
+
+std::string
+StridePredictor::name() const
+{
+    switch (config_.policy) {
+      case StridePolicy::Simple: return "s";
+      case StridePolicy::SaturatingCounter: return "s-sat";
+      case StridePolicy::TwoDelta: return "s2";
+    }
+    return "s2";
+}
+
+void
+StridePredictor::reset()
+{
+    table_.clear();
+}
+
+} // namespace vp::core

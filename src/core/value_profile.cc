@@ -1,0 +1,90 @@
+#include "core/value_profile.hh"
+
+#include <optional>
+#include <string>
+
+namespace vp::core {
+
+const std::array<uint64_t, ValueProfiler::numBuckets - 1> &
+ValueProfiler::bucketBounds()
+{
+    static const std::array<uint64_t, numBuckets - 1> bounds = {
+        1, 4, 16, 64, 256, 1024, 4096, 16384, 65536,
+    };
+    return bounds;
+}
+
+std::string
+ValueProfiler::bucketLabel(int index)
+{
+    if (index < numBuckets - 1)
+        return std::to_string(bucketBounds()[index]);
+    return ">65536";
+}
+
+int
+ValueProfiler::bucketFor(uint64_t unique_values)
+{
+    const auto &bounds = bucketBounds();
+    for (int i = 0; i < numBuckets - 1; ++i) {
+        if (unique_values <= bounds[i])
+            return i;
+    }
+    return numBuckets - 1;
+}
+
+ValueProfiler::Distribution
+ValueProfiler::distribution(std::optional<isa::Category> cat) const
+{
+    Distribution dist;
+    uint64_t static_total = 0;
+    uint64_t dyn_total = 0;
+    std::array<uint64_t, numBuckets> static_counts{};
+    std::array<uint64_t, numBuckets> dyn_counts{};
+
+    for (const auto &[pc, cell] : table_) {
+        if (cat && cell.cat != *cat)
+            continue;
+        const int bucket = bucketFor(cell.values.size());
+        ++static_counts[bucket];
+        dyn_counts[bucket] += cell.dynCount;
+        ++static_total;
+        dyn_total += cell.dynCount;
+    }
+
+    for (int i = 0; i < numBuckets; ++i) {
+        dist.staticShare[i] = static_total
+                ? static_cast<double>(static_counts[i]) / static_total
+                : 0.0;
+        dist.dynamicShare[i] = dyn_total
+                ? static_cast<double>(dyn_counts[i]) / dyn_total
+                : 0.0;
+    }
+    return dist;
+}
+
+double
+ValueProfiler::staticFractionAtMost(uint64_t bound) const
+{
+    uint64_t n = 0, total = 0;
+    for (const auto &[pc, cell] : table_) {
+        ++total;
+        if (cell.values.size() <= bound)
+            ++n;
+    }
+    return total ? static_cast<double>(n) / total : 0.0;
+}
+
+double
+ValueProfiler::dynamicFractionAtMost(uint64_t bound) const
+{
+    uint64_t n = 0, total = 0;
+    for (const auto &[pc, cell] : table_) {
+        total += cell.dynCount;
+        if (cell.values.size() <= bound)
+            n += cell.dynCount;
+    }
+    return total ? static_cast<double>(n) / total : 0.0;
+}
+
+} // namespace vp::core

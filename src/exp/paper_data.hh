@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Reference values read off the paper's tables and figures, for
+ * side-by-side output in the experiment binaries.
+ *
+ * Bar-chart values (Figures 3-8, 10, 11) are approximate readings of
+ * the published charts; table values (Tables 2, 4-7) are exact.
+ */
+
+#ifndef VP_EXP_PAPER_DATA_HH
+#define VP_EXP_PAPER_DATA_HH
+
+#include <string>
+
+namespace vp::exp::paper {
+
+/** Figure 3: overall fcm3 accuracy per benchmark (approx, percent). */
+inline double
+figure3Fcm3(const std::string &benchmark)
+{
+    if (benchmark == "compress") return 76;
+    if (benchmark == "gcc") return 78;
+    if (benchmark == "go") return 56;
+    if (benchmark == "ijpeg") return 71;
+    if (benchmark == "m88ksim") return 91;
+    if (benchmark == "perl") return 85;
+    if (benchmark == "xlisp") return 87;
+    return 78;      // mean
+}
+
+/** Figure 3: overall accuracy ranges the paper states in the text. */
+struct Figure3Ranges
+{
+    static constexpr double lastValueMean = 40;
+    static constexpr double strideMean = 56;
+    static constexpr double fcm3Mean = 78;
+};
+
+/** Table 2: percentage of dynamic instructions predicted. */
+inline double
+table2PredictedPct(const std::string &benchmark)
+{
+    if (benchmark == "compress") return 71;
+    if (benchmark == "gcc") return 68;
+    if (benchmark == "go") return 80;
+    if (benchmark == "ijpeg") return 84;
+    if (benchmark == "m88ksim") return 70;
+    if (benchmark == "perl") return 65;
+    if (benchmark == "xlisp") return 62;
+    return 71;
+}
+
+/** Table 5: dynamic percentage per predicted instruction type. */
+inline double
+table5DynamicPct(const std::string &benchmark, const std::string &type)
+{
+    struct Row { const char *b, *t; double v; };
+    static const Row rows[] = {
+        {"compress", "AddSub", 42.6}, {"compress", "Loads", 20.5},
+        {"compress", "Logic", 3.1},   {"compress", "Shift", 17.4},
+        {"compress", "Set", 7.4},
+        {"gcc", "AddSub", 38.9}, {"gcc", "Loads", 38.6},
+        {"gcc", "Logic", 3.1},   {"gcc", "Shift", 7.7},
+        {"gcc", "Set", 5.4},
+        {"go", "AddSub", 42.1}, {"go", "Loads", 26.2},
+        {"go", "Logic", 0.5},   {"go", "Shift", 13.3},
+        {"go", "Set", 4.9},
+        {"ijpeg", "AddSub", 52.4}, {"ijpeg", "Loads", 21.4},
+        {"ijpeg", "Logic", 1.9},   {"ijpeg", "Shift", 16.4},
+        {"ijpeg", "Set", 4.2},
+        {"m88ksim", "AddSub", 42.6}, {"m88ksim", "Loads", 24.8},
+        {"m88ksim", "Logic", 5.0},   {"m88ksim", "Shift", 3.2},
+        {"m88ksim", "Set", 15.2},
+        {"perl", "AddSub", 34.1}, {"perl", "Loads", 43.1},
+        {"perl", "Logic", 3.1},   {"perl", "Shift", 8.2},
+        {"perl", "Set", 5.6},
+        {"xlisp", "AddSub", 36.1}, {"xlisp", "Loads", 48.6},
+        {"xlisp", "Logic", 3.4},   {"xlisp", "Shift", 3.2},
+        {"xlisp", "Set", 3.2},
+    };
+    for (const auto &row : rows) {
+        if (benchmark == row.b && type == row.t)
+            return row.v;
+    }
+    return 0.0;
+}
+
+/** Figure 8 (overall): paper's stated slice sizes (approx, percent). */
+struct Figure8
+{
+    static constexpr double np = 18;    ///< no predictor correct
+    static constexpr double lsf = 40;   ///< all three correct
+    static constexpr double fOnly = 20; ///< only fcm correct
+};
+
+/** Table 6: gcc order-2 fcm accuracy per input file. */
+inline double
+table6Accuracy(const std::string &input)
+{
+    if (input == "jump.i") return 76.5;
+    if (input == "emit-rtl.i") return 76.0;
+    if (input == "gcc.i") return 77.1;
+    if (input == "recog.i") return 78.6;
+    if (input == "stmt.i") return 77.8;
+    return 77.0;
+}
+
+/** Table 7: gcc order-2 fcm accuracy per flags setting. */
+inline double
+table7Accuracy(const std::string &flags)
+{
+    if (flags == "none") return 78.6;
+    if (flags == "O1") return 75.3;
+    if (flags == "O2") return 76.9;
+    return 77.1;    // ref flags
+}
+
+/** Figure 11: gcc fcm accuracy by order 1..8 (approx, percent). */
+inline double
+figure11Accuracy(int order)
+{
+    static const double values[] = {71.5, 77.0, 79.5, 81.0,
+                                    82.0, 82.6, 83.0, 83.3};
+    if (order >= 1 && order <= 8)
+        return values[order - 1];
+    return 0.0;
+}
+
+} // namespace vp::exp::paper
+
+#endif // VP_EXP_PAPER_DATA_HH

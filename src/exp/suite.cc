@@ -1,0 +1,170 @@
+#include "exp/suite.hh"
+
+#include <stdexcept>
+
+#include "core/fcm.hh"
+#include "core/hybrid.hh"
+#include "core/last_value.hh"
+#include "core/stride.hh"
+#include "sim/driver.hh"
+
+namespace vp::exp {
+
+core::PredictorPtr
+makePredictor(const std::string &spec)
+{
+    using namespace core;
+
+    if (spec == "l")
+        return std::make_unique<LastValuePredictor>();
+    if (spec == "l-sat") {
+        LvConfig config;
+        config.policy = LvPolicy::SaturatingCounter;
+        return std::make_unique<LastValuePredictor>(config);
+    }
+    if (spec == "l-consec") {
+        LvConfig config;
+        config.policy = LvPolicy::Consecutive;
+        return std::make_unique<LastValuePredictor>(config);
+    }
+    if (spec == "s") {
+        StrideConfig config;
+        config.policy = StridePolicy::Simple;
+        return std::make_unique<StridePredictor>(config);
+    }
+    if (spec == "s-sat") {
+        StrideConfig config;
+        config.policy = StridePolicy::SaturatingCounter;
+        return std::make_unique<StridePredictor>(config);
+    }
+    if (spec == "s2")
+        return std::make_unique<StridePredictor>();
+    if (spec == "hybrid")
+        return std::make_unique<HybridPredictor>();
+
+    if (spec.rfind("fcm", 0) == 0) {
+        const auto rest = spec.substr(3);
+        const auto dash = rest.find('-');
+        const std::string num = rest.substr(0, dash);
+        const std::string variant =
+                dash == std::string::npos ? "" : rest.substr(dash + 1);
+        if (!num.empty() &&
+            num.find_first_not_of("0123456789") == std::string::npos) {
+            FcmConfig config;
+            config.order = std::stoi(num);
+            if (variant == "full") {
+                config.blending = FcmBlending::Full;
+            } else if (variant == "pure") {
+                config.blending = FcmBlending::None;
+            } else if (variant == "sat") {
+                config.counterMax = 16;
+            } else if (!variant.empty()) {
+                throw std::invalid_argument(
+                        "unknown fcm variant: " + spec);
+            }
+            return std::make_unique<FcmPredictor>(config);
+        }
+    }
+
+    throw std::invalid_argument("unknown predictor spec: " + spec);
+}
+
+double
+BenchmarkRun::accuracyPct(size_t index) const
+{
+    return 100.0 * predictors.at(index).second.accuracy();
+}
+
+double
+BenchmarkRun::accuracyPct(size_t index, isa::Category cat) const
+{
+    return 100.0 * predictors.at(index).second.accuracy(cat);
+}
+
+BenchmarkRun
+runBenchmark(const std::string &name, const SuiteOptions &options)
+{
+    const auto &info = workloads::findWorkload(name);
+    const auto prog = info.build(options.config);
+
+    sim::PredictorBank bank;
+    for (const auto &spec : options.predictors)
+        bank.add(makePredictor(spec));
+    if (options.overlap > 0)
+        bank.trackOverlap(options.overlap);
+    if (options.improvementA != options.improvementB)
+        bank.trackImprovement(options.improvementA, options.improvementB);
+    if (options.values)
+        bank.trackValues();
+
+    const auto outcome = sim::runProgram(prog, bank);
+
+    BenchmarkRun run;
+    run.name = name;
+    run.exec = outcome.vmResult.stats;
+    run.staticPredicted = outcome.staticPredicted;
+    run.staticByCategory = outcome.staticByCategory;
+    for (size_t i = 0; i < options.predictors.size(); ++i) {
+        run.predictors.emplace_back(options.predictors[i],
+                                    bank.member(i).stats);
+    }
+    if (bank.overlap())
+        run.overlap = *bank.overlap();
+    if (bank.improvement())
+        run.improvement = *bank.improvement();
+    if (bank.values())
+        run.values = *bank.values();
+    return run;
+}
+
+std::vector<BenchmarkRun>
+runSuite(const SuiteOptions &options)
+{
+    std::vector<std::string> names = options.benchmarks;
+    if (names.empty()) {
+        for (const auto &info : workloads::allWorkloads())
+            names.push_back(info.name);
+    }
+
+    std::vector<BenchmarkRun> runs;
+    runs.reserve(names.size());
+    for (const auto &name : names)
+        runs.push_back(runBenchmark(name, options));
+    return runs;
+}
+
+double
+meanAccuracyPct(const std::vector<BenchmarkRun> &runs, size_t index)
+{
+    if (runs.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const auto &run : runs)
+        sum += run.accuracyPct(index);
+    return sum / static_cast<double>(runs.size());
+}
+
+double
+meanAccuracyPct(const std::vector<BenchmarkRun> &runs, size_t index,
+                isa::Category cat)
+{
+    if (runs.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const auto &run : runs)
+        sum += run.accuracyPct(index, cat);
+    return sum / static_cast<double>(runs.size());
+}
+
+const std::vector<isa::Category> &
+reportedCategories()
+{
+    static const std::vector<isa::Category> cats = {
+        isa::Category::AddSub, isa::Category::Loads,
+        isa::Category::Logic, isa::Category::Shift,
+        isa::Category::Set,
+    };
+    return cats;
+}
+
+} // namespace vp::exp

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Experiment harness shared by every bench binary.
+ *
+ * Runs the canonical benchmark suite (the seven SPEC95int proxies)
+ * against a configurable set of predictors in one trace pass per
+ * benchmark, and returns plain-value results that the per-table and
+ * per-figure binaries format.
+ */
+
+#ifndef VP_EXP_SUITE_HH
+#define VP_EXP_SUITE_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/improvement.hh"
+#include "core/overlap.hh"
+#include "core/predictor.hh"
+#include "core/stats.hh"
+#include "core/value_profile.hh"
+#include "vm/exec_stats.hh"
+#include "workloads/workload.hh"
+
+namespace vp::exp {
+
+/**
+ * Create a predictor from a spec string:
+ *   "l", "l-sat", "l-consec"         last value variants
+ *   "s", "s-sat", "s2"               stride variants
+ *   "fcmK", "fcmK-full", "fcmK-pure",
+ *   "fcmK-sat"                       fcm of order K (e.g. "fcm3")
+ *   "hybrid"                         chooser hybrid of s2 + fcm3
+ *
+ * @throws std::invalid_argument for unknown specs.
+ */
+core::PredictorPtr makePredictor(const std::string &spec);
+
+/** What to run and what to observe. */
+struct SuiteOptions
+{
+    /** Predictor specs evaluated side by side on the same trace. */
+    std::vector<std::string> predictors = {"l", "s2", "fcm1", "fcm2",
+                                           "fcm3"};
+
+    /** Benchmarks to run; empty = all seven, paper order. */
+    std::vector<std::string> benchmarks;
+
+    /** Workload input/flags/scale. */
+    workloads::WorkloadConfig config;
+
+    /** Track correct-set overlap over the first N predictors (0 off). */
+    int overlap = 0;
+
+    /**
+     * Track per-static improvement of predictors[improvementA] over
+     * predictors[improvementB] (Figure 9). Off when A == B.
+     */
+    size_t improvementA = 0;
+    size_t improvementB = 0;
+
+    /** Track unique values per static instruction (Figure 10). */
+    bool values = false;
+};
+
+/** Results for one benchmark. */
+struct BenchmarkRun
+{
+    std::string name;
+    vm::ExecStats exec;
+    size_t staticPredicted = 0;
+    std::array<size_t, isa::numCategories> staticByCategory{};
+
+    /** (spec, stats) per predictor, in SuiteOptions order. */
+    std::vector<std::pair<std::string, core::PredictionStats>> predictors;
+
+    std::optional<core::OverlapTracker> overlap;
+    std::optional<core::ImprovementTracker> improvement;
+    std::optional<core::ValueProfiler> values;
+
+    /** Accuracy (in percent) of the predictor at @p index. */
+    double accuracyPct(size_t index) const;
+    double accuracyPct(size_t index, isa::Category cat) const;
+};
+
+/** Run one benchmark under the given options. */
+BenchmarkRun runBenchmark(const std::string &name,
+                          const SuiteOptions &options);
+
+/** Run all requested benchmarks. */
+std::vector<BenchmarkRun> runSuite(const SuiteOptions &options);
+
+/**
+ * Arithmetic mean of per-benchmark accuracies (percent) for predictor
+ * @p index, the paper's averaging rule ("each benchmark effectively
+ * contributes the same number of total predictions").
+ */
+double meanAccuracyPct(const std::vector<BenchmarkRun> &runs,
+                       size_t index);
+
+double meanAccuracyPct(const std::vector<BenchmarkRun> &runs,
+                       size_t index, isa::Category cat);
+
+/** The per-category codes the paper reports figures for. */
+const std::vector<isa::Category> &reportedCategories();
+
+} // namespace vp::exp
+
+#endif // VP_EXP_SUITE_HH

@@ -1,0 +1,86 @@
+#include "isa/disasm.hh"
+
+#include <sstream>
+
+namespace vp::isa {
+
+namespace {
+
+std::string
+reg(int r)
+{
+    return "r" + std::to_string(r);
+}
+
+} // anonymous namespace
+
+std::string
+disassemble(const Instr &instr)
+{
+    std::ostringstream out;
+    out << opcodeName(instr.op);
+    const auto fmt = opcodeFormat(instr.op);
+    switch (fmt) {
+      case Format::R:
+        out << ' ' << reg(instr.rd) << ", " << reg(instr.rs1) << ", "
+            << reg(instr.rs2);
+        break;
+      case Format::R2:
+        out << ' ' << reg(instr.rd) << ", " << reg(instr.rs1);
+        break;
+      case Format::I:
+        out << ' ' << reg(instr.rd) << ", " << reg(instr.rs1) << ", "
+            << instr.imm;
+        break;
+      case Format::U:
+        out << ' ' << reg(instr.rd) << ", " << instr.imm;
+        break;
+      case Format::Mem:
+        out << ' ' << reg(instr.rd) << ", " << instr.imm << '('
+            << reg(instr.rs1) << ')';
+        break;
+      case Format::MemS:
+        out << ' ' << reg(instr.rs2) << ", " << instr.imm << '('
+            << reg(instr.rs1) << ')';
+        break;
+      case Format::B:
+        out << ' ' << reg(instr.rs1) << ", " << reg(instr.rs2) << ", "
+            << instr.imm;
+        break;
+      case Format::J:
+        out << ' ' << instr.imm;
+        break;
+      case Format::JL:
+        out << ' ' << reg(instr.rd) << ", " << instr.imm;
+        break;
+      case Format::JR:
+        out << ' ' << reg(instr.rs1);
+        break;
+      case Format::JLR:
+        out << ' ' << reg(instr.rd) << ", " << reg(instr.rs1);
+        break;
+      case Format::N:
+        break;
+    }
+    return out.str();
+}
+
+std::string
+disassemble(const Program &prog)
+{
+    // Invert the code symbol table so labels print at their targets.
+    std::map<uint64_t, std::string> labels;
+    for (const auto &[name, pc] : prog.codeSymbols)
+        labels.emplace(pc, name);
+
+    std::ostringstream out;
+    for (size_t pc = 0; pc < prog.code.size(); ++pc) {
+        auto it = labels.find(pc);
+        if (it != labels.end())
+            out << it->second << ":\n";
+        out << "  " << pc << ":\t" << disassemble(prog.code[pc]) << '\n';
+    }
+    return out.str();
+}
+
+} // namespace vp::isa

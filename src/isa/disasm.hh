@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Disassembler for VP ISA instructions and programs.
+ */
+
+#ifndef VP_ISA_DISASM_HH
+#define VP_ISA_DISASM_HH
+
+#include <string>
+
+#include "isa/program.hh"
+
+namespace vp::isa {
+
+/** Render one instruction in assembler syntax (e.g. "addi r5, r5, 1"). */
+std::string disassemble(const Instr &instr);
+
+/**
+ * Render a whole program, one instruction per line, prefixed with the
+ * PC and annotated with known code symbols.
+ */
+std::string disassemble(const Program &prog);
+
+} // namespace vp::isa
+
+#endif // VP_ISA_DISASM_HH

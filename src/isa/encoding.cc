@@ -1,0 +1,62 @@
+#include "isa/encoding.hh"
+
+namespace vp::isa {
+
+uint64_t
+encode(const Instr &instr)
+{
+    uint64_t word = 0;
+    word |= static_cast<uint64_t>(instr.op);
+    word |= static_cast<uint64_t>(instr.rd) << 8;
+    word |= static_cast<uint64_t>(instr.rs1) << 16;
+    word |= static_cast<uint64_t>(instr.rs2) << 24;
+    word |= static_cast<uint64_t>(static_cast<uint32_t>(instr.imm)) << 32;
+    return word;
+}
+
+std::optional<Instr>
+decode(uint64_t word)
+{
+    const auto op_raw = static_cast<uint8_t>(word & 0xff);
+    if (op_raw >= numOpcodes)
+        return std::nullopt;
+
+    Instr instr;
+    instr.op = static_cast<Opcode>(op_raw);
+    instr.rd = static_cast<uint8_t>((word >> 8) & 0xff);
+    instr.rs1 = static_cast<uint8_t>((word >> 16) & 0xff);
+    instr.rs2 = static_cast<uint8_t>((word >> 24) & 0xff);
+    instr.imm = static_cast<int32_t>(
+            static_cast<uint32_t>((word >> 32) & 0xffffffffull));
+
+    if (instr.rd >= numRegs || instr.rs1 >= numRegs || instr.rs2 >= numRegs)
+        return std::nullopt;
+
+    return instr;
+}
+
+std::vector<uint64_t>
+encodeAll(const std::vector<Instr> &code)
+{
+    std::vector<uint64_t> words;
+    words.reserve(code.size());
+    for (const auto &instr : code)
+        words.push_back(encode(instr));
+    return words;
+}
+
+std::optional<std::vector<Instr>>
+decodeAll(const std::vector<uint64_t> &words)
+{
+    std::vector<Instr> code;
+    code.reserve(words.size());
+    for (const auto word : words) {
+        auto instr = decode(word);
+        if (!instr)
+            return std::nullopt;
+        code.push_back(*instr);
+    }
+    return code;
+}
+
+} // namespace vp::isa

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Fixed-width 64-bit binary encoding of VP ISA instructions.
+ *
+ * Layout (little-endian field order from bit 0):
+ *   [ 7: 0] opcode
+ *   [15: 8] rd
+ *   [23:16] rs1
+ *   [31:24] rs2
+ *   [63:32] imm (two's complement 32-bit)
+ *
+ * The encoding exists so that programs can round-trip through a flat
+ * binary image (tests exercise this), mirroring how SimpleScalar
+ * consumed compiled binaries.
+ */
+
+#ifndef VP_ISA_ENCODING_HH
+#define VP_ISA_ENCODING_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "isa/instr.hh"
+
+namespace vp::isa {
+
+/** Pack an instruction into its 64-bit binary form. */
+uint64_t encode(const Instr &instr);
+
+/**
+ * Decode a 64-bit word into an instruction.
+ *
+ * @return nullopt if the opcode field is out of range or a register
+ * field exceeds numRegs.
+ */
+std::optional<Instr> decode(uint64_t word);
+
+/** Encode a whole code section. */
+std::vector<uint64_t> encodeAll(const std::vector<Instr> &code);
+
+/**
+ * Decode a whole code section.
+ *
+ * @return nullopt if any word fails to decode.
+ */
+std::optional<std::vector<Instr>> decodeAll(
+        const std::vector<uint64_t> &words);
+
+} // namespace vp::isa
+
+#endif // VP_ISA_ENCODING_HH

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Decoded instruction representation.
+ */
+
+#ifndef VP_ISA_INSTR_HH
+#define VP_ISA_INSTR_HH
+
+#include <cstdint>
+
+#include "isa/opcode.hh"
+
+namespace vp::isa {
+
+/**
+ * A decoded instruction.
+ *
+ * The VM interprets instructions in this decoded form; the packed
+ * 64-bit binary encoding lives in encoding.hh. Branch and jump targets
+ * are absolute instruction indices stored in @c imm.
+ */
+struct Instr
+{
+    Opcode op = Opcode::Nop;
+    uint8_t rd = 0;     ///< destination register
+    uint8_t rs1 = 0;    ///< first source register
+    uint8_t rs2 = 0;    ///< second source register
+    int32_t imm = 0;    ///< immediate / displacement / target
+
+    Instr() = default;
+
+    Instr(Opcode op, uint8_t rd, uint8_t rs1, uint8_t rs2, int32_t imm)
+        : op(op), rd(rd), rs1(rs1), rs2(rs2), imm(imm)
+    {}
+
+    bool operator==(const Instr &other) const = default;
+
+    /** Category of this instruction (Table 3 of the paper). */
+    Category category() const { return opcodeCategory(op); }
+
+    /** True if this instruction's result is value-predicted. */
+    bool predicted() const { return opcodePredicted(op); }
+};
+
+// --- Convenience constructors used by the program builder and tests ---
+
+inline Instr
+makeR(Opcode op, int rd, int rs1, int rs2)
+{
+    return Instr(op, static_cast<uint8_t>(rd), static_cast<uint8_t>(rs1),
+                 static_cast<uint8_t>(rs2), 0);
+}
+
+inline Instr
+makeR2(Opcode op, int rd, int rs1)
+{
+    return Instr(op, static_cast<uint8_t>(rd), static_cast<uint8_t>(rs1),
+                 0, 0);
+}
+
+inline Instr
+makeI(Opcode op, int rd, int rs1, int32_t imm)
+{
+    return Instr(op, static_cast<uint8_t>(rd), static_cast<uint8_t>(rs1),
+                 0, imm);
+}
+
+inline Instr
+makeU(Opcode op, int rd, int32_t imm)
+{
+    return Instr(op, static_cast<uint8_t>(rd), 0, 0, imm);
+}
+
+inline Instr
+makeMem(Opcode op, int reg, int base, int32_t offset)
+{
+    // For loads `reg` is rd; for stores it is rs2 (the stored value).
+    if (opcodeFormat(op) == Format::MemS) {
+        return Instr(op, 0, static_cast<uint8_t>(base),
+                     static_cast<uint8_t>(reg), offset);
+    }
+    return Instr(op, static_cast<uint8_t>(reg), static_cast<uint8_t>(base),
+                 0, offset);
+}
+
+inline Instr
+makeB(Opcode op, int rs1, int rs2, int32_t target)
+{
+    return Instr(op, 0, static_cast<uint8_t>(rs1),
+                 static_cast<uint8_t>(rs2), target);
+}
+
+inline Instr
+makeJ(Opcode op, int32_t target)
+{
+    return Instr(op, 0, 0, 0, target);
+}
+
+} // namespace vp::isa
+
+#endif // VP_ISA_INSTR_HH

@@ -1,0 +1,148 @@
+#include "isa/opcode.hh"
+
+#include <array>
+
+namespace vp::isa {
+
+namespace {
+
+struct OpInfo
+{
+    std::string_view name;
+    Category cat;
+    Format fmt;
+    bool writesReg;
+};
+
+constexpr std::array<OpInfo, numOpcodes> opTable = {{
+    // AddSub
+    {"add",   Category::AddSub,  Format::R,    true},
+    {"addi",  Category::AddSub,  Format::I,    true},
+    {"sub",   Category::AddSub,  Format::R,    true},
+    // MultDiv
+    {"mul",   Category::MultDiv, Format::R,    true},
+    {"mulh",  Category::MultDiv, Format::R,    true},
+    {"div",   Category::MultDiv, Format::R,    true},
+    {"rem",   Category::MultDiv, Format::R,    true},
+    // Logic
+    {"and",   Category::Logic,   Format::R,    true},
+    {"andi",  Category::Logic,   Format::I,    true},
+    {"or",    Category::Logic,   Format::R,    true},
+    {"ori",   Category::Logic,   Format::I,    true},
+    {"xor",   Category::Logic,   Format::R,    true},
+    {"xori",  Category::Logic,   Format::I,    true},
+    {"nor",   Category::Logic,   Format::R,    true},
+    {"not",   Category::Logic,   Format::R2,   true},
+    // Shift
+    {"sll",   Category::Shift,   Format::R,    true},
+    {"slli",  Category::Shift,   Format::I,    true},
+    {"srl",   Category::Shift,   Format::R,    true},
+    {"srli",  Category::Shift,   Format::I,    true},
+    {"sra",   Category::Shift,   Format::R,    true},
+    {"srai",  Category::Shift,   Format::I,    true},
+    // Set
+    {"slt",   Category::Set,     Format::R,    true},
+    {"slti",  Category::Set,     Format::I,    true},
+    {"sltu",  Category::Set,     Format::R,    true},
+    {"sltiu", Category::Set,     Format::I,    true},
+    {"seq",   Category::Set,     Format::R,    true},
+    {"seqi",  Category::Set,     Format::I,    true},
+    {"sne",   Category::Set,     Format::R,    true},
+    {"snei",  Category::Set,     Format::I,    true},
+    // Lui
+    {"lui",   Category::Lui,     Format::U,    true},
+    // Loads
+    {"ld",    Category::Loads,   Format::Mem,  true},
+    {"lw",    Category::Loads,   Format::Mem,  true},
+    {"lh",    Category::Loads,   Format::Mem,  true},
+    {"lbu",   Category::Loads,   Format::Mem,  true},
+    {"lb",    Category::Loads,   Format::Mem,  true},
+    // Other
+    {"min",   Category::Other,   Format::R,    true},
+    {"max",   Category::Other,   Format::R,    true},
+    {"abs",   Category::Other,   Format::R2,   true},
+    {"neg",   Category::Other,   Format::R2,   true},
+    {"mov",   Category::Other,   Format::R2,   true},
+    // Stores
+    {"sd",    Category::Store,   Format::MemS, false},
+    {"sw",    Category::Store,   Format::MemS, false},
+    {"sh",    Category::Store,   Format::MemS, false},
+    {"sb",    Category::Store,   Format::MemS, false},
+    // Branches
+    {"beq",   Category::Branch,  Format::B,    false},
+    {"bne",   Category::Branch,  Format::B,    false},
+    {"blt",   Category::Branch,  Format::B,    false},
+    {"bge",   Category::Branch,  Format::B,    false},
+    {"bltu",  Category::Branch,  Format::B,    false},
+    {"bgeu",  Category::Branch,  Format::B,    false},
+    {"beqz",  Category::Branch,  Format::B,    false},
+    {"bnez",  Category::Branch,  Format::B,    false},
+    // Jumps. jal/jalr write the link register, but the Jump category is
+    // excluded from prediction, following Section 3 of the paper.
+    {"j",     Category::Jump,    Format::J,    false},
+    {"jal",   Category::Jump,    Format::JL,   true},
+    {"jr",    Category::Jump,    Format::JR,   false},
+    {"jalr",  Category::Jump,    Format::JLR,  true},
+    // System
+    {"nop",   Category::System,  Format::N,    false},
+    {"halt",  Category::System,  Format::N,    false},
+}};
+
+constexpr std::array<std::string_view, numCategories> catNames = {{
+    "AddSub", "Loads", "Logic", "Shift", "Set", "MultDiv", "Lui", "Other",
+    "Store", "Branch", "Jump", "System",
+}};
+
+} // anonymous namespace
+
+std::string_view
+categoryName(Category cat)
+{
+    return catNames[static_cast<int>(cat)];
+}
+
+std::optional<Category>
+categoryFromName(std::string_view name)
+{
+    for (int i = 0; i < numCategories; ++i) {
+        if (catNames[i] == name)
+            return static_cast<Category>(i);
+    }
+    return std::nullopt;
+}
+
+std::string_view
+opcodeName(Opcode op)
+{
+    return opTable[static_cast<int>(op)].name;
+}
+
+std::optional<Opcode>
+opcodeFromName(std::string_view name)
+{
+    for (int i = 0; i < numOpcodes; ++i) {
+        if (opTable[i].name == name)
+            return static_cast<Opcode>(i);
+    }
+    return std::nullopt;
+}
+
+Category
+opcodeCategory(Opcode op)
+{
+    return opTable[static_cast<int>(op)].cat;
+}
+
+Format
+opcodeFormat(Opcode op)
+{
+    return opTable[static_cast<int>(op)].fmt;
+}
+
+bool
+opcodeWritesReg(Opcode op)
+{
+    return opTable[static_cast<int>(op)].writesReg;
+}
+
+} // namespace vp::isa

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Opcode and instruction-category definitions for the VP ISA.
+ *
+ * The VP ISA is a 64-bit MIPS-like register machine modelled on the
+ * SimpleScalar PISA used by Sazeides & Smith (MICRO-30, 1997). The
+ * instruction categories mirror Table 3 of the paper; they drive the
+ * per-category breakdowns in Figures 4-7 and Tables 4-5.
+ */
+
+#ifndef VP_ISA_OPCODE_HH
+#define VP_ISA_OPCODE_HH
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace vp::isa {
+
+/** Number of general purpose registers. Register 0 is hardwired to 0. */
+constexpr int numRegs = 32;
+
+/** Conventional link register written by jal/jalr. */
+constexpr int linkReg = 31;
+
+/** Conventional stack pointer register used by the workload runtime. */
+constexpr int stackReg = 30;
+
+/**
+ * Instruction categories, matching Table 3 of the paper.
+ *
+ * The first eight categories cover instructions that write a general
+ * purpose register and are therefore *predicted*; the remaining ones
+ * (stores, branches, jumps, system) are executed but never predicted,
+ * exactly as in Section 3 of the paper. Note that jal/jalr write the
+ * link register but fall in the Jump category and are excluded, again
+ * following the paper ("stores, branches and jumps are not predicted").
+ */
+enum class Category : uint8_t {
+    AddSub,
+    Loads,
+    Logic,
+    Shift,
+    Set,
+    MultDiv,
+    Lui,
+    Other,
+    Store,
+    Branch,
+    Jump,
+    System,
+    NumCategories
+};
+
+/** Number of categories that are eligible for value prediction. */
+constexpr int numPredictedCategories = 8;
+
+/** Total number of categories (predicted + unpredicted). */
+constexpr int numCategories = static_cast<int>(Category::NumCategories);
+
+/** @return true if instructions of this category are value-predicted. */
+constexpr bool
+isPredictedCategory(Category cat)
+{
+    return static_cast<int>(cat) < numPredictedCategories;
+}
+
+/** Short display code for a category (e.g. "AddSub"), as in Table 3. */
+std::string_view categoryName(Category cat);
+
+/** Parse a category display code. */
+std::optional<Category> categoryFromName(std::string_view name);
+
+/**
+ * Operand format of an instruction.
+ *
+ * Determines which of the rd/rs1/rs2/imm fields are meaningful and how
+ * the assembler parses the operand list.
+ */
+enum class Format : uint8_t {
+    R,      ///< rd, rs1, rs2
+    R2,     ///< rd, rs1 (unary register op)
+    I,      ///< rd, rs1, imm
+    U,      ///< rd, imm
+    Mem,    ///< rd, imm(rs1) for loads
+    MemS,   ///< rs2, imm(rs1) for stores
+    B,      ///< rs1, rs2, target (imm)
+    J,      ///< target (imm)
+    JL,     ///< rd, target (imm) -- jal
+    JR,     ///< rs1 -- jr
+    JLR,    ///< rd, rs1 -- jalr
+    N       ///< no operands
+};
+
+/**
+ * The opcode set.
+ *
+ * Register-writing opcodes are grouped by paper category. The set is
+ * deliberately MIPS-flavoured: it is rich enough to compile realistic
+ * integer kernels (hashing, compression, table walks, DCT) while
+ * remaining small enough to interpret at tens of millions of
+ * instructions per second.
+ */
+enum class Opcode : uint8_t {
+    // AddSub
+    Add, Addi, Sub,
+    // MultDiv
+    Mul, Mulh, Div, Rem,
+    // Logic
+    And, Andi, Or, Ori, Xor, Xori, Nor, Not,
+    // Shift
+    Sll, Slli, Srl, Srli, Sra, Srai,
+    // Set
+    Slt, Slti, Sltu, Sltiu, Seq, Seqi, Sne, Snei,
+    // Lui
+    Lui,
+    // Loads
+    Ld, Lw, Lh, Lbu, Lb,
+    // Other register-writing ops ("Floating, Jump, Other" analog)
+    Min, Max, Abs, Neg, Mov,
+    // Stores
+    Sd, Sw, Sh, Sb,
+    // Branches
+    Beq, Bne, Blt, Bge, Bltu, Bgeu, Beqz, Bnez,
+    // Jumps
+    J, Jal, Jr, Jalr,
+    // System
+    Nop, Halt,
+    NumOpcodes
+};
+
+/** Total number of opcodes. */
+constexpr int numOpcodes = static_cast<int>(Opcode::NumOpcodes);
+
+/** Mnemonic for an opcode (e.g. "addi"). */
+std::string_view opcodeName(Opcode op);
+
+/** Parse a mnemonic; returns nullopt for unknown mnemonics. */
+std::optional<Opcode> opcodeFromName(std::string_view name);
+
+/** Category of an opcode, per Table 3 of the paper. */
+Category opcodeCategory(Opcode op);
+
+/** Operand format of an opcode. */
+Format opcodeFormat(Opcode op);
+
+/** @return true if the opcode writes a general purpose register. */
+bool opcodeWritesReg(Opcode op);
+
+/**
+ * @return true if the opcode's result is eligible for value prediction
+ * (writes a GPR and is in a predicted category).
+ */
+inline bool
+opcodePredicted(Opcode op)
+{
+    return opcodeWritesReg(op) && isPredictedCategory(opcodeCategory(op));
+}
+
+} // namespace vp::isa
+
+#endif // VP_ISA_OPCODE_HH

@@ -1,0 +1,55 @@
+#include "isa/program.hh"
+
+#include <sstream>
+
+namespace vp::isa {
+
+size_t
+Program::countPredictedStatic() const
+{
+    size_t n = 0;
+    for (const auto &instr : code) {
+        if (instr.predicted())
+            ++n;
+    }
+    return n;
+}
+
+size_t
+Program::countPredictedStatic(Category cat) const
+{
+    size_t n = 0;
+    for (const auto &instr : code) {
+        if (instr.predicted() && instr.category() == cat)
+            ++n;
+    }
+    return n;
+}
+
+std::string
+Program::validate() const
+{
+    std::ostringstream err;
+    for (size_t pc = 0; pc < code.size(); ++pc) {
+        const auto &instr = code[pc];
+        if (instr.rd >= numRegs || instr.rs1 >= numRegs ||
+            instr.rs2 >= numRegs) {
+            err << "pc " << pc << ": register out of range";
+            return err.str();
+        }
+        const auto fmt = opcodeFormat(instr.op);
+        const bool is_cti = fmt == Format::B || fmt == Format::J ||
+                fmt == Format::JL;
+        if (is_cti) {
+            if (instr.imm < 0 ||
+                static_cast<size_t>(instr.imm) >= code.size()) {
+                err << "pc " << pc << ": control target " << instr.imm
+                    << " outside code section of size " << code.size();
+                return err.str();
+            }
+        }
+    }
+    return "";
+}
+
+} // namespace vp::isa

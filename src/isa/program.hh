@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Program container: code, initial data image, and symbols.
+ */
+
+#ifndef VP_ISA_PROGRAM_HH
+#define VP_ISA_PROGRAM_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/instr.hh"
+
+namespace vp::isa {
+
+/** Default base address of the data segment. */
+constexpr uint64_t defaultDataBase = 0x1000;
+
+/**
+ * A fully linked program, ready to run on the VM.
+ *
+ * Static instruction identity (the "PC" used by every predictor table)
+ * is simply the index into @c code. The data image is copied into VM
+ * memory at @c dataBase before execution; the area beyond the image is
+ * available as heap, and the stack grows downward from the top of the
+ * configured memory.
+ */
+struct Program
+{
+    std::string name;
+
+    /** Code section; the PC of instruction i is i. */
+    std::vector<Instr> code;
+
+    /** Base address at which @c data is loaded. */
+    uint64_t dataBase = defaultDataBase;
+
+    /** Initial data image. */
+    std::vector<uint8_t> data;
+
+    /** First address past the static data image (start of heap). */
+    uint64_t dataEnd() const { return dataBase + data.size(); }
+
+    /**
+     * Symbol table: labels map to instruction indices, data symbols
+     * map to absolute addresses. Kept for disassembly and debugging.
+     */
+    std::map<std::string, uint64_t> codeSymbols;
+    std::map<std::string, uint64_t> dataSymbols;
+
+    /** Number of static instructions. */
+    size_t size() const { return code.size(); }
+
+    /** Count static instructions eligible for value prediction. */
+    size_t countPredictedStatic() const;
+
+    /** Count static predicted instructions in a given category. */
+    size_t countPredictedStatic(Category cat) const;
+
+    /**
+     * Validate structural invariants: all branch/jump targets within
+     * the code section and all register numbers legal.
+     *
+     * @return an empty string when valid, else a diagnostic.
+     */
+    std::string validate() const;
+};
+
+} // namespace vp::isa
+
+#endif // VP_ISA_PROGRAM_HH

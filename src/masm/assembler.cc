@@ -1,0 +1,604 @@
+#include "masm/assembler.hh"
+
+#include <cctype>
+#include <map>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "masm/builder.hh"
+
+namespace vp::masm {
+
+using isa::Format;
+using isa::Opcode;
+
+AsmError::AsmError(int line, const std::string &message)
+    : std::runtime_error("line " + std::to_string(line) + ": " + message),
+      line(line)
+{
+}
+
+namespace {
+
+/** Symbolic register names accepted in addition to rN. */
+const std::map<std::string, int> &
+regAliases()
+{
+    static const std::map<std::string, int> aliases = {
+        {"zero", reg::zero},
+        {"t0", reg::t0}, {"t1", reg::t1}, {"t2", reg::t2},
+        {"t3", reg::t3}, {"t4", reg::t4}, {"t5", reg::t5},
+        {"t6", reg::t6}, {"t7", reg::t7}, {"t8", reg::t8},
+        {"t9", reg::t9},
+        {"s0", reg::s0}, {"s1", reg::s1}, {"s2", reg::s2},
+        {"s3", reg::s3}, {"s4", reg::s4}, {"s5", reg::s5},
+        {"s6", reg::s6}, {"s7", reg::s7}, {"s8", reg::s8},
+        {"s9", reg::s9},
+        {"a0", reg::a0}, {"a1", reg::a1}, {"a2", reg::a2},
+        {"a3", reg::a3}, {"a4", reg::a4}, {"a5", reg::a5},
+        {"v0", reg::v0}, {"v1", reg::v1},
+        {"gp", reg::gp}, {"sp", reg::sp}, {"ra", reg::ra},
+    };
+    return aliases;
+}
+
+/** One parsed operand token. */
+struct Token
+{
+    std::string text;
+};
+
+/** Split an operand list on commas, trimming whitespace. */
+std::vector<std::string>
+splitOperands(const std::string &text)
+{
+    std::vector<std::string> parts;
+    std::string current;
+    bool in_string = false;
+    for (char c : text) {
+        if (c == '"')
+            in_string = !in_string;
+        if (c == ',' && !in_string) {
+            parts.push_back(current);
+            current.clear();
+        } else {
+            current.push_back(c);
+        }
+    }
+    if (!current.empty() || !parts.empty())
+        parts.push_back(current);
+
+    for (auto &part : parts) {
+        const auto begin = part.find_first_not_of(" \t");
+        const auto end = part.find_last_not_of(" \t");
+        part = begin == std::string::npos
+                ? "" : part.substr(begin, end - begin + 1);
+    }
+    return parts;
+}
+
+class Assembler
+{
+  public:
+    Assembler(const std::string &name, const std::string &source)
+        : builder_(name), source_(source)
+    {}
+
+    isa::Program
+    run()
+    {
+        std::istringstream in(source_);
+        std::string line;
+        while (std::getline(in, line)) {
+            ++lineNo_;
+            processLine(line);
+        }
+        try {
+            return builder_.build();
+        } catch (const std::logic_error &err) {
+            throw AsmError(lineNo_, err.what());
+        }
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &message) const
+    {
+        throw AsmError(lineNo_, message);
+    }
+
+    static std::string
+    stripComment(const std::string &line)
+    {
+        std::string out;
+        bool in_string = false;
+        for (char c : line) {
+            if (c == '"')
+                in_string = !in_string;
+            if ((c == '#' || c == ';') && !in_string)
+                break;
+            out.push_back(c);
+        }
+        return out;
+    }
+
+    void
+    processLine(const std::string &raw)
+    {
+        std::string line = stripComment(raw);
+
+        // Peel off any leading "label:" definitions.
+        while (true) {
+            const auto colon = line.find(':');
+            if (colon == std::string::npos)
+                break;
+            const auto head = line.substr(0, colon);
+            // A colon inside an operand list (e.g. string) means no label.
+            if (head.find_first_of(" \t\"(") != std::string::npos)
+                break;
+            defineLabel(head);
+            line = line.substr(colon + 1);
+        }
+
+        std::istringstream in(line);
+        std::string word;
+        if (!(in >> word))
+            return;
+
+        std::string rest;
+        std::getline(in, rest);
+
+        if (word[0] == '.')
+            directive(word, rest);
+        else
+            instruction(word, rest);
+    }
+
+    void
+    defineLabel(const std::string &name)
+    {
+        if (name.empty())
+            fail("empty label name");
+        if (inData_) {
+            if (dataSymbols_.count(name))
+                fail("data symbol '" + name + "' redefined");
+            // Bind to the *next* allocation: remember and patch on alloc.
+            pendingDataLabels_.push_back(name);
+        } else {
+            auto label = codeLabel(name);
+            if (boundCode_.count(name))
+                fail("code label '" + name + "' redefined");
+            builder_.bindNamed(label, name);
+            boundCode_.insert(name);
+        }
+    }
+
+    Label
+    codeLabel(const std::string &name)
+    {
+        auto it = codeLabels_.find(name);
+        if (it != codeLabels_.end())
+            return it->second;
+        Label label = builder_.newLabel();
+        codeLabels_.emplace(name, label);
+        return label;
+    }
+
+    void
+    attachPendingData(uint64_t addr)
+    {
+        for (const auto &name : pendingDataLabels_) {
+            dataSymbols_[name] = addr;
+            builder_.nameData(name, addr);
+        }
+        pendingDataLabels_.clear();
+    }
+
+    int64_t
+    parseInt(const std::string &text) const
+    {
+        std::string t = text;
+        if (t.empty())
+            fail("expected integer");
+        if (t.size() >= 3 && t.front() == '\'' && t.back() == '\'') {
+            if (t.size() == 3)
+                return t[1];
+            if (t.size() == 4 && t[1] == '\\') {
+                switch (t[2]) {
+                  case 'n': return '\n';
+                  case 't': return '\t';
+                  case '0': return 0;
+                  case '\\': return '\\';
+                  default: fail("bad character escape");
+                }
+            }
+            fail("bad character literal " + text);
+        }
+        try {
+            size_t pos = 0;
+            const int64_t value = std::stoll(t, &pos, 0);
+            if (pos != t.size())
+                fail("bad integer '" + text + "'");
+            return value;
+        } catch (const std::exception &) {
+            fail("bad integer '" + text + "'");
+        }
+    }
+
+    /** Integer or previously defined data symbol. */
+    int64_t
+    parseIntOrSym(const std::string &text) const
+    {
+        if (!text.empty() && (std::isalpha(text[0]) || text[0] == '_')) {
+            auto it = dataSymbols_.find(text);
+            if (it == dataSymbols_.end())
+                fail("unknown data symbol '" + text + "'");
+            return static_cast<int64_t>(it->second);
+        }
+        return parseInt(text);
+    }
+
+    int
+    parseReg(const std::string &text) const
+    {
+        if (text.empty())
+            fail("expected register");
+        auto it = regAliases().find(text);
+        if (it != regAliases().end())
+            return it->second;
+        if (text[0] == 'r' || text[0] == 'R') {
+            const std::string num = text.substr(1);
+            if (!num.empty() &&
+                num.find_first_not_of("0123456789") == std::string::npos) {
+                const int r = std::stoi(num);
+                if (r >= 0 && r < isa::numRegs)
+                    return r;
+            }
+        }
+        fail("bad register '" + text + "'");
+    }
+
+    /** Parse "offset(base)" or "sym(base)" or "sym". */
+    std::pair<int32_t, int>
+    parseMem(const std::string &text) const
+    {
+        const auto open = text.find('(');
+        if (open == std::string::npos) {
+            // Bare symbol/constant: absolute address, base r0.
+            return {static_cast<int32_t>(parseIntOrSym(text)), reg::zero};
+        }
+        const auto close = text.find(')', open);
+        if (close == std::string::npos)
+            fail("missing ')' in memory operand");
+        const std::string off = text.substr(0, open);
+        const std::string base = text.substr(open + 1, close - open - 1);
+        const int64_t offset = off.empty() ? 0 : parseIntOrSym(off);
+        return {static_cast<int32_t>(offset), parseReg(base)};
+    }
+
+    std::string
+    parseString(const std::string &text) const
+    {
+        const auto open = text.find('"');
+        const auto close = text.rfind('"');
+        if (open == std::string::npos || close <= open)
+            fail("expected string literal");
+        std::string out;
+        for (size_t i = open + 1; i < close; ++i) {
+            char c = text[i];
+            if (c == '\\' && i + 1 < close) {
+                ++i;
+                switch (text[i]) {
+                  case 'n': c = '\n'; break;
+                  case 't': c = '\t'; break;
+                  case '0': c = '\0'; break;
+                  case '\\': c = '\\'; break;
+                  case '"': c = '"'; break;
+                  default: fail("bad string escape");
+                }
+            }
+            out.push_back(c);
+        }
+        return out;
+    }
+
+    void
+    directive(const std::string &word, const std::string &rest)
+    {
+        const auto ops = splitOperands(rest);
+        if (word == ".data") {
+            inData_ = true;
+        } else if (word == ".text") {
+            inData_ = false;
+            if (!pendingDataLabels_.empty())
+                fail("data label with no storage before .text");
+        } else if (word == ".align") {
+            if (ops.size() != 1)
+                fail(".align takes one operand");
+            const auto align = static_cast<size_t>(parseInt(ops[0]));
+            attachPendingData(builder_.allocData(0, align));
+        } else if (word == ".space") {
+            if (ops.size() != 1)
+                fail(".space takes one operand");
+            const auto bytes = static_cast<size_t>(parseInt(ops[0]));
+            attachPendingData(builder_.allocData(bytes, 1));
+        } else if (word == ".word") {
+            std::vector<int64_t> words;
+            for (const auto &op : ops)
+                words.push_back(parseIntOrSym(op));
+            attachPendingData(builder_.addWords(words));
+        } else if (word == ".byte") {
+            std::vector<uint8_t> bytes;
+            for (const auto &op : ops)
+                bytes.push_back(static_cast<uint8_t>(parseInt(op)));
+            attachPendingData(builder_.addBytes(bytes));
+        } else if (word == ".ascii" || word == ".asciiz") {
+            std::string text = parseString(rest);
+            if (word == ".asciiz")
+                text.push_back('\0');
+            attachPendingData(builder_.addString(text));
+        } else {
+            fail("unknown directive " + word);
+        }
+    }
+
+    void
+    instruction(const std::string &mnemonic, const std::string &rest)
+    {
+        if (inData_)
+            fail("instruction in .data section");
+        const auto ops = splitOperands(rest);
+
+        // Pseudo-instructions first.
+        if (mnemonic == "li") {
+            need(ops, 2);
+            builder_.li(parseReg(ops[0]), parseIntOrSym(ops[1]));
+            return;
+        }
+        if (mnemonic == "la") {
+            need(ops, 2);
+            builder_.la(parseReg(ops[0]),
+                        static_cast<uint64_t>(parseIntOrSym(ops[1])));
+            return;
+        }
+        if (mnemonic == "call") {
+            need(ops, 1);
+            builder_.call(codeLabel(ops[0]));
+            return;
+        }
+        if (mnemonic == "ret") {
+            builder_.ret();
+            return;
+        }
+        if (mnemonic == "push") {
+            need(ops, 1);
+            builder_.push(parseReg(ops[0]));
+            return;
+        }
+        if (mnemonic == "pop") {
+            need(ops, 1);
+            builder_.pop(parseReg(ops[0]));
+            return;
+        }
+        if (mnemonic == "inc") {
+            need(ops, 1);
+            const int r = parseReg(ops[0]);
+            builder_.addi(r, r, 1);
+            return;
+        }
+        if (mnemonic == "dec") {
+            need(ops, 1);
+            const int r = parseReg(ops[0]);
+            builder_.addi(r, r, -1);
+            return;
+        }
+
+        const auto op = isa::opcodeFromName(mnemonic);
+        if (!op)
+            fail("unknown mnemonic '" + mnemonic + "'");
+
+        realInstruction(*op, ops);
+    }
+
+    void
+    need(const std::vector<std::string> &ops, size_t count) const
+    {
+        if (ops.size() != count) {
+            fail("expected " + std::to_string(count) + " operand(s), got " +
+                 std::to_string(ops.size()));
+        }
+    }
+
+    void
+    realInstruction(Opcode op, const std::vector<std::string> &ops)
+    {
+        using isa::Instr;
+        switch (isa::opcodeFormat(op)) {
+          case Format::R:
+            need(ops, 3);
+            emit(isa::makeR(op, parseReg(ops[0]), parseReg(ops[1]),
+                            parseReg(ops[2])));
+            break;
+          case Format::R2:
+            need(ops, 2);
+            emit(isa::makeR2(op, parseReg(ops[0]), parseReg(ops[1])));
+            break;
+          case Format::I:
+            need(ops, 3);
+            emit(isa::makeI(op, parseReg(ops[0]), parseReg(ops[1]),
+                            static_cast<int32_t>(parseIntOrSym(ops[2]))));
+            break;
+          case Format::U:
+            need(ops, 2);
+            emit(isa::makeU(op, parseReg(ops[0]),
+                            static_cast<int32_t>(parseInt(ops[1]))));
+            break;
+          case Format::Mem: {
+            need(ops, 2);
+            const auto [offset, base] = parseMem(ops[1]);
+            emit(isa::makeMem(op, parseReg(ops[0]), base, offset));
+            break;
+          }
+          case Format::MemS: {
+            need(ops, 2);
+            const auto [offset, base] = parseMem(ops[1]);
+            emit(isa::makeMem(op, parseReg(ops[0]), base, offset));
+            break;
+          }
+          case Format::B:
+            if (op == Opcode::Beqz || op == Opcode::Bnez) {
+                need(ops, 2);
+                branch(op, parseReg(ops[0]), 0, ops[1]);
+            } else {
+                need(ops, 3);
+                branch(op, parseReg(ops[0]), parseReg(ops[1]), ops[2]);
+            }
+            break;
+          case Format::J:
+            need(ops, 1);
+            builder_.j(codeLabel(ops[0]));
+            break;
+          case Format::JL:
+            need(ops, 1);
+            builder_.jal(codeLabel(ops[0]));
+            break;
+          case Format::JR:
+            need(ops, 1);
+            builder_.jr(parseReg(ops[0]));
+            break;
+          case Format::JLR:
+            need(ops, 2);
+            builder_.jalr(parseReg(ops[0]), parseReg(ops[1]));
+            break;
+          case Format::N:
+            if (op == Opcode::Nop)
+                builder_.nop();
+            else
+                builder_.halt();
+            break;
+        }
+    }
+
+    void
+    branch(Opcode op, int rs1, int rs2, const std::string &target)
+    {
+        Label label = codeLabel(target);
+        switch (op) {
+          case Opcode::Beq: builder_.beq(rs1, rs2, label); break;
+          case Opcode::Bne: builder_.bne(rs1, rs2, label); break;
+          case Opcode::Blt: builder_.blt(rs1, rs2, label); break;
+          case Opcode::Bge: builder_.bge(rs1, rs2, label); break;
+          case Opcode::Bltu: builder_.bltu(rs1, rs2, label); break;
+          case Opcode::Bgeu: builder_.bgeu(rs1, rs2, label); break;
+          case Opcode::Beqz: builder_.beqz(rs1, label); break;
+          case Opcode::Bnez: builder_.bnez(rs1, label); break;
+          default: fail("not a branch");
+        }
+    }
+
+    void
+    emit(const isa::Instr &instr)
+    {
+        // Route raw instructions through the builder's typed methods
+        // is unnecessary; append via a tiny shim.
+        appendRaw(instr);
+    }
+
+    void
+    appendRaw(const isa::Instr &instr)
+    {
+        // ProgramBuilder lacks a raw append on purpose (workloads should
+        // use typed emits); the assembler reuses the typed API here.
+        using isa::Opcode;
+        switch (instr.op) {
+#define VP_CASE_R(opcode, mname)                                        \
+          case Opcode::opcode:                                          \
+            builder_.mname(instr.rd, instr.rs1, instr.rs2); break;
+#define VP_CASE_R2(opcode, mname)                                       \
+          case Opcode::opcode:                                          \
+            builder_.mname(instr.rd, instr.rs1); break;
+#define VP_CASE_I(opcode, mname)                                        \
+          case Opcode::opcode:                                          \
+            builder_.mname(instr.rd, instr.rs1, instr.imm); break;
+#define VP_CASE_LD(opcode, mname)                                       \
+          case Opcode::opcode:                                          \
+            builder_.mname(instr.rd, instr.imm, instr.rs1); break;
+#define VP_CASE_ST(opcode, mname)                                       \
+          case Opcode::opcode:                                          \
+            builder_.mname(instr.rs2, instr.imm, instr.rs1); break;
+            VP_CASE_R(Add, add)
+            VP_CASE_I(Addi, addi)
+            VP_CASE_R(Sub, sub)
+            VP_CASE_R(Mul, mul)
+            VP_CASE_R(Mulh, mulh)
+            VP_CASE_R(Div, div)
+            VP_CASE_R(Rem, rem)
+            VP_CASE_R(And, and_)
+            VP_CASE_I(Andi, andi)
+            VP_CASE_R(Or, or_)
+            VP_CASE_I(Ori, ori)
+            VP_CASE_R(Xor, xor_)
+            VP_CASE_I(Xori, xori)
+            VP_CASE_R(Nor, nor)
+            VP_CASE_R2(Not, not_)
+            VP_CASE_R(Sll, sll)
+            VP_CASE_I(Slli, slli)
+            VP_CASE_R(Srl, srl)
+            VP_CASE_I(Srli, srli)
+            VP_CASE_R(Sra, sra)
+            VP_CASE_I(Srai, srai)
+            VP_CASE_R(Slt, slt)
+            VP_CASE_I(Slti, slti)
+            VP_CASE_R(Sltu, sltu)
+            VP_CASE_I(Sltiu, sltiu)
+            VP_CASE_R(Seq, seq)
+            VP_CASE_I(Seqi, seqi)
+            VP_CASE_R(Sne, sne)
+            VP_CASE_I(Snei, snei)
+            VP_CASE_LD(Ld, ld)
+            VP_CASE_LD(Lw, lw)
+            VP_CASE_LD(Lh, lh)
+            VP_CASE_LD(Lbu, lbu)
+            VP_CASE_LD(Lb, lb)
+            VP_CASE_R(Min, min)
+            VP_CASE_R(Max, max)
+            VP_CASE_R2(Abs, abs_)
+            VP_CASE_R2(Neg, neg)
+            VP_CASE_R2(Mov, mov)
+            VP_CASE_ST(Sd, sd)
+            VP_CASE_ST(Sw, sw)
+            VP_CASE_ST(Sh, sh)
+            VP_CASE_ST(Sb, sb)
+#undef VP_CASE_R
+#undef VP_CASE_R2
+#undef VP_CASE_I
+#undef VP_CASE_LD
+#undef VP_CASE_ST
+          case Opcode::Lui:
+            builder_.lui(instr.rd, instr.imm);
+            break;
+          default:
+            fail("internal: unroutable opcode");
+        }
+    }
+
+    ProgramBuilder builder_;
+    const std::string &source_;
+    int lineNo_ = 0;
+    bool inData_ = false;
+    std::map<std::string, Label> codeLabels_;
+    std::set<std::string> boundCode_;
+    std::map<std::string, uint64_t> dataSymbols_;
+    std::vector<std::string> pendingDataLabels_;
+};
+
+} // anonymous namespace
+
+isa::Program
+assemble(const std::string &name, const std::string &source)
+{
+    return Assembler(name, source).run();
+}
+
+} // namespace vp::masm

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Text assembler for the VP ISA.
+ *
+ * Grammar (one statement per line, '#' or ';' starts a comment):
+ *
+ *   .data                      switch to the data section
+ *   .text                      switch to the code section
+ *   .align N                   align data to N bytes
+ *   .space N                   reserve N zero bytes
+ *   .word a, b, ...            64-bit little-endian words
+ *   .byte a, b, ...            bytes
+ *   .ascii "str"               string bytes (supports \n \t \0 \\ \")
+ *   .asciiz "str"              string bytes plus a NUL
+ *
+ *   label:                     bind a label (code or data section)
+ *   op operands                one instruction, e.g. addi r1, r2, -4
+ *   ld r1, 8(r2)               memory operand syntax
+ *   beq r1, r2, label          branches take label targets
+ *
+ * Pseudo-instructions: li rd, imm64; la rd, datasym; call label; ret;
+ * push rs; pop rd; inc rd; dec rd.
+ *
+ * Data symbols must be defined before they are referenced (put .data
+ * first); code labels may be referenced forward.
+ */
+
+#ifndef VP_MASM_ASSEMBLER_HH
+#define VP_MASM_ASSEMBLER_HH
+
+#include <stdexcept>
+#include <string>
+
+#include "isa/program.hh"
+
+namespace vp::masm {
+
+/** Error thrown on malformed assembly, carrying the line number. */
+struct AsmError : std::runtime_error
+{
+    int line;
+    AsmError(int line, const std::string &message);
+};
+
+/**
+ * Assemble source text into a Program.
+ *
+ * @param name program name recorded in the result
+ * @param source assembly text
+ * @throws AsmError on syntax or semantic errors
+ */
+isa::Program assemble(const std::string &name, const std::string &source);
+
+} // namespace vp::masm
+
+#endif // VP_MASM_ASSEMBLER_HH

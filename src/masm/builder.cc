@@ -1,0 +1,332 @@
+#include "masm/builder.hh"
+
+#include <limits>
+#include <stdexcept>
+
+namespace vp::masm {
+
+using isa::Instr;
+using isa::Opcode;
+
+ProgramBuilder::ProgramBuilder(std::string name) : name_(std::move(name))
+{
+}
+
+Label
+ProgramBuilder::newLabel()
+{
+    Label label{static_cast<int>(labelPcs_.size())};
+    labelPcs_.push_back(-1);
+    return label;
+}
+
+void
+ProgramBuilder::bind(Label label)
+{
+    if (!label.valid() ||
+        static_cast<size_t>(label.id) >= labelPcs_.size()) {
+        throw std::logic_error("bind: invalid label");
+    }
+    if (labelPcs_[label.id] >= 0)
+        throw std::logic_error("bind: label bound twice");
+    labelPcs_[label.id] = static_cast<int64_t>(code_.size());
+}
+
+Label
+ProgramBuilder::here()
+{
+    Label label = newLabel();
+    bind(label);
+    return label;
+}
+
+void
+ProgramBuilder::bindNamed(Label label, const std::string &name)
+{
+    bind(label);
+    codeSymbols_[name] = code_.size();
+}
+
+uint64_t
+ProgramBuilder::allocData(size_t bytes, size_t align)
+{
+    while (data_.size() % align != 0)
+        data_.push_back(0);
+    const uint64_t addr = isa::defaultDataBase + data_.size();
+    data_.insert(data_.end(), bytes, 0);
+    return addr;
+}
+
+uint64_t
+ProgramBuilder::addBytes(const std::vector<uint8_t> &bytes, size_t align)
+{
+    while (data_.size() % align != 0)
+        data_.push_back(0);
+    const uint64_t addr = isa::defaultDataBase + data_.size();
+    data_.insert(data_.end(), bytes.begin(), bytes.end());
+    return addr;
+}
+
+uint64_t
+ProgramBuilder::addWords(const std::vector<int64_t> &words)
+{
+    while (data_.size() % 8 != 0)
+        data_.push_back(0);
+    const uint64_t addr = isa::defaultDataBase + data_.size();
+    for (int64_t word : words) {
+        for (int i = 0; i < 8; ++i)
+            data_.push_back(static_cast<uint8_t>(
+                    static_cast<uint64_t>(word) >> (8 * i)));
+    }
+    return addr;
+}
+
+uint64_t
+ProgramBuilder::addString(const std::string &text)
+{
+    const uint64_t addr = isa::defaultDataBase + data_.size();
+    data_.insert(data_.end(), text.begin(), text.end());
+    return addr;
+}
+
+void
+ProgramBuilder::nameData(const std::string &name, uint64_t addr)
+{
+    dataSymbols_[name] = addr;
+}
+
+void
+ProgramBuilder::emit(const Instr &instr)
+{
+    code_.push_back(instr);
+}
+
+void
+ProgramBuilder::emitBranch(Opcode op, int rs1, int rs2, Label target)
+{
+    if (!target.valid())
+        throw std::logic_error("branch to invalid label");
+    fixups_.emplace_back(code_.size(), target.id);
+    emit(isa::makeB(op, rs1, rs2, 0));
+}
+
+// ------------------------------------------------------------------
+// Real opcodes.
+// ------------------------------------------------------------------
+
+#define VP_EMIT_R(mname, opcode)                                        \
+    void ProgramBuilder::mname(int rd, int rs1, int rs2)                \
+    { emit(isa::makeR(Opcode::opcode, rd, rs1, rs2)); }
+
+#define VP_EMIT_R2(mname, opcode)                                       \
+    void ProgramBuilder::mname(int rd, int rs1)                         \
+    { emit(isa::makeR2(Opcode::opcode, rd, rs1)); }
+
+#define VP_EMIT_I(mname, opcode)                                        \
+    void ProgramBuilder::mname(int rd, int rs1, int32_t imm)            \
+    { emit(isa::makeI(Opcode::opcode, rd, rs1, imm)); }
+
+#define VP_EMIT_LOAD(mname, opcode)                                     \
+    void ProgramBuilder::mname(int rd, int32_t offset, int base)        \
+    { emit(isa::makeMem(Opcode::opcode, rd, base, offset)); }
+
+#define VP_EMIT_STORE(mname, opcode)                                    \
+    void ProgramBuilder::mname(int rs2, int32_t offset, int base)       \
+    { emit(isa::makeMem(Opcode::opcode, rs2, base, offset)); }
+
+#define VP_EMIT_B(mname, opcode)                                        \
+    void ProgramBuilder::mname(int rs1, int rs2, Label target)          \
+    { emitBranch(Opcode::opcode, rs1, rs2, target); }
+
+VP_EMIT_R(add, Add)
+VP_EMIT_I(addi, Addi)
+VP_EMIT_R(sub, Sub)
+VP_EMIT_R(mul, Mul)
+VP_EMIT_R(mulh, Mulh)
+VP_EMIT_R(div, Div)
+VP_EMIT_R(rem, Rem)
+VP_EMIT_R(and_, And)
+VP_EMIT_I(andi, Andi)
+VP_EMIT_R(or_, Or)
+VP_EMIT_I(ori, Ori)
+VP_EMIT_R(xor_, Xor)
+VP_EMIT_I(xori, Xori)
+VP_EMIT_R(nor, Nor)
+VP_EMIT_R2(not_, Not)
+VP_EMIT_R(sll, Sll)
+VP_EMIT_I(slli, Slli)
+VP_EMIT_R(srl, Srl)
+VP_EMIT_I(srli, Srli)
+VP_EMIT_R(sra, Sra)
+VP_EMIT_I(srai, Srai)
+VP_EMIT_R(slt, Slt)
+VP_EMIT_I(slti, Slti)
+VP_EMIT_R(sltu, Sltu)
+VP_EMIT_I(sltiu, Sltiu)
+VP_EMIT_R(seq, Seq)
+VP_EMIT_I(seqi, Seqi)
+VP_EMIT_R(sne, Sne)
+VP_EMIT_I(snei, Snei)
+VP_EMIT_LOAD(ld, Ld)
+VP_EMIT_LOAD(lw, Lw)
+VP_EMIT_LOAD(lh, Lh)
+VP_EMIT_LOAD(lbu, Lbu)
+VP_EMIT_LOAD(lb, Lb)
+VP_EMIT_R(min, Min)
+VP_EMIT_R(max, Max)
+VP_EMIT_R2(abs_, Abs)
+VP_EMIT_R2(neg, Neg)
+VP_EMIT_R2(mov, Mov)
+VP_EMIT_STORE(sd, Sd)
+VP_EMIT_STORE(sw, Sw)
+VP_EMIT_STORE(sh, Sh)
+VP_EMIT_STORE(sb, Sb)
+VP_EMIT_B(beq, Beq)
+VP_EMIT_B(bne, Bne)
+VP_EMIT_B(blt, Blt)
+VP_EMIT_B(bge, Bge)
+VP_EMIT_B(bltu, Bltu)
+VP_EMIT_B(bgeu, Bgeu)
+
+#undef VP_EMIT_R
+#undef VP_EMIT_R2
+#undef VP_EMIT_I
+#undef VP_EMIT_LOAD
+#undef VP_EMIT_STORE
+#undef VP_EMIT_B
+
+void
+ProgramBuilder::lui(int rd, int32_t imm)
+{
+    emit(isa::makeU(Opcode::Lui, rd, imm));
+}
+
+void
+ProgramBuilder::beqz(int rs1, Label target)
+{
+    emitBranch(Opcode::Beqz, rs1, 0, target);
+}
+
+void
+ProgramBuilder::bnez(int rs1, Label target)
+{
+    emitBranch(Opcode::Bnez, rs1, 0, target);
+}
+
+void
+ProgramBuilder::j(Label target)
+{
+    if (!target.valid())
+        throw std::logic_error("jump to invalid label");
+    fixups_.emplace_back(code_.size(), target.id);
+    emit(isa::makeJ(Opcode::J, 0));
+}
+
+void
+ProgramBuilder::jal(Label target)
+{
+    if (!target.valid())
+        throw std::logic_error("jal to invalid label");
+    fixups_.emplace_back(code_.size(), target.id);
+    emit(isa::Instr(Opcode::Jal, isa::linkReg, 0, 0, 0));
+}
+
+void
+ProgramBuilder::jr(int rs1)
+{
+    emit(isa::Instr(Opcode::Jr, 0, static_cast<uint8_t>(rs1), 0, 0));
+}
+
+void
+ProgramBuilder::jalr(int rd, int rs1)
+{
+    emit(isa::Instr(Opcode::Jalr, static_cast<uint8_t>(rd),
+                    static_cast<uint8_t>(rs1), 0, 0));
+}
+
+void
+ProgramBuilder::nop()
+{
+    emit(isa::Instr(Opcode::Nop, 0, 0, 0, 0));
+}
+
+void
+ProgramBuilder::halt()
+{
+    emit(isa::Instr(Opcode::Halt, 0, 0, 0, 0));
+}
+
+// ------------------------------------------------------------------
+// Pseudo-ops.
+// ------------------------------------------------------------------
+
+void
+ProgramBuilder::li(int rd, int64_t value)
+{
+    if (value >= std::numeric_limits<int32_t>::min() &&
+        value <= std::numeric_limits<int32_t>::max()) {
+        addi(rd, reg::zero, static_cast<int32_t>(value));
+        return;
+    }
+    // General 64-bit constant: four 16-bit chunks, high to low. The
+    // sign extension introduced by the first addi is shifted out by
+    // the three subsequent 16-bit shifts.
+    const auto uval = static_cast<uint64_t>(value);
+    addi(rd, reg::zero,
+         static_cast<int32_t>(static_cast<int16_t>(uval >> 48)));
+    slli(rd, rd, 16);
+    ori(rd, rd, static_cast<int32_t>((uval >> 32) & 0xffff));
+    slli(rd, rd, 16);
+    ori(rd, rd, static_cast<int32_t>((uval >> 16) & 0xffff));
+    slli(rd, rd, 16);
+    ori(rd, rd, static_cast<int32_t>(uval & 0xffff));
+}
+
+void
+ProgramBuilder::la(int rd, uint64_t addr)
+{
+    li(rd, static_cast<int64_t>(addr));
+}
+
+void
+ProgramBuilder::push(int rs)
+{
+    addi(reg::sp, reg::sp, -8);
+    sd(rs, 0, reg::sp);
+}
+
+void
+ProgramBuilder::pop(int rd)
+{
+    ld(rd, 0, reg::sp);
+    addi(reg::sp, reg::sp, 8);
+}
+
+isa::Program
+ProgramBuilder::build()
+{
+    for (const auto &[pc, label_id] : fixups_) {
+        const int64_t target = labelPcs_[label_id];
+        if (target < 0) {
+            throw std::logic_error(
+                    "program '" + name_ + "': unbound label " +
+                    std::to_string(label_id) + " referenced at pc " +
+                    std::to_string(pc));
+        }
+        code_[pc].imm = static_cast<int32_t>(target);
+    }
+
+    isa::Program prog;
+    prog.name = name_;
+    prog.code = code_;
+    prog.data = data_;
+    prog.codeSymbols = codeSymbols_;
+    prog.dataSymbols = dataSymbols_;
+
+    const std::string diag = prog.validate();
+    if (!diag.empty())
+        throw std::logic_error("program '" + name_ + "': " + diag);
+    return prog;
+}
+
+} // namespace vp::masm

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Type-safe in-process program builder.
+ *
+ * The seven mini-benchmarks in src/workloads are written against this
+ * API. It provides one emit method per opcode, label management with
+ * backpatching, a data-section allocator, and a handful of pseudo-ops
+ * (li/la/call/ret/push/pop) that expand into real instructions.
+ */
+
+#ifndef VP_MASM_BUILDER_HH
+#define VP_MASM_BUILDER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+#include "masm/regs.hh"
+
+namespace vp::masm {
+
+/** Opaque label handle; create with ProgramBuilder::newLabel(). */
+struct Label
+{
+    int id = -1;
+    bool valid() const { return id >= 0; }
+};
+
+/**
+ * Builds a Program instruction by instruction.
+ *
+ * Typical use:
+ * @code
+ *   ProgramBuilder b("demo");
+ *   auto loop = b.newLabel();
+ *   b.li(reg::t0, 100);
+ *   b.bind(loop);
+ *   b.addi(reg::t0, reg::t0, -1);
+ *   b.bnez(reg::t0, loop);
+ *   b.halt();
+ *   isa::Program prog = b.build();
+ * @endcode
+ */
+class ProgramBuilder
+{
+  public:
+    explicit ProgramBuilder(std::string name);
+
+    // ------------------------------------------------------- labels
+    /** Create an unbound label. */
+    Label newLabel();
+
+    /** Bind @p label to the current position. */
+    void bind(Label label);
+
+    /** Create a label bound to the current position. */
+    Label here();
+
+    /** Bind @p label and record it as a named code symbol. */
+    void bindNamed(Label label, const std::string &name);
+
+    // ------------------------------------------------------- data
+    /** Reserve @p bytes of zeroed data; returns its address. */
+    uint64_t allocData(size_t bytes, size_t align = 8);
+
+    /** Append raw bytes to the data section; returns their address. */
+    uint64_t addBytes(const std::vector<uint8_t> &bytes, size_t align = 1);
+
+    /** Append 64-bit words; returns their address. */
+    uint64_t addWords(const std::vector<int64_t> &words);
+
+    /** Append a string (not NUL-terminated); returns its address. */
+    uint64_t addString(const std::string &text);
+
+    /** Record a named data symbol. */
+    void nameData(const std::string &name, uint64_t addr);
+
+    /** Current size of the data section in bytes. */
+    size_t dataSize() const { return data_.size(); }
+
+    // ------------------------------------------------- real opcodes
+    void add(int rd, int rs1, int rs2);
+    void addi(int rd, int rs1, int32_t imm);
+    void sub(int rd, int rs1, int rs2);
+    void mul(int rd, int rs1, int rs2);
+    void mulh(int rd, int rs1, int rs2);
+    void div(int rd, int rs1, int rs2);
+    void rem(int rd, int rs1, int rs2);
+    void and_(int rd, int rs1, int rs2);
+    void andi(int rd, int rs1, int32_t imm);
+    void or_(int rd, int rs1, int rs2);
+    void ori(int rd, int rs1, int32_t imm);
+    void xor_(int rd, int rs1, int rs2);
+    void xori(int rd, int rs1, int32_t imm);
+    void nor(int rd, int rs1, int rs2);
+    void not_(int rd, int rs1);
+    void sll(int rd, int rs1, int rs2);
+    void slli(int rd, int rs1, int32_t imm);
+    void srl(int rd, int rs1, int rs2);
+    void srli(int rd, int rs1, int32_t imm);
+    void sra(int rd, int rs1, int rs2);
+    void srai(int rd, int rs1, int32_t imm);
+    void slt(int rd, int rs1, int rs2);
+    void slti(int rd, int rs1, int32_t imm);
+    void sltu(int rd, int rs1, int rs2);
+    void sltiu(int rd, int rs1, int32_t imm);
+    void seq(int rd, int rs1, int rs2);
+    void seqi(int rd, int rs1, int32_t imm);
+    void sne(int rd, int rs1, int rs2);
+    void snei(int rd, int rs1, int32_t imm);
+    void lui(int rd, int32_t imm);
+    void ld(int rd, int32_t offset, int base);
+    void lw(int rd, int32_t offset, int base);
+    void lh(int rd, int32_t offset, int base);
+    void lbu(int rd, int32_t offset, int base);
+    void lb(int rd, int32_t offset, int base);
+    void min(int rd, int rs1, int rs2);
+    void max(int rd, int rs1, int rs2);
+    void abs_(int rd, int rs1);
+    void neg(int rd, int rs1);
+    void mov(int rd, int rs1);
+    void sd(int rs2, int32_t offset, int base);
+    void sw(int rs2, int32_t offset, int base);
+    void sh(int rs2, int32_t offset, int base);
+    void sb(int rs2, int32_t offset, int base);
+    void beq(int rs1, int rs2, Label target);
+    void bne(int rs1, int rs2, Label target);
+    void blt(int rs1, int rs2, Label target);
+    void bge(int rs1, int rs2, Label target);
+    void bltu(int rs1, int rs2, Label target);
+    void bgeu(int rs1, int rs2, Label target);
+    void beqz(int rs1, Label target);
+    void bnez(int rs1, Label target);
+    void j(Label target);
+    void jal(Label target);
+    void jr(int rs1);
+    void jalr(int rd, int rs1);
+    void nop();
+    void halt();
+
+    // ------------------------------------------------- pseudo-ops
+    /** Load an arbitrary 64-bit constant (1-7 real instructions). */
+    void li(int rd, int64_t value);
+
+    /** Load an address (data addresses always fit in 31 bits). */
+    void la(int rd, uint64_t addr);
+
+    /** Call a subroutine: jal through the link register. */
+    void call(Label target) { jal(target); }
+
+    /** Return from a subroutine. */
+    void ret() { jr(reg::ra); }
+
+    /** Push a register onto the stack. */
+    void push(int rs);
+
+    /** Pop the stack into a register. */
+    void pop(int rd);
+
+    // ------------------------------------------------- finalize
+    /** Current code position (the PC the next emit will get). */
+    uint64_t pc() const { return code_.size(); }
+
+    /**
+     * Resolve all labels and produce the Program.
+     *
+     * @throws std::logic_error on unbound labels that were referenced,
+     * or if Program::validate() fails.
+     */
+    isa::Program build();
+
+  private:
+    void emit(const isa::Instr &instr);
+    void emitBranch(isa::Opcode op, int rs1, int rs2, Label target);
+
+    std::string name_;
+    std::vector<isa::Instr> code_;
+    std::vector<uint8_t> data_;
+    std::vector<int64_t> labelPcs_;             // by label id, -1 unbound
+    std::vector<std::pair<uint64_t, int>> fixups_;  // (pc, label id)
+    std::map<std::string, uint64_t> codeSymbols_;
+    std::map<std::string, uint64_t> dataSymbols_;
+};
+
+} // namespace vp::masm
+
+#endif // VP_MASM_BUILDER_HH

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Software register-usage conventions for VP ISA programs.
+ *
+ * Nothing in the hardware enforces these (except r0); they are the
+ * calling convention the workload runtime and the assembler's symbolic
+ * register names follow.
+ */
+
+#ifndef VP_MASM_REGS_HH
+#define VP_MASM_REGS_HH
+
+#include "isa/opcode.hh"
+
+namespace vp::masm {
+
+namespace reg {
+
+constexpr int zero = 0;             ///< hardwired zero
+
+// t0-t9: caller-saved temporaries.
+constexpr int t0 = 1, t1 = 2, t2 = 3, t3 = 4, t4 = 5;
+constexpr int t5 = 6, t6 = 7, t7 = 8, t8 = 9, t9 = 10;
+
+// s0-s9: callee-saved values.
+constexpr int s0 = 11, s1 = 12, s2 = 13, s3 = 14, s4 = 15;
+constexpr int s5 = 16, s6 = 17, s7 = 18, s8 = 19, s9 = 20;
+
+// a0-a5: arguments, v0-v1: return values.
+constexpr int a0 = 21, a1 = 22, a2 = 23, a3 = 24, a4 = 25, a5 = 26;
+constexpr int v0 = 27, v1 = 28;
+
+constexpr int gp = 29;              ///< global pointer (rarely used)
+constexpr int sp = isa::stackReg;   ///< stack pointer (r30)
+constexpr int ra = isa::linkReg;    ///< return address (r31)
+
+} // namespace reg
+
+} // namespace vp::masm
+
+#endif // VP_MASM_REGS_HH

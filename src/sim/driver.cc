@@ -1,0 +1,108 @@
+#include "sim/driver.hh"
+
+#include <stdexcept>
+
+namespace vp::sim {
+
+size_t
+PredictorBank::add(core::PredictorPtr predictor)
+{
+    members_.push_back(EvaluatedPredictor{std::move(predictor), {}});
+    scratchCorrect_.resize(members_.size());
+    return members_.size() - 1;
+}
+
+void
+PredictorBank::trackOverlap(int n)
+{
+    if (n <= 0 || n > core::OverlapTracker::maxPredictors ||
+        static_cast<size_t>(n) > members_.size()) {
+        throw std::invalid_argument("trackOverlap: bad predictor count");
+    }
+    overlap_ = std::make_unique<core::OverlapTracker>(n);
+}
+
+void
+PredictorBank::trackImprovement(size_t index_a, size_t index_b)
+{
+    if (index_a >= members_.size() || index_b >= members_.size())
+        throw std::invalid_argument("trackImprovement: bad index");
+    improvement_.emplace();
+    improveA_ = index_a;
+    improveB_ = index_b;
+}
+
+void
+PredictorBank::trackValues()
+{
+    values_.emplace();
+}
+
+void
+PredictorBank::onValue(const vm::TraceEvent &event)
+{
+    for (size_t i = 0; i < members_.size(); ++i) {
+        auto &member = members_[i];
+        const auto pred = member.predictor->predict(event.pc);
+        const bool correct = pred.valid && pred.value == event.value;
+        member.stats.record(event.cat, correct);
+        scratchCorrect_[i] = correct;
+        member.predictor->update(event.pc, event.value);
+    }
+
+    if (overlap_) {
+        uint32_t mask = 0;
+        for (int i = 0; i < overlap_->numPredictors(); ++i) {
+            if (scratchCorrect_[i])
+                mask |= 1u << i;
+        }
+        overlap_->record(event.cat, mask);
+    }
+
+    if (improvement_) {
+        improvement_->record(event.pc, event.cat,
+                             scratchCorrect_[improveA_],
+                             scratchCorrect_[improveB_]);
+    }
+
+    if (values_)
+        values_->record(event.pc, event.cat, event.value);
+}
+
+int
+PredictorBank::indexOf(const std::string &name) const
+{
+    for (size_t i = 0; i < members_.size(); ++i) {
+        if (members_[i].predictor->name() == name)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+RunOutcome
+runProgram(const isa::Program &prog, PredictorBank &bank,
+           vm::MachineConfig config)
+{
+    vm::Machine machine(config);
+    machine.setSink(&bank);
+
+    RunOutcome outcome;
+    outcome.workload = prog.name;
+    outcome.vmResult = machine.run(prog);
+    outcome.staticPredicted = prog.countPredictedStatic();
+    for (int c = 0; c < isa::numCategories; ++c) {
+        outcome.staticByCategory[c] =
+                prog.countPredictedStatic(static_cast<isa::Category>(c));
+    }
+
+    if (!outcome.vmResult.ok()) {
+        throw std::runtime_error(
+                "workload '" + prog.name + "' did not halt cleanly: " +
+                vm::exitReasonName(outcome.vmResult.reason) +
+                (outcome.vmResult.diagnostic.empty()
+                         ? "" : " (" + outcome.vmResult.diagnostic + ")"));
+    }
+    return outcome;
+}
+
+} // namespace vp::sim

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Simulation driver: runs a program on the VM and evaluates a bank of
+ * predictors (plus the profilers) against the resulting value trace in
+ * a single pass.
+ */
+
+#ifndef VP_SIM_DRIVER_HH
+#define VP_SIM_DRIVER_HH
+
+#include <array>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/improvement.hh"
+#include "core/overlap.hh"
+#include "core/predictor.hh"
+#include "core/stats.hh"
+#include "core/value_profile.hh"
+#include "vm/machine.hh"
+
+namespace vp::sim {
+
+/** One predictor under evaluation together with its statistics. */
+struct EvaluatedPredictor
+{
+    core::PredictorPtr predictor;
+    core::PredictionStats stats;
+};
+
+/**
+ * A bank of predictors evaluated against one trace.
+ *
+ * The bank implements the paper's evaluation protocol per event:
+ * every predictor is asked for a prediction, correctness is recorded,
+ * and every predictor is immediately updated with the actual value.
+ * Optionally an OverlapTracker (Figure 8), an ImprovementTracker
+ * (Figure 9, comparing two named members of the bank) and a
+ * ValueProfiler (Figure 10) observe the same pass.
+ */
+class PredictorBank : public vm::TraceSink
+{
+  public:
+    /** Add a predictor; returns its index in the bank. */
+    size_t add(core::PredictorPtr predictor);
+
+    /** Enable overlap tracking over the first @p n predictors (<=8). */
+    void trackOverlap(int n);
+
+    /**
+     * Enable Figure 9 improvement tracking comparing bank member
+     * @p index_a (the "better" predictor, canonically fcm) against
+     * member @p index_b (canonically stride).
+     */
+    void trackImprovement(size_t index_a, size_t index_b);
+
+    /** Enable unique-value profiling (Figure 10). */
+    void trackValues();
+
+    void onValue(const vm::TraceEvent &event) override;
+
+    size_t size() const { return members_.size(); }
+    const EvaluatedPredictor &member(size_t i) const { return members_[i]; }
+    EvaluatedPredictor &member(size_t i) { return members_[i]; }
+
+    /** Find a member by predictor name; -1 when absent. */
+    int indexOf(const std::string &name) const;
+
+    const core::OverlapTracker *overlap() const { return overlap_.get(); }
+    const core::ImprovementTracker *improvement() const
+    {
+        return improvement_ ? &*improvement_ : nullptr;
+    }
+    const core::ValueProfiler *values() const
+    {
+        return values_ ? &*values_ : nullptr;
+    }
+
+  private:
+    std::vector<EvaluatedPredictor> members_;
+    std::unique_ptr<core::OverlapTracker> overlap_;
+    std::optional<core::ImprovementTracker> improvement_;
+    size_t improveA_ = 0, improveB_ = 0;
+    std::optional<core::ValueProfiler> values_;
+    std::vector<bool> scratchCorrect_;
+};
+
+/** Everything produced by one simulated benchmark run. */
+struct RunOutcome
+{
+    std::string workload;
+    vm::RunResult vmResult;
+    size_t staticPredicted = 0;     ///< static predicted instructions
+    std::array<size_t, isa::numCategories> staticByCategory{};
+};
+
+/**
+ * Run @p prog on a fresh machine with @p bank attached as the trace
+ * sink.
+ *
+ * @throws std::runtime_error if the program does not halt cleanly
+ * (workloads are deterministic; anything else is a bug).
+ */
+RunOutcome runProgram(const isa::Program &prog, PredictorBank &bank,
+                      vm::MachineConfig config = {});
+
+} // namespace vp::sim
+
+#endif // VP_SIM_DRIVER_HH

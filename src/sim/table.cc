@@ -1,0 +1,99 @@
+#include "sim/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace vp::sim {
+
+TextTable &
+TextTable::row()
+{
+    rows_.emplace_back();
+    return *this;
+}
+
+TextTable &
+TextTable::cell(const std::string &text)
+{
+    if (rows_.empty())
+        row();
+    rows_.back().push_back(Cell{text, false});
+    return *this;
+}
+
+TextTable &
+TextTable::cell(double value, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+    if (rows_.empty())
+        row();
+    rows_.back().push_back(Cell{buf, true});
+    return *this;
+}
+
+TextTable &
+TextTable::cell(uint64_t value)
+{
+    if (rows_.empty())
+        row();
+    rows_.back().push_back(Cell{std::to_string(value), true});
+    return *this;
+}
+
+TextTable &
+TextTable::cell(int64_t value)
+{
+    if (rows_.empty())
+        row();
+    rows_.back().push_back(Cell{std::to_string(value), true});
+    return *this;
+}
+
+TextTable &
+TextTable::rule()
+{
+    if (!rows_.empty())
+        rules_.push_back(rows_.size() - 1);
+    return *this;
+}
+
+std::string
+TextTable::render() const
+{
+    // Column widths.
+    std::vector<size_t> widths;
+    for (const auto &row : rows_) {
+        if (row.size() > widths.size())
+            widths.resize(row.size(), 0);
+        for (size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].text.size());
+    }
+
+    size_t total = 0;
+    for (size_t w : widths)
+        total += w + 2;
+
+    std::ostringstream out;
+    for (size_t r = 0; r < rows_.size(); ++r) {
+        const auto &row = rows_[r];
+        for (size_t i = 0; i < row.size(); ++i) {
+            const auto &cell = row[i];
+            const size_t pad = widths[i] - cell.text.size();
+            if (cell.numeric) {
+                out << std::string(pad, ' ') << cell.text;
+            } else {
+                out << cell.text << std::string(pad, ' ');
+            }
+            if (i + 1 < row.size())
+                out << "  ";
+        }
+        out << '\n';
+        if (std::find(rules_.begin(), rules_.end(), r) != rules_.end())
+            out << std::string(total ? total - 2 : 0, '-') << '\n';
+    }
+    return out.str();
+}
+
+} // namespace vp::sim

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Minimal fixed-width text-table formatter for experiment output.
+ */
+
+#ifndef VP_SIM_TABLE_HH
+#define VP_SIM_TABLE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vp::sim {
+
+/**
+ * Accumulates rows of cells and renders them with aligned columns.
+ *
+ * Used by every bench binary so the reproduced tables read like the
+ * paper's tables.
+ */
+class TextTable
+{
+  public:
+    /** Start a new row. */
+    TextTable &row();
+
+    /** Append a cell to the current row. */
+    TextTable &cell(const std::string &text);
+    TextTable &cell(const char *text) { return cell(std::string(text)); }
+
+    /** Append a numeric cell with fixed decimals. */
+    TextTable &cell(double value, int decimals = 1);
+    TextTable &cell(uint64_t value);
+    TextTable &cell(int64_t value);
+    TextTable &cell(int value) { return cell(static_cast<int64_t>(value)); }
+
+    /** Insert a horizontal rule after the current row. */
+    TextTable &rule();
+
+    /** Render with two spaces between columns; numbers right-aligned. */
+    std::string render() const;
+
+  private:
+    struct Cell
+    {
+        std::string text;
+        bool numeric = false;
+    };
+
+    std::vector<std::vector<Cell>> rows_;
+    std::vector<size_t> rules_;     // row indices followed by a rule
+};
+
+} // namespace vp::sim
+
+#endif // VP_SIM_TABLE_HH

@@ -1,0 +1,113 @@
+#include "synth/sequences.hh"
+
+#include <algorithm>
+
+namespace vp::synth {
+
+std::string
+seqClassName(SeqClass cls)
+{
+    switch (cls) {
+      case SeqClass::Constant: return "C";
+      case SeqClass::Stride: return "S";
+      case SeqClass::NonStride: return "NS";
+      case SeqClass::RepeatedStride: return "RS";
+      case SeqClass::RepeatedNonStride: return "RNS";
+    }
+    return "?";
+}
+
+std::vector<uint64_t>
+constantSeq(uint64_t value, size_t length)
+{
+    return std::vector<uint64_t>(length, value);
+}
+
+std::vector<uint64_t>
+strideSeq(uint64_t start, int64_t delta, size_t length)
+{
+    std::vector<uint64_t> seq;
+    seq.reserve(length);
+    uint64_t value = start;
+    for (size_t i = 0; i < length; ++i) {
+        seq.push_back(value);
+        value += static_cast<uint64_t>(delta);
+    }
+    return seq;
+}
+
+std::vector<uint64_t>
+nonStrideSeq(uint64_t seed, size_t length)
+{
+    Rng rng(seed);
+    std::vector<uint64_t> seq;
+    seq.reserve(length);
+    while (seq.size() < length) {
+        const uint64_t value = rng.next();
+        // Guarantee the tail never degenerates into a stride (or a
+        // repeat of the previous value).
+        if (seq.size() >= 2) {
+            const uint64_t d_prev = seq.back() - seq[seq.size() - 2];
+            if (value - seq.back() == d_prev)
+                continue;
+        }
+        if (!seq.empty() && value == seq.back())
+            continue;
+        seq.push_back(value);
+    }
+    return seq;
+}
+
+std::vector<uint64_t>
+repeatedStrideSeq(uint64_t start, int64_t delta, size_t period,
+                  size_t length)
+{
+    return repeatPattern(strideSeq(start, delta, period), length);
+}
+
+std::vector<uint64_t>
+repeatedNonStrideSeq(uint64_t seed, size_t period, size_t length)
+{
+    return repeatPattern(nonStrideSeq(seed, period), length);
+}
+
+std::vector<uint64_t>
+repeatPattern(const std::vector<uint64_t> &pattern, size_t length)
+{
+    std::vector<uint64_t> seq;
+    seq.reserve(length);
+    if (pattern.empty())
+        return seq;
+    for (size_t i = 0; i < length; ++i)
+        seq.push_back(pattern[i % pattern.size()]);
+    return seq;
+}
+
+std::vector<uint64_t>
+concatSeq(const std::vector<std::vector<uint64_t>> &parts)
+{
+    std::vector<uint64_t> seq;
+    for (const auto &part : parts)
+        seq.insert(seq.end(), part.begin(), part.end());
+    return seq;
+}
+
+std::vector<uint64_t>
+interleaveSeq(const std::vector<std::vector<uint64_t>> &parts)
+{
+    std::vector<uint64_t> seq;
+    if (parts.empty())
+        return seq;
+    size_t max_len = 0;
+    for (const auto &part : parts)
+        max_len = std::max(max_len, part.size());
+    for (size_t i = 0; i < max_len; ++i) {
+        for (const auto &part : parts) {
+            if (i < part.size())
+                seq.push_back(part[i]);
+        }
+    }
+    return seq;
+}
+
+} // namespace vp::synth

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Synthetic value-sequence generators (Section 1.1 of the paper).
+ *
+ * The paper classifies value sequences as Constant (C), Stride (S),
+ * Non-Stride (NS), Repeated Stride (RS) and Repeated Non-Stride (RNS),
+ * and analyzes predictor behaviour on each (Table 1, Figure 2). These
+ * generators produce exactly those classes, plus compositions, for the
+ * analytical experiments and the property-based test suites.
+ */
+
+#ifndef VP_SYNTH_SEQUENCES_HH
+#define VP_SYNTH_SEQUENCES_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vp::synth {
+
+/** Sequence class tags mirroring the paper's taxonomy. */
+enum class SeqClass { Constant, Stride, NonStride, RepeatedStride,
+                      RepeatedNonStride };
+
+/** Display name ("C", "S", "NS", "RS", "RNS"). */
+std::string seqClassName(SeqClass cls);
+
+/** Constant sequence: v v v v ... */
+std::vector<uint64_t> constantSeq(uint64_t value, size_t length);
+
+/** Stride sequence: start, start+delta, start+2*delta, ... */
+std::vector<uint64_t> strideSeq(uint64_t start, int64_t delta,
+                                size_t length);
+
+/**
+ * Non-stride sequence: pseudo-random values with no repeating pattern
+ * (deterministic in @p seed). Consecutive deltas are guaranteed
+ * non-constant.
+ */
+std::vector<uint64_t> nonStrideSeq(uint64_t seed, size_t length);
+
+/**
+ * Repeated stride: a stride run of @p period values repeated until
+ * @p length values are produced, e.g. 1 2 3 1 2 3 ...
+ */
+std::vector<uint64_t> repeatedStrideSeq(uint64_t start, int64_t delta,
+                                        size_t period, size_t length);
+
+/**
+ * Repeated non-stride: a fixed random pattern of @p period values
+ * repeated, e.g. 1 -13 -99 7 1 -13 -99 7 ...
+ */
+std::vector<uint64_t> repeatedNonStrideSeq(uint64_t seed, size_t period,
+                                           size_t length);
+
+/** Repeat an explicit pattern until @p length values are produced. */
+std::vector<uint64_t> repeatPattern(const std::vector<uint64_t> &pattern,
+                                    size_t length);
+
+/**
+ * Compose sequences by concatenation (phases of program behaviour:
+ * e.g. a stride phase followed by a constant phase).
+ */
+std::vector<uint64_t> concatSeq(
+        const std::vector<std::vector<uint64_t>> &parts);
+
+/**
+ * Interleave sequences round-robin, modelling a static instruction
+ * fed by alternating control paths.
+ */
+std::vector<uint64_t> interleaveSeq(
+        const std::vector<std::vector<uint64_t>> &parts);
+
+/**
+ * xorshift64* PRNG used across synthetic generators and workload
+ * input generation; tiny, fast, and deterministic everywhere.
+ */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed) : state_(seed ? seed : 0x9e3779b97f4a7c15ull)
+    {}
+
+    uint64_t
+    next()
+    {
+        uint64_t x = state_;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        state_ = x;
+        return x * 0x2545f4914f6cdd1dull;
+    }
+
+    /** Uniform value in [0, bound). bound must be > 0. */
+    uint64_t range(uint64_t bound) { return next() % bound; }
+
+    /** Uniform value in [lo, hi]. */
+    int64_t
+    between(int64_t lo, int64_t hi)
+    {
+        return lo + static_cast<int64_t>(
+                range(static_cast<uint64_t>(hi - lo + 1)));
+    }
+
+  private:
+    uint64_t state_;
+};
+
+} // namespace vp::synth
+
+#endif // VP_SYNTH_SEQUENCES_HH

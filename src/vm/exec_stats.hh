@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Execution statistics collected by the VM.
+ */
+
+#ifndef VP_VM_EXEC_STATS_HH
+#define VP_VM_EXEC_STATS_HH
+
+#include <array>
+#include <cstdint>
+
+#include "isa/opcode.hh"
+
+namespace vp::vm {
+
+/**
+ * Dynamic instruction counts for one run.
+ *
+ * Feeds Table 2 (total vs predicted dynamic instructions) and Table 5
+ * (dynamic category mix of predicted instructions).
+ */
+struct ExecStats
+{
+    /** Total retired instructions (all categories). */
+    uint64_t retired = 0;
+
+    /** Retired instructions eligible for prediction. */
+    uint64_t predicted = 0;
+
+    /** Retired count per category (predicted and unpredicted). */
+    std::array<uint64_t, isa::numCategories> byCategory{};
+
+    /** Fraction of retired instructions that are predicted. */
+    double
+    predictedFraction() const
+    {
+        return retired ? static_cast<double>(predicted) / retired : 0.0;
+    }
+
+    /** Dynamic share of one predicted category among all predictions. */
+    double
+    categoryShare(isa::Category cat) const
+    {
+        if (!predicted)
+            return 0.0;
+        return static_cast<double>(byCategory[static_cast<int>(cat)]) /
+               static_cast<double>(predicted);
+    }
+
+    void
+    merge(const ExecStats &other)
+    {
+        retired += other.retired;
+        predicted += other.predicted;
+        for (int i = 0; i < isa::numCategories; ++i)
+            byCategory[i] += other.byCategory[i];
+    }
+};
+
+} // namespace vp::vm
+
+#endif // VP_VM_EXEC_STATS_HH

@@ -1,0 +1,318 @@
+#include "vm/machine.hh"
+
+#include <limits>
+
+namespace vp::vm {
+
+using isa::Category;
+using isa::Opcode;
+
+std::string
+exitReasonName(ExitReason reason)
+{
+    switch (reason) {
+      case ExitReason::Halted: return "halted";
+      case ExitReason::InstrLimit: return "instruction-limit";
+      case ExitReason::MemoryFault: return "memory-fault";
+      case ExitReason::BadPC: return "bad-pc";
+      case ExitReason::DecodeFault: return "decode-fault";
+    }
+    return "unknown";
+}
+
+Machine::Machine(MachineConfig config)
+    : config_(config), mem_(config.memBytes)
+{
+}
+
+void
+Machine::load(const isa::Program &prog)
+{
+    prog_ = &prog;
+    mem_.clear();
+    mem_.loadImage(prog.dataBase, prog.data);
+    regs_.fill(0);
+    // Stack grows down from the top of memory, 16-byte aligned.
+    regs_[isa::stackReg] =
+            static_cast<int64_t>((mem_.size() - 16) & ~uint64_t(15));
+    pc_ = 0;
+}
+
+namespace {
+
+inline int64_t
+doDiv(int64_t lhs, int64_t rhs)
+{
+    if (rhs == 0)
+        return 0;
+    if (lhs == std::numeric_limits<int64_t>::min() && rhs == -1)
+        return lhs;
+    return lhs / rhs;
+}
+
+inline int64_t
+doRem(int64_t lhs, int64_t rhs)
+{
+    if (rhs == 0)
+        return lhs;
+    if (lhs == std::numeric_limits<int64_t>::min() && rhs == -1)
+        return 0;
+    return lhs % rhs;
+}
+
+inline int64_t
+doMulh(int64_t lhs, int64_t rhs)
+{
+    return static_cast<int64_t>(
+            (static_cast<__int128>(lhs) * static_cast<__int128>(rhs)) >> 64);
+}
+
+inline int64_t
+signExtend(uint64_t value, size_t bytes)
+{
+    const int shift = 64 - 8 * static_cast<int>(bytes);
+    return (static_cast<int64_t>(value << shift)) >> shift;
+}
+
+} // anonymous namespace
+
+RunResult
+Machine::run()
+{
+    RunResult result;
+    if (prog_ == nullptr) {
+        result.reason = ExitReason::BadPC;
+        result.diagnostic = "no program loaded";
+        return result;
+    }
+
+    const auto &code = prog_->code;
+    const uint64_t code_size = code.size();
+    auto &stats = result.stats;
+
+    auto wrapI64 = [](int64_t a, int64_t b) {
+        return static_cast<int64_t>(
+                static_cast<uint64_t>(a) + static_cast<uint64_t>(b));
+    };
+    auto subI64 = [](int64_t a, int64_t b) {
+        return static_cast<int64_t>(
+                static_cast<uint64_t>(a) - static_cast<uint64_t>(b));
+    };
+    auto mulI64 = [](int64_t a, int64_t b) {
+        return static_cast<int64_t>(
+                static_cast<uint64_t>(a) * static_cast<uint64_t>(b));
+    };
+
+    try {
+        while (true) {
+            if (stats.retired >= config_.maxInstructions) {
+                result.reason = ExitReason::InstrLimit;
+                result.diagnostic = "instruction budget exhausted";
+                return result;
+            }
+            if (pc_ >= code_size) {
+                result.reason = ExitReason::BadPC;
+                result.diagnostic =
+                        "pc " + std::to_string(pc_) + " out of range";
+                return result;
+            }
+
+            const isa::Instr &in = code[pc_];
+            const int64_t a = regs_[in.rs1];
+            const int64_t b = regs_[in.rs2];
+            const int64_t imm = in.imm;
+            int64_t value = 0;
+            bool writes = true;
+            uint64_t next_pc = pc_ + 1;
+
+            switch (in.op) {
+              case Opcode::Add:   value = wrapI64(a, b); break;
+              case Opcode::Addi:  value = wrapI64(a, imm); break;
+              case Opcode::Sub:   value = subI64(a, b); break;
+              case Opcode::Mul:   value = mulI64(a, b); break;
+              case Opcode::Mulh:  value = doMulh(a, b); break;
+              case Opcode::Div:   value = doDiv(a, b); break;
+              case Opcode::Rem:   value = doRem(a, b); break;
+              case Opcode::And:   value = a & b; break;
+              case Opcode::Andi:  value = a & imm; break;
+              case Opcode::Or:    value = a | b; break;
+              case Opcode::Ori:   value = a | imm; break;
+              case Opcode::Xor:   value = a ^ b; break;
+              case Opcode::Xori:  value = a ^ imm; break;
+              case Opcode::Nor:   value = ~(a | b); break;
+              case Opcode::Not:   value = ~a; break;
+              case Opcode::Sll:
+                value = static_cast<int64_t>(
+                        static_cast<uint64_t>(a) << (b & 63));
+                break;
+              case Opcode::Slli:
+                value = static_cast<int64_t>(
+                        static_cast<uint64_t>(a) << (imm & 63));
+                break;
+              case Opcode::Srl:
+                value = static_cast<int64_t>(
+                        static_cast<uint64_t>(a) >> (b & 63));
+                break;
+              case Opcode::Srli:
+                value = static_cast<int64_t>(
+                        static_cast<uint64_t>(a) >> (imm & 63));
+                break;
+              case Opcode::Sra:   value = a >> (b & 63); break;
+              case Opcode::Srai:  value = a >> (imm & 63); break;
+              case Opcode::Slt:   value = a < b; break;
+              case Opcode::Slti:  value = a < imm; break;
+              case Opcode::Sltu:
+                value = static_cast<uint64_t>(a) < static_cast<uint64_t>(b);
+                break;
+              case Opcode::Sltiu:
+                value = static_cast<uint64_t>(a) <
+                        static_cast<uint64_t>(imm);
+                break;
+              case Opcode::Seq:   value = a == b; break;
+              case Opcode::Seqi:  value = a == imm; break;
+              case Opcode::Sne:   value = a != b; break;
+              case Opcode::Snei:  value = a != imm; break;
+              case Opcode::Lui:
+                value = static_cast<int64_t>(imm) << 16;
+                break;
+              case Opcode::Ld:
+                value = static_cast<int64_t>(
+                        mem_.read(static_cast<uint64_t>(a + imm), 8));
+                break;
+              case Opcode::Lw:
+                value = signExtend(
+                        mem_.read(static_cast<uint64_t>(a + imm), 4), 4);
+                break;
+              case Opcode::Lh:
+                value = signExtend(
+                        mem_.read(static_cast<uint64_t>(a + imm), 2), 2);
+                break;
+              case Opcode::Lbu:
+                value = static_cast<int64_t>(
+                        mem_.read(static_cast<uint64_t>(a + imm), 1));
+                break;
+              case Opcode::Lb:
+                value = signExtend(
+                        mem_.read(static_cast<uint64_t>(a + imm), 1), 1);
+                break;
+              case Opcode::Min:   value = a < b ? a : b; break;
+              case Opcode::Max:   value = a > b ? a : b; break;
+              case Opcode::Abs:   value = a < 0 ? subI64(0, a) : a; break;
+              case Opcode::Neg:   value = subI64(0, a); break;
+              case Opcode::Mov:   value = a; break;
+              case Opcode::Sd:
+                mem_.write(static_cast<uint64_t>(a + imm),
+                           static_cast<uint64_t>(b), 8);
+                writes = false;
+                break;
+              case Opcode::Sw:
+                mem_.write(static_cast<uint64_t>(a + imm),
+                           static_cast<uint64_t>(b), 4);
+                writes = false;
+                break;
+              case Opcode::Sh:
+                mem_.write(static_cast<uint64_t>(a + imm),
+                           static_cast<uint64_t>(b), 2);
+                writes = false;
+                break;
+              case Opcode::Sb:
+                mem_.write(static_cast<uint64_t>(a + imm),
+                           static_cast<uint64_t>(b), 1);
+                writes = false;
+                break;
+              case Opcode::Beq:
+                if (a == b) next_pc = static_cast<uint64_t>(imm);
+                writes = false;
+                break;
+              case Opcode::Bne:
+                if (a != b) next_pc = static_cast<uint64_t>(imm);
+                writes = false;
+                break;
+              case Opcode::Blt:
+                if (a < b) next_pc = static_cast<uint64_t>(imm);
+                writes = false;
+                break;
+              case Opcode::Bge:
+                if (a >= b) next_pc = static_cast<uint64_t>(imm);
+                writes = false;
+                break;
+              case Opcode::Bltu:
+                if (static_cast<uint64_t>(a) < static_cast<uint64_t>(b))
+                    next_pc = static_cast<uint64_t>(imm);
+                writes = false;
+                break;
+              case Opcode::Bgeu:
+                if (static_cast<uint64_t>(a) >= static_cast<uint64_t>(b))
+                    next_pc = static_cast<uint64_t>(imm);
+                writes = false;
+                break;
+              case Opcode::Beqz:
+                if (a == 0) next_pc = static_cast<uint64_t>(imm);
+                writes = false;
+                break;
+              case Opcode::Bnez:
+                if (a != 0) next_pc = static_cast<uint64_t>(imm);
+                writes = false;
+                break;
+              case Opcode::J:
+                next_pc = static_cast<uint64_t>(imm);
+                writes = false;
+                break;
+              case Opcode::Jal:
+                value = static_cast<int64_t>(pc_ + 1);
+                next_pc = static_cast<uint64_t>(imm);
+                break;
+              case Opcode::Jr:
+                next_pc = static_cast<uint64_t>(a);
+                writes = false;
+                break;
+              case Opcode::Jalr:
+                value = static_cast<int64_t>(pc_ + 1);
+                next_pc = static_cast<uint64_t>(a);
+                break;
+              case Opcode::Nop:
+                writes = false;
+                break;
+              case Opcode::Halt:
+                ++stats.retired;
+                ++stats.byCategory[static_cast<int>(Category::System)];
+                result.reason = ExitReason::Halted;
+                return result;
+              default:
+                result.reason = ExitReason::DecodeFault;
+                result.diagnostic = "bad opcode at pc " +
+                        std::to_string(pc_);
+                return result;
+            }
+
+            if (writes && in.rd != 0)
+                regs_[in.rd] = value;
+
+            ++stats.retired;
+            const auto cat = in.category();
+            ++stats.byCategory[static_cast<int>(cat)];
+            if (in.predicted() && in.rd != 0) {
+                ++stats.predicted;
+                if (sink_ != nullptr) {
+                    sink_->onValue(TraceEvent{pc_, in.op, cat,
+                            static_cast<uint64_t>(value)});
+                }
+            }
+
+            pc_ = next_pc;
+        }
+    } catch (const Memory::Fault &fault) {
+        result.reason = ExitReason::MemoryFault;
+        result.diagnostic = fault.what();
+        return result;
+    }
+}
+
+RunResult
+Machine::run(const isa::Program &prog)
+{
+    load(prog);
+    return run();
+}
+
+} // namespace vp::vm

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * The VP ISA interpreter.
+ */
+
+#ifndef VP_VM_MACHINE_HH
+#define VP_VM_MACHINE_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "isa/program.hh"
+#include "vm/exec_stats.hh"
+#include "vm/memory.hh"
+#include "vm/trace.hh"
+
+namespace vp::vm {
+
+/** Why a run ended. */
+enum class ExitReason {
+    Halted,          ///< executed a halt instruction (normal exit)
+    InstrLimit,      ///< hit the configured instruction budget
+    MemoryFault,     ///< out-of-range memory access
+    BadPC,           ///< control transferred outside the code section
+    DecodeFault      ///< executed an instruction with a bad register
+};
+
+/** Render an ExitReason for diagnostics. */
+std::string exitReasonName(ExitReason reason);
+
+/** Result of Machine::run(). */
+struct RunResult
+{
+    ExitReason reason = ExitReason::Halted;
+    ExecStats stats;
+    std::string diagnostic;     ///< non-empty on faults
+
+    bool ok() const { return reason == ExitReason::Halted; }
+};
+
+/** Machine configuration. */
+struct MachineConfig
+{
+    /** Memory size in bytes (data + heap + stack). */
+    size_t memBytes = 16ull << 20;
+
+    /** Instruction budget; runs exceeding it end with InstrLimit. */
+    uint64_t maxInstructions = 2'000'000'000ull;
+};
+
+/**
+ * Interpreter for VP ISA programs.
+ *
+ * Executes a Program over a flat memory, counting retired instructions
+ * per category and emitting a TraceEvent for every retired instruction
+ * whose result is value-predicted (register-writing, non-jump). The
+ * trace is the input to the prediction study; the machine itself knows
+ * nothing about predictors.
+ *
+ * Architectural notes:
+ *  - registers are 64-bit; r0 reads as zero and ignores writes;
+ *  - division by zero yields quotient 0 and remainder = dividend;
+ *  - INT64_MIN / -1 yields INT64_MIN (remainder 0), i.e. wraps;
+ *  - shift amounts are masked to 6 bits;
+ *  - the stack pointer (r30) is initialized to the top of memory.
+ */
+class Machine
+{
+  public:
+    explicit Machine(MachineConfig config = {});
+
+    /** Attach the trace consumer (may be null for plain execution). */
+    void setSink(TraceSink *sink) { sink_ = sink; }
+
+    /**
+     * Reset architectural state and load @p prog.
+     *
+     * Memory is zeroed, the data image copied to prog.dataBase, all
+     * registers cleared, and the stack pointer set.
+     */
+    void load(const isa::Program &prog);
+
+    /** Run until halt, fault, or the instruction budget. */
+    RunResult run();
+
+    /** Convenience: load + run. */
+    RunResult run(const isa::Program &prog);
+
+    /** Read a register (for tests and examples). */
+    int64_t reg(int index) const { return regs_[index]; }
+
+    /** Write a register (for tests setting up arguments). */
+    void
+    setReg(int index, int64_t value)
+    {
+        if (index != 0)
+            regs_[index] = value;
+    }
+
+    /** Access memory (for tests checking results). */
+    const Memory &memory() const { return mem_; }
+    Memory &memory() { return mem_; }
+
+    /** Current program counter. */
+    uint64_t pc() const { return pc_; }
+
+  private:
+    MachineConfig config_;
+    Memory mem_;
+    std::array<int64_t, isa::numRegs> regs_{};
+    uint64_t pc_ = 0;
+    const isa::Program *prog_ = nullptr;
+    TraceSink *sink_ = nullptr;
+};
+
+} // namespace vp::vm
+
+#endif // VP_VM_MACHINE_HH

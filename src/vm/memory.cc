@@ -1,0 +1,25 @@
+#include "vm/memory.hh"
+
+#include <sstream>
+
+namespace vp::vm {
+
+namespace {
+
+std::string
+faultMessage(uint64_t addr, size_t bytes, size_t size)
+{
+    std::ostringstream out;
+    out << "memory fault: access of " << bytes << " byte(s) at 0x"
+        << std::hex << addr << " outside memory of size 0x" << size;
+    return out.str();
+}
+
+} // anonymous namespace
+
+Memory::Fault::Fault(uint64_t addr, size_t bytes, size_t size)
+    : std::runtime_error(faultMessage(addr, bytes, size)), addr(addr)
+{
+}
+
+} // namespace vp::vm

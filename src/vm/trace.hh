@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Value trace interface between the VM and prediction consumers.
+ */
+
+#ifndef VP_VM_TRACE_HH
+#define VP_VM_TRACE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/opcode.hh"
+
+namespace vp::vm {
+
+/**
+ * One retired, register-writing, predicted-category instruction.
+ *
+ * This triple (static PC, category, produced value) is the entire
+ * interface the paper's predictors need: predictors are PC-indexed and
+ * tables are updated with the produced value immediately after each
+ * prediction (Section 3 of the paper).
+ */
+struct TraceEvent
+{
+    uint64_t pc;            ///< static instruction index
+    isa::Opcode op;         ///< opcode (category derivable)
+    isa::Category cat;      ///< paper category (Table 3)
+    uint64_t value;         ///< value written to the destination register
+};
+
+/** Consumer of the value trace. */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+
+    /** Called once per retired predicted instruction, in order. */
+    virtual void onValue(const TraceEvent &event) = 0;
+};
+
+/** Fan-out sink forwarding each event to several consumers. */
+class FanoutSink : public TraceSink
+{
+  public:
+    void add(TraceSink *sink) { sinks_.push_back(sink); }
+
+    void
+    onValue(const TraceEvent &event) override
+    {
+        for (auto *sink : sinks_)
+            sink->onValue(event);
+    }
+
+  private:
+    std::vector<TraceSink *> sinks_;
+};
+
+/** Sink that simply buffers the trace in memory (used by tests/benches). */
+class RecordingSink : public TraceSink
+{
+  public:
+    void onValue(const TraceEvent &event) override
+    {
+        events.push_back(event);
+    }
+
+    std::vector<TraceEvent> events;
+};
+
+} // namespace vp::vm
+
+#endif // VP_VM_TRACE_HH

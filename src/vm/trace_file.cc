@@ -1,0 +1,209 @@
+#include "vm/trace_file.hh"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+namespace vp::vm {
+
+namespace {
+
+constexpr char magic[4] = {'V', 'P', 'T', '1'};
+
+void
+writeU32(std::ostream &out, uint32_t value)
+{
+    char bytes[4];
+    for (int i = 0; i < 4; ++i)
+        bytes[i] = static_cast<char>(value >> (8 * i));
+    out.write(bytes, 4);
+}
+
+void
+writeU64(std::ostream &out, uint64_t value)
+{
+    char bytes[8];
+    for (int i = 0; i < 8; ++i)
+        bytes[i] = static_cast<char>(value >> (8 * i));
+    out.write(bytes, 8);
+}
+
+uint32_t
+readU32(std::istream &in)
+{
+    char bytes[4];
+    in.read(bytes, 4);
+    if (!in)
+        throw TraceFileError("truncated trace header");
+    uint32_t value = 0;
+    for (int i = 0; i < 4; ++i)
+        value |= static_cast<uint32_t>(
+                         static_cast<uint8_t>(bytes[i]))
+                << (8 * i);
+    return value;
+}
+
+uint64_t
+readU64(std::istream &in)
+{
+    char bytes[8];
+    in.read(bytes, 8);
+    if (!in)
+        throw TraceFileError("truncated trace header");
+    uint64_t value = 0;
+    for (int i = 0; i < 8; ++i)
+        value |= static_cast<uint64_t>(
+                         static_cast<uint8_t>(bytes[i]))
+                << (8 * i);
+    return value;
+}
+
+void
+writeVarint(std::ostream &out, uint64_t value)
+{
+    while (value >= 0x80) {
+        out.put(static_cast<char>(0x80 | (value & 0x7f)));
+        value >>= 7;
+    }
+    out.put(static_cast<char>(value));
+}
+
+uint64_t
+readVarint(std::istream &in)
+{
+    uint64_t value = 0;
+    int shift = 0;
+    while (true) {
+        const int byte = in.get();
+        if (byte == std::istream::traits_type::eof())
+            throw TraceFileError("truncated varint");
+        value |= static_cast<uint64_t>(byte & 0x7f) << shift;
+        if (!(byte & 0x80))
+            return value;
+        shift += 7;
+        if (shift >= 64)
+            throw TraceFileError("varint overflow");
+    }
+}
+
+uint64_t
+zigZag(int64_t value)
+{
+    return (static_cast<uint64_t>(value) << 1) ^
+           static_cast<uint64_t>(value >> 63);
+}
+
+int64_t
+unZigZag(uint64_t value)
+{
+    return static_cast<int64_t>(value >> 1) ^
+           -static_cast<int64_t>(value & 1);
+}
+
+} // anonymous namespace
+
+TraceWriter::TraceWriter(std::ostream &out) : out_(out)
+{
+    out_.write(magic, 4);
+    writeU32(out_, 0);              // reserved
+    writeU64(out_, 0);              // event count, backpatched
+}
+
+void
+TraceWriter::onValue(const TraceEvent &event)
+{
+    out_.put(static_cast<char>(event.op));
+    writeVarint(out_, zigZag(static_cast<int64_t>(event.pc) -
+                             static_cast<int64_t>(lastPc_)));
+    writeVarint(out_, event.value);
+    lastPc_ = event.pc;
+    ++count_;
+}
+
+void
+TraceWriter::finish()
+{
+    if (finished_)
+        return;
+    finished_ = true;
+    out_.flush();
+    out_.seekp(8);
+    writeU64(out_, count_);
+    out_.seekp(0, std::ios::end);
+    out_.flush();
+}
+
+TraceReader::TraceReader(std::istream &in) : in_(in)
+{
+    char header[4];
+    in_.read(header, 4);
+    if (!in_ || std::string(header, 4) != std::string(magic, 4))
+        throw TraceFileError("not a VPT1 trace file");
+    readU32(in_);                   // reserved
+    count_ = readU64(in_);
+}
+
+bool
+TraceReader::next(TraceEvent &event)
+{
+    if (seen_ >= count_)
+        return false;
+    const int tag = in_.get();
+    if (tag == std::istream::traits_type::eof())
+        throw TraceFileError("trace shorter than its header claims");
+    if (tag >= isa::numOpcodes)
+        throw TraceFileError("bad opcode tag in trace");
+    event.op = static_cast<isa::Opcode>(tag);
+    event.cat = isa::opcodeCategory(event.op);
+    if (!isa::isPredictedCategory(event.cat))
+        throw TraceFileError("non-predicted opcode in trace");
+    const int64_t delta = unZigZag(readVarint(in_));
+    event.pc = static_cast<uint64_t>(
+            static_cast<int64_t>(lastPc_) + delta);
+    event.value = readVarint(in_);
+    lastPc_ = event.pc;
+    ++seen_;
+    return true;
+}
+
+uint64_t
+TraceReader::replay(TraceSink &sink)
+{
+    TraceEvent event{};
+    uint64_t n = 0;
+    while (next(event)) {
+        sink.onValue(event);
+        ++n;
+    }
+    return n;
+}
+
+void
+writeTraceFile(const std::string &path,
+               const std::vector<TraceEvent> &events)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        throw TraceFileError("cannot open " + path + " for writing");
+    TraceWriter writer(out);
+    for (const auto &event : events)
+        writer.onValue(event);
+    writer.finish();
+}
+
+std::vector<TraceEvent>
+readTraceFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw TraceFileError("cannot open " + path);
+    TraceReader reader(in);
+    std::vector<TraceEvent> events;
+    events.reserve(reader.eventCount());
+    TraceEvent event{};
+    while (reader.next(event))
+        events.push_back(event);
+    return events;
+}
+
+} // namespace vp::vm

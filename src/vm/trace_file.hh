@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Value-trace file format: record a trace once, replay it into
+ * predictor banks many times.
+ *
+ * The original study was trace-driven (SimpleScalar traces); this is
+ * the equivalent facility. The format is a compact binary stream:
+ *
+ *   header:  magic "VPT1" | u32 reserved | u64 event count
+ *   events:  per event, delta-encoded:
+ *            u8  tag  = (opcode)
+ *            varint pc-delta (zig-zag)  | varint value (raw LEB128)
+ *
+ * PC deltas and LEB128 exploit trace locality; typical traces shrink
+ * to a few bytes per event.
+ */
+
+#ifndef VP_VM_TRACE_FILE_HH
+#define VP_VM_TRACE_FILE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "vm/trace.hh"
+
+namespace vp::vm {
+
+/** Error thrown on malformed trace files. */
+struct TraceFileError : std::runtime_error
+{
+    explicit TraceFileError(const std::string &message)
+        : std::runtime_error(message)
+    {}
+};
+
+/**
+ * Streaming trace writer; usable directly as the VM's TraceSink.
+ *
+ * @code
+ *   std::ofstream out("gcc.vpt", std::ios::binary);
+ *   TraceWriter writer(out);
+ *   machine.setSink(&writer);
+ *   machine.run(prog);
+ *   writer.finish();             // backpatches the event count
+ * @endcode
+ */
+class TraceWriter : public TraceSink
+{
+  public:
+    explicit TraceWriter(std::ostream &out);
+
+    void onValue(const TraceEvent &event) override;
+
+    /** Flush and backpatch the header. Must be called once. */
+    void finish();
+
+    uint64_t eventCount() const { return count_; }
+
+  private:
+    std::ostream &out_;
+    uint64_t count_ = 0;
+    uint64_t lastPc_ = 0;
+    bool finished_ = false;
+};
+
+/**
+ * Streaming trace reader: replays a recorded trace into a sink.
+ */
+class TraceReader
+{
+  public:
+    explicit TraceReader(std::istream &in);
+
+    /** Number of events promised by the header. */
+    uint64_t eventCount() const { return count_; }
+
+    /**
+     * Read the next event.
+     *
+     * @return false at end of trace.
+     * @throws TraceFileError on corruption.
+     */
+    bool next(TraceEvent &event);
+
+    /** Replay the remaining events into @p sink; returns the count. */
+    uint64_t replay(TraceSink &sink);
+
+  private:
+    std::istream &in_;
+    uint64_t count_ = 0;
+    uint64_t seen_ = 0;
+    uint64_t lastPc_ = 0;
+};
+
+/** Convenience: record a whole event vector to a file. */
+void writeTraceFile(const std::string &path,
+                    const std::vector<TraceEvent> &events);
+
+/** Convenience: load a whole trace file into memory. */
+std::vector<TraceEvent> readTraceFile(const std::string &path);
+
+} // namespace vp::vm
+
+#endif // VP_VM_TRACE_FILE_HH

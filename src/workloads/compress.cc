@@ -1,0 +1,219 @@
+/**
+ * @file
+ * "compress" workload: LZW compression of English-like text.
+ *
+ * Mirrors 129.compress: a dictionary compressor whose hot loop is
+ * byte fetch -> prefix/char key -> hash probe -> dictionary hit/miss.
+ * Like the SPEC harness (which compresses the same buffer repeatedly
+ * with small in-place changes), the program makes several passes over
+ * the input, mutating a handful of bytes and resetting the dictionary
+ * between passes — later passes largely replay the value sequences of
+ * earlier ones, which is what context prediction exploits.
+ *
+ * The hot loop carries the bookkeeping a real compiled compress has:
+ * an in-memory statistics counter, a reloaded input length, and a
+ * rematerialized hash mask. The value streams are the classic
+ * compress mix: byte loads (hard), hash values (non-stride), table
+ * addresses and counters (stride), and constants (boilerplate).
+ */
+
+#include "masm/builder.hh"
+#include "workloads/inputs.hh"
+#include "workloads/layout.hh"
+#include "workloads/workload.hh"
+
+namespace vp::workloads {
+
+using namespace vp::masm;
+using namespace vp::masm::reg;
+
+isa::Program
+buildCompress(const WorkloadConfig &config)
+{
+    const uint64_t seed = inputSeed("compress", config.input);
+    const size_t input_bytes = config.scaled(11000);
+    const int passes = 3;
+
+    constexpr int dict_bits = 12;
+    constexpr int dict_size = 1 << dict_bits;   // 4096 slots
+    constexpr int reset_limit = dict_size - 256;
+
+    ProgramBuilder b("compress");
+
+    const auto text = makeText(seed, input_bytes);
+    const uint64_t input = b.addBytes(text, 8);
+    b.nameData("input", input);
+    const uint64_t hash_key = b.allocData(dict_size * 8, 8);
+    const uint64_t hash_val = b.allocData(dict_size * 8, 8);
+    const uint64_t output = b.allocData(input_bytes * 2 * passes + 16, 8);
+    // Globals block: [0] input length, [1] statistics counter,
+    // [2] pass number.
+    const uint64_t globals = b.allocData(32, 8);
+    const uint64_t result = b.allocData(16, 8);
+    b.nameData("result", result);
+
+    // Register plan:
+    //   s0 input base    s1 globals        s2 hashKey base
+    //   s3 hashVal base  s4 output base    s5 emitted-code count
+    //   s6 next dict code  s7 prefix code w  s8 index i
+    //   s9 hash multiplier  gp pass counter
+    const auto pass_loop = b.newLabel();
+    const auto clear_loop = b.newLabel();
+    const auto mutate = b.newLabel();
+    const auto mutate_loop = b.newLabel();
+    const auto loop = b.newLabel();
+    const auto probe = b.newLabel();
+    const auto hit = b.newLabel();
+    const auto empty = b.newLabel();
+    const auto no_reset = b.newLabel();
+    const auto reset_loop = b.newLabel();
+    const auto pass_done = b.newLabel();
+    const auto done = b.newLabel();
+
+    b.la(s0, input);
+    b.la(s1, globals);
+    b.la(s2, hash_key);
+    b.la(s3, hash_val);
+    b.la(s4, output);
+    b.li(s9, 1327217885);           // golden-ratio hash multiplier
+    b.li(t0, static_cast<int64_t>(text.size()));
+    b.sd(t0, 0, s1);                // globals.length
+    b.sd(zero, 8, s1);              // globals.stats
+    b.li(t0, static_cast<int64_t>(text.size() * passes + 1));
+    b.sd(t0, 24, s1);               // globals.checkpoint (ratio check)
+    b.li(gp, 0);
+
+    // ---------------------------------------------------- pass loop
+    b.bind(pass_loop);
+    b.sd(gp, 16, s1);               // globals.pass
+    b.sd(zero, 8, s1);              // in_count resets per file/pass
+    b.li(s5, 0);                    // out_count resets per file/pass
+
+    // Clear the dictionary (block reset, as compress does per file).
+    b.li(t9, 0);
+    b.bind(clear_loop);
+    b.slli(t4, t9, 3);
+    b.add(t5, s2, t4);
+    b.sd(zero, 0, t5);
+    b.addi(t9, t9, 1);
+    b.slti(t4, t9, dict_size);
+    b.bnez(t4, clear_loop);
+    b.li(s6, 256);
+
+    // Mutate a few input bytes (SPEC perturbs the buffer per pass).
+    b.beqz(gp, mutate);             // pass 0: skip mutation
+    b.li(t0, 0);
+    b.bind(mutate_loop);
+    // Mutations land in the last ~1/32 of the buffer (fresh data is
+    // appended at the end between SPEC iterations), so most of each
+    // pass replays the previous one.
+    b.li(t1, 13);
+    b.mul(t1, t0, t1);
+    b.li(t2, 7);
+    b.mul(t2, gp, t2);
+    b.add(t1, t1, t2);
+    b.ld(t3, 0, s1);                // reload length
+    b.srli(t4, t3, 5);              // window = length/32
+    b.rem(t1, t1, t4);
+    b.sub(t4, t3, t4);
+    b.add(t1, t1, t4);              // position near the end
+    b.add(t2, s0, t1);
+    b.lbu(t3, 0, t2);
+    b.add(t3, t3, gp);
+    b.andi(t3, t3, 127);
+    b.ori(t3, t3, 1);               // keep bytes non-NUL
+    b.sb(t3, 0, t2);
+    b.addi(t0, t0, 1);
+    b.slti(t1, t0, 16);
+    b.bnez(t1, mutate_loop);
+    b.bind(mutate);
+
+    b.lbu(s7, 0, s0);               // w = input[0]
+    b.li(s8, 1);
+
+    // ---------------------------------------------------- hot loop
+    b.bind(loop);
+    b.ld(t9, 0, s1);                // reload input length (invariant)
+    b.bge(s8, t9, pass_done);
+    b.ld(t8, 8, s1);                // statistics counter
+    b.addi(t8, t8, 1);
+    b.sd(t8, 8, s1);
+    // Compression-ratio checkpoint test, as compress runs per input
+    // byte (never fires here, as for most real inputs).
+    b.ld(t7, 24, s1);               // invariant checkpoint
+    b.sltu(t7, t8, t7);             // always 1
+    b.add(t0, s0, s8);
+    b.lbu(t1, 0, t0);               // c = input[i]
+    b.slli(t2, s7, 8);
+    b.or_(t2, t2, t1);              // key = (w << 8) | c
+    b.mul(t3, t2, s9);
+    b.srli(t3, t3, 16);
+    b.li(t7, dict_size - 1);        // rematerialized mask
+    b.and_(t3, t3, t7);             // h = hash(key)
+
+    b.bind(probe);
+    b.slli(t4, t3, 3);
+    b.add(t5, s2, t4);
+    b.ld(t6, 0, t5);                // k = hashKey[h]
+    b.beq(t6, t2, hit);
+    b.beqz(t6, empty);
+    b.addi(t3, t3, 1);
+    b.andi(t3, t3, dict_size - 1);  // linear probe
+    b.j(probe);
+
+    b.bind(hit);
+    b.add(t7, s3, t4);
+    b.ld(s7, 0, t7);                // w = hashVal[h]
+    b.addi(s8, s8, 1);
+    b.j(loop);
+
+    b.bind(empty);
+    b.slli(t8, s5, 1);
+    b.add(t8, t8, s4);
+    b.sh(s7, 0, t8);                // emit code for w
+    b.addi(s5, s5, 1);
+    b.sd(t2, 0, t5);                // hashKey[h] = key
+    b.add(t7, s3, t4);
+    b.sd(s6, 0, t7);                // hashVal[h] = nextCode++
+    b.addi(s6, s6, 1);
+    b.mov(s7, t1);                  // w = c
+    b.addi(s8, s8, 1);
+
+    // Mid-pass dictionary reset when codes run out.
+    b.slti(t9, s6, 256 + reset_limit);
+    b.bnez(t9, no_reset);
+    b.li(t9, 0);
+    b.bind(reset_loop);
+    b.slli(t4, t9, 3);
+    b.add(t5, s2, t4);
+    b.sd(zero, 0, t5);
+    b.addi(t9, t9, 1);
+    b.slti(t4, t9, dict_size);
+    b.bnez(t4, reset_loop);
+    b.li(s6, 256);
+    b.bind(no_reset);
+    b.j(loop);
+
+    b.bind(pass_done);
+    b.slli(t8, s5, 1);
+    b.add(t8, t8, s4);
+    b.sh(s7, 0, t8);                // flush final code
+    b.addi(s5, s5, 1);
+    // Accumulate per-pass output size into the result block.
+    b.la(t0, result);
+    b.ld(t1, 0, t0);
+    b.add(t1, t1, s5);
+    b.sd(t1, 0, t0);
+    b.addi(gp, gp, 1);
+    b.slti(t0, gp, passes);
+    b.bnez(t0, pass_loop);
+
+    b.bind(done);
+    b.la(t0, result);
+    b.sd(gp, 8, t0);                // passes completed
+    b.halt();
+
+    return b.build();
+}
+
+} // namespace vp::workloads

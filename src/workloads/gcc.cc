@@ -1,0 +1,470 @@
+/**
+ * @file
+ * "gcc" workload: a small expression compiler.
+ *
+ * Mirrors 126.gcc's front-end character: tokenize source text, parse
+ * (shunting-yard to RPN, the analog of building RTL), then "execute"
+ * the RPN as a constant folder. Control flow is branchy and irregular,
+ * with parser stacks in memory — the classic gcc profile of many loads
+ * and compares and a large static footprint.
+ *
+ * The flags variants change code generation the way -O levels do:
+ *   none: precedence via a branchy subroutine, parser indices kept in
+ *         memory and reloaded around every use, multiplies by 10 done
+ *         with mul;
+ *   O1:   register-cached indices, branchy precedence;
+ *   O2:   adds table-driven precedence;
+ *   ref:  adds strength-reduced multiplies (the tuned build).
+ */
+
+#include "masm/builder.hh"
+#include "workloads/inputs.hh"
+#include "workloads/layout.hh"
+#include "workloads/workload.hh"
+
+namespace vp::workloads {
+
+using namespace vp::masm;
+using namespace vp::masm::reg;
+
+namespace {
+
+/** Expression counts per named input (the gcc .i file analogs). */
+size_t
+exprCountFor(const std::string &input)
+{
+    if (input == "jump.i") return 680;
+    if (input == "emit-rtl.i") return 740;
+    if (input == "recog.i") return 1260;
+    if (input == "stmt.i") return 2400;
+    return 900;     // "gcc.i" / ref
+}
+
+} // anonymous namespace
+
+isa::Program
+buildGcc(const WorkloadConfig &config)
+{
+    const auto opts = CodegenOptions::fromFlags(config.flags);
+    const uint64_t seed = inputSeed("gcc", config.input);
+    const size_t expr_count = config.scaled(exprCountFor(config.input));
+
+    ProgramBuilder b("gcc");
+
+    const auto source = makeExpressions(seed, expr_count);
+    const uint64_t input = b.addBytes(source, 8);
+    const uint64_t rpn_tag = b.allocData(8192, 8);
+    const uint64_t rpn_val = b.allocData(8192 * 8, 8);
+    const uint64_t op_stack = b.allocData(256, 8);
+    const uint64_t eval_stack = b.allocData(4096 * 8, 8);
+    const uint64_t globals = b.allocData(64, 8);    // spilled indices
+    const uint64_t result = b.allocData(16, 8);
+    b.nameData("input", input);
+    b.nameData("result", result);
+
+    // Precedence table, used by the O2/ref builds.
+    std::vector<uint8_t> prec(128, 0);
+    prec['+'] = 1;
+    prec['-'] = 1;
+    prec['*'] = 2;
+    prec['/'] = 2;
+    const uint64_t prec_table = b.addBytes(prec, 8);
+
+    // Register plan:
+    //   s0 cursor        s1 rpnTag base   s2 rpnVal base
+    //   s3 rpn count     s4 opstack base  s5 opstack depth
+    //   s6 evalstack base  s7 checksum    s8 expression count
+    //   s9 prec table base (ref/O2)
+    //
+    // With registerCache off, s3 and s5 live in `globals` and are
+    // reloaded around every use, the way an -O0 build would.
+    const auto spill_s3 = [&] {
+        if (!opts.registerCache) {
+            b.la(a5, globals);
+            b.sd(s3, 0, a5);
+        }
+    };
+    const auto reload_s3 = [&] {
+        if (!opts.registerCache) {
+            b.la(a5, globals);
+            b.ld(s3, 0, a5);
+        }
+    };
+    const auto spill_s5 = [&] {
+        if (!opts.registerCache) {
+            b.la(a5, globals);
+            b.sd(s5, 8, a5);
+        }
+    };
+    const auto reload_s5 = [&] {
+        if (!opts.registerCache) {
+            b.la(a5, globals);
+            b.ld(s5, 8, a5);
+        }
+    };
+
+    const auto next_expr = b.newLabel();
+    const auto scan = b.newLabel();
+    const auto advance = b.newLabel();
+    const auto not_digit = b.newLabel();
+    const auto num_loop = b.newLabel();
+    const auto num_done = b.newLabel();
+    const auto lparen = b.newLabel();
+    const auto rparen = b.newLabel();
+    const auto rp_loop = b.newLabel();
+    const auto operator_ = b.newLabel();
+    const auto op_pop_loop = b.newLabel();
+    const auto op_push = b.newLabel();
+    const auto end_expr = b.newLabel();
+    const auto flush_loop = b.newLabel();
+    const auto pass_check = b.newLabel();
+    const auto eval = b.newLabel();
+    const auto eval_loop = b.newLabel();
+    const auto is_num = b.newLabel();
+    const auto do_sub = b.newLabel();
+    const auto do_mul = b.newLabel();
+    const auto do_div = b.newLabel();
+    const auto div_zero = b.newLabel();
+    const auto push_res = b.newLabel();
+    const auto eval_done = b.newLabel();
+    const auto finish = b.newLabel();
+    const auto emit_op = b.newLabel();
+    const auto eo_sub = b.newLabel();
+    const auto eo_mul = b.newLabel();
+    const auto eo_div = b.newLabel();
+    const auto eo_store = b.newLabel();
+    const auto prec_fn = b.newLabel();
+    const auto prec_1 = b.newLabel();
+    const auto prec_2 = b.newLabel();
+
+    // Fetch precedence of the character in a0 into the given register.
+    const auto get_prec = [&](int dst) {
+        if (opts.tableDispatch) {
+            b.add(a1, s9, a0);
+            b.lbu(dst, 0, a1);
+        } else {
+            b.call(prec_fn);
+            b.mov(dst, v0);
+        }
+    };
+
+    // ---------------------------------------------------------- main
+    b.la(s0, input);
+    b.la(s1, rpn_tag);
+    b.la(s2, rpn_val);
+    b.la(s4, op_stack);
+    b.la(s6, eval_stack);
+    b.li(s7, 0);
+    b.li(s8, 0);
+    b.la(s9, prec_table);
+
+    // Compiler-global state block (token buffers, statistics), as a
+    // front end keeps: [16] rpnTag ptr, [24] rpnVal ptr, [32] token
+    // counter, [40] statement counter. Offsets 0/8 are the -O0 spill
+    // slots.
+    b.la(a5, globals);
+    b.sd(s1, 16, a5);
+    b.sd(s2, 24, a5);
+    b.sd(zero, 32, a5);
+    b.sd(zero, 40, a5);
+
+    b.bind(next_expr);
+    b.li(s3, 0);
+    b.li(s5, 0);
+    spill_s3();
+    spill_s5();
+    // Remember where this statement starts and arm the first front-
+    // end pass (gcc scans each construct more than once: syntax
+    // check, then tree building).
+    b.la(a5, globals);
+    b.sd(s0, 48, a5);
+    b.sd(zero, 56, a5);
+
+    b.bind(scan);
+    // Reload the token-buffer pointers (loop-invariant, the way gcc
+    // reloads its obstack/global pointers all over the front end).
+    b.la(a5, globals);
+    b.ld(s1, 16, a5);
+    b.ld(s2, 24, a5);
+    b.lbu(t0, 0, s0);
+    b.beqz(t0, finish);             // NUL terminator: input exhausted
+    b.slti(t1, t0, '0');
+    b.bnez(t1, not_digit);
+    b.slti(t2, t0, '9' + 1);
+    b.beqz(t2, not_digit);
+
+    // ------------------------------------------------ number literal
+    b.li(t3, 0);
+    b.bind(num_loop);
+    b.addi(t4, t0, -'0');
+    if (opts.strengthReduce) {
+        b.slli(t5, t3, 3);
+        b.slli(t6, t3, 1);
+        b.add(t3, t5, t6);          // t3 *= 10 via shifts
+    } else {
+        b.li(t5, 10);
+        b.mul(t3, t3, t5);
+    }
+    b.add(t3, t3, t4);
+    b.addi(s0, s0, 1);
+    b.lbu(t0, 0, s0);
+    b.slti(t1, t0, '0');
+    b.bnez(t1, num_done);
+    b.slti(t2, t0, '9' + 1);
+    b.bnez(t2, num_loop);
+    b.bind(num_done);
+    // Token accounting.
+    b.la(a5, globals);
+    b.ld(t6, 32, a5);
+    b.addi(t6, t6, 1);
+    b.sd(t6, 32, a5);
+    reload_s3();
+    b.add(t5, s1, s3);
+    b.sb(zero, 0, t5);              // tag 0: literal
+    b.slli(t6, s3, 3);
+    b.add(t6, s2, t6);
+    b.sd(t3, 0, t6);
+    b.addi(s3, s3, 1);
+    spill_s3();
+    b.j(scan);
+
+    // ------------------------------------------- operators and parens
+    b.bind(not_digit);
+    b.seqi(t1, t0, ' ');
+    b.bnez(t1, advance);
+    b.seqi(t1, t0, '\n');
+    b.bnez(t1, advance);
+    b.seqi(t1, t0, '(');
+    b.bnez(t1, lparen);
+    b.seqi(t1, t0, ')');
+    b.bnez(t1, rparen);
+    b.seqi(t1, t0, ';');
+    b.bnez(t1, end_expr);
+    b.j(operator_);
+
+    b.bind(advance);
+    b.addi(s0, s0, 1);
+    b.j(scan);
+
+    b.bind(lparen);
+    reload_s5();
+    b.add(t4, s4, s5);
+    b.sb(t0, 0, t4);                // push '('
+    b.addi(s5, s5, 1);
+    spill_s5();
+    b.j(advance);
+
+    b.bind(rparen);
+    b.bind(rp_loop);
+    reload_s5();
+    b.beqz(s5, advance);            // unbalanced; tolerate
+    b.addi(s5, s5, -1);
+    spill_s5();
+    b.add(t4, s4, s5);
+    b.lbu(t5, 0, t4);
+    b.seqi(t6, t5, '(');
+    b.bnez(t6, advance);            // matched; discard '('
+    b.mov(a0, t5);
+    b.call(emit_op);
+    b.j(rp_loop);
+
+    b.bind(operator_);
+    b.mov(a0, t0);
+    get_prec(t7);                   // t7 = prec(current op)
+    b.bind(op_pop_loop);
+    reload_s5();
+    b.beqz(s5, op_push);
+    b.addi(t3, s5, -1);
+    b.add(t4, s4, t3);
+    b.lbu(t5, 0, t4);               // top of op stack
+    b.seqi(t6, t5, '(');
+    b.bnez(t6, op_push);
+    b.mov(a0, t5);
+    get_prec(t8);
+    b.blt(t8, t7, op_push);         // top binds looser: stop popping
+    b.addi(s5, s5, -1);
+    spill_s5();
+    b.mov(a0, t5);
+    b.call(emit_op);
+    b.j(op_pop_loop);
+    b.bind(op_push);
+    reload_s5();
+    b.add(t4, s4, s5);
+    b.sb(t0, 0, t4);
+    b.addi(s5, s5, 1);
+    spill_s5();
+    b.j(advance);
+
+    // -------------------------------------------------- end of expr
+    b.bind(end_expr);
+    b.bind(flush_loop);
+    reload_s5();
+    b.beqz(s5, pass_check);
+    b.addi(s5, s5, -1);
+    spill_s5();
+    b.add(t4, s4, s5);
+    b.lbu(t5, 0, t4);
+    b.seqi(t6, t5, '(');
+    b.bnez(t6, flush_loop);         // stray '(': drop it
+    b.mov(a0, t5);
+    b.call(emit_op);
+    b.j(flush_loop);
+
+    // Second front-end pass: rewind the cursor and re-tokenize the
+    // statement before folding it.
+    b.bind(pass_check);
+    b.la(a5, globals);
+    b.ld(t2, 56, a5);
+    b.bnez(t2, eval);
+    b.li(t2, 1);
+    b.sd(t2, 56, a5);
+    b.ld(s0, 48, a5);               // rewind to statement start
+    b.li(s3, 0);
+    b.li(s5, 0);
+    spill_s3();
+    spill_s5();
+    b.j(scan);
+
+    // ------------------------------------------------------ evaluate
+    b.bind(eval);
+    b.li(t0, 0);                    // RPN index
+    b.li(t1, 0);                    // eval stack depth
+    b.bind(eval_loop);
+    reload_s3();
+    b.bge(t0, s3, eval_done);
+    // Folder-pass state reloads per RTL node, as gcc's passes reload
+    // their pass-local globals while walking the insn chain.
+    b.la(a5, globals);
+    b.ld(s2, 24, a5);               // rpnVal base reload (invariant)
+    b.ld(t9, 32, a5);               // token statistic (stride-ish)
+    b.add(t3, s1, t0);
+    b.lbu(t2, 0, t3);               // tag
+    b.beqz(t2, is_num);
+    // Binary operator: pop b then a.
+    b.addi(t1, t1, -1);
+    b.slli(t4, t1, 3);
+    b.add(t4, s6, t4);
+    b.ld(t5, 0, t4);                // b
+    b.addi(t1, t1, -1);
+    b.slli(t4, t1, 3);
+    b.add(t4, s6, t4);
+    b.ld(t6, 0, t4);                // a
+    b.seqi(t7, t2, 2);
+    b.bnez(t7, do_sub);
+    b.seqi(t7, t2, 3);
+    b.bnez(t7, do_mul);
+    b.seqi(t7, t2, 4);
+    b.bnez(t7, do_div);
+    b.add(t8, t6, t5);              // '+'
+    b.j(push_res);
+    b.bind(do_sub);
+    b.sub(t8, t6, t5);
+    b.j(push_res);
+    b.bind(do_mul);
+    b.mul(t8, t6, t5);
+    b.j(push_res);
+    b.bind(do_div);
+    b.beqz(t5, div_zero);
+    b.div(t8, t6, t5);
+    b.j(push_res);
+    b.bind(div_zero);
+    b.mov(t8, t6);                  // x/0 folded to x (front ends do
+    b.j(push_res);                  // worse things)
+    b.bind(push_res);
+    b.slli(t4, t1, 3);
+    b.add(t4, s6, t4);
+    b.sd(t8, 0, t4);
+    b.addi(t1, t1, 1);
+    b.addi(t0, t0, 1);
+    b.j(eval_loop);
+    b.bind(is_num);
+    b.slli(t4, t0, 3);
+    b.add(t4, s2, t4);
+    b.ld(t5, 0, t4);
+    b.slli(t4, t1, 3);
+    b.add(t4, s6, t4);
+    b.sd(t5, 0, t4);
+    b.addi(t1, t1, 1);
+    b.addi(t0, t0, 1);
+    b.j(eval_loop);
+
+    b.bind(eval_done);
+    // Statement accounting.
+    b.la(a5, globals);
+    b.ld(t6, 40, a5);
+    b.addi(t6, t6, 1);
+    b.sd(t6, 40, a5);
+    b.ld(t5, 0, s6);                // folded constant
+    b.xor_(s7, s7, t5);
+    b.slli(t6, s7, 1);
+    b.srli(t7, s7, 63);
+    b.or_(s7, t6, t7);              // rotate checksum
+    b.addi(s8, s8, 1);
+    b.addi(s0, s0, 1);              // skip ';'
+    b.j(next_expr);
+
+    // -------------------------------------------------------- finish
+    b.bind(finish);
+    b.la(t0, result);
+    b.sd(s7, 0, t0);
+    b.sd(s8, 8, t0);
+    b.halt();
+
+    // ------------------------------------------------- subroutines
+    // emit_op(a0 = operator char): append to the RPN tape.
+    b.bind(emit_op);
+    b.seqi(v0, a0, '+');            // '+' tags as 1 (== the seqi result)
+    b.bnez(v0, eo_store);
+    b.seqi(a1, a0, '-');
+    b.bnez(a1, eo_sub);
+    b.seqi(a1, a0, '*');
+    b.bnez(a1, eo_mul);
+    b.j(eo_div);
+    b.bind(eo_sub);
+    b.li(v0, 2);
+    b.j(eo_store);
+    b.bind(eo_mul);
+    b.li(v0, 3);
+    b.j(eo_store);
+    b.bind(eo_div);
+    b.li(v0, 4);
+    b.bind(eo_store);
+    if (!opts.registerCache) {
+        b.la(a5, globals);
+        b.ld(s3, 0, a5);
+    }
+    b.add(a1, s1, s3);
+    b.sb(v0, 0, a1);
+    b.slli(a2, s3, 3);
+    b.add(a2, s2, a2);
+    b.sd(zero, 0, a2);              // literal slot unused for ops
+    b.addi(s3, s3, 1);
+    if (!opts.registerCache) {
+        b.la(a5, globals);
+        b.sd(s3, 0, a5);
+    }
+    b.ret();
+
+    // prec_fn(a0 = char) -> v0 (branchy variant).
+    b.bind(prec_fn);
+    b.seqi(a1, a0, '+');
+    b.seqi(a2, a0, '-');
+    b.or_(a1, a1, a2);
+    b.bnez(a1, prec_1);
+    b.seqi(a1, a0, '*');
+    b.seqi(a2, a0, '/');
+    b.or_(a1, a1, a2);
+    b.bnez(a1, prec_2);
+    b.li(v0, 0);
+    b.ret();
+    b.bind(prec_1);
+    b.li(v0, 1);
+    b.ret();
+    b.bind(prec_2);
+    b.li(v0, 2);
+    b.ret();
+
+    return b.build();
+}
+
+} // namespace vp::workloads

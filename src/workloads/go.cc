@@ -1,0 +1,197 @@
+/**
+ * @file
+ * "go" workload: Go board evaluation.
+ *
+ * Mirrors 099.go's character: repeated full-board scans with byte
+ * loads, neighbour pattern matching, compare/set chains, and an
+ * irregular capture pass driven by a work stack. Board contents are
+ * data-dependent and alternate between control paths, which is why go
+ * is the least value-predictable SPEC95int member — this proxy keeps
+ * that property.
+ *
+ * The board is stored with a one-cell sentinel border (value 3) so the
+ * neighbour probes need no bounds checks, as real Go engines do.
+ */
+
+#include "masm/builder.hh"
+#include "synth/sequences.hh"
+#include "workloads/inputs.hh"
+#include "workloads/layout.hh"
+#include "workloads/workload.hh"
+
+namespace vp::workloads {
+
+using namespace vp::masm;
+using namespace vp::masm::reg;
+
+isa::Program
+buildGo(const WorkloadConfig &config)
+{
+    const uint64_t seed = inputSeed("go", config.input);
+    constexpr int n = 19;
+    constexpr int stride = n + 2;               // bordered board row
+    const size_t moves = config.scaled(85);
+
+    ProgramBuilder b("go");
+
+    // Bordered board: 21x21, border cells = 3. Mid-game density.
+    const auto inner = makeBoard(seed, n, 200);
+    std::vector<uint8_t> board(stride * stride, 3);
+    for (int r = 0; r < n; ++r) {
+        for (int c = 0; c < n; ++c) {
+            board[(r + 1) * stride + (c + 1)] =
+                    inner[static_cast<size_t>(r) * n + c];
+        }
+    }
+    const uint64_t board_addr = b.addBytes(board, 8);
+    b.nameData("board", board_addr);
+
+    // Move list: positions in bordered coordinates, alternating color,
+    // plus two board perturbations per move (stones appearing and
+    // disappearing as fights resolve) so successive scans never see
+    // quite the same position.
+    synth::Rng rng(seed ^ 0xdecafbad);
+    std::vector<int64_t> move_words;
+    for (size_t i = 0; i < moves; ++i) {
+        const int r = static_cast<int>(rng.between(1, n));
+        const int c = static_cast<int>(rng.between(1, n));
+        move_words.push_back(r * stride + c);
+        move_words.push_back(1 + static_cast<int64_t>(i & 1));
+        for (int m = 0; m < 4; ++m) {
+            const int mr = static_cast<int>(rng.between(1, n));
+            const int mc = static_cast<int>(rng.between(1, n));
+            move_words.push_back(mr * stride + mc);
+            move_words.push_back(static_cast<int64_t>(rng.range(3)));
+        }
+    }
+    const uint64_t move_list = b.addWords(move_words);
+    const uint64_t cap_stack = b.allocData(512 * 8, 8);
+    const uint64_t result = b.allocData(16, 8);
+    b.nameData("result", result);
+
+    // Register plan:
+    //   s0 board   s1 moves   s2 move count   s3 move index
+    //   s4 score   s5 capture stack   s6 capture depth
+    const auto outer = b.newLabel();
+    const auto eval_loop = b.newLabel();
+    const auto next_cell = b.newLabel();
+    const auto add_score = b.newLabel();
+    const auto after_score = b.newLabel();
+    const auto cap_loop = b.newLabel();
+    const auto end_caps = b.newLabel();
+    const auto finish = b.newLabel();
+
+    b.la(s0, board_addr);
+    b.la(s1, move_list);
+    b.li(s2, static_cast<int64_t>(moves));
+    b.li(s3, 0);
+    b.li(s4, 0);
+    b.la(s5, cap_stack);
+
+    b.bind(outer);
+    b.bge(s3, s2, finish);
+
+    // Place the move's stone (overwriting is fine for a proxy) and
+    // apply the four board perturbations.
+    b.slli(t0, s3, 6);
+    b.slli(t4, s3, 4);
+    b.add(t0, t0, t4);              // s3 * 80 (move record size)
+    b.add(t0, s1, t0);
+    b.ld(t1, 0, t0);                // position
+    b.ld(t2, 8, t0);                // color
+    b.add(t3, s0, t1);
+    b.sb(t2, 0, t3);
+    for (int m = 0; m < 4; ++m) {
+        b.ld(t1, 16 + m * 16, t0);
+        b.ld(t2, 24 + m * 16, t0);
+        b.add(t3, s0, t1);
+        b.sb(t2, 0, t3);
+    }
+
+    // Full-board evaluation scan.
+    b.li(t5, stride + 1);           // first inner cell
+    b.li(t9, stride * (n + 1) - 1); // one past last inner cell
+    b.li(s6, 0);                    // capture stack empty
+
+    b.bind(eval_loop);
+    b.bge(t5, t9, cap_loop);
+    b.add(t6, s0, t5);
+    b.lbu(t7, 0, t6);
+    b.beqz(t7, next_cell);          // empty point
+    b.seqi(t8, t7, 3);
+    b.bnez(t8, next_cell);          // border sentinel
+
+    // Liberties: count empty orthogonal neighbours.
+    b.lbu(a1, -stride, t6);
+    b.seqi(a1, a1, 0);
+    b.lbu(a2, stride, t6);
+    b.seqi(a2, a2, 0);
+    b.add(a1, a1, a2);
+    b.lbu(a2, -1, t6);
+    b.seqi(a2, a2, 0);
+    b.add(a1, a1, a2);
+    b.lbu(a2, 1, t6);
+    b.seqi(a2, a2, 0);
+    b.add(a1, a1, a2);              // a1 = liberties (0..4)
+
+    // Pattern strength: same-colour orthogonal neighbours.
+    b.lbu(a3, -stride, t6);
+    b.seq(a3, a3, t7);
+    b.lbu(a4, stride, t6);
+    b.seq(a4, a4, t7);
+    b.add(a3, a3, a4);
+    b.lbu(a4, -1, t6);
+    b.seq(a4, a4, t7);
+    b.add(a3, a3, a4);
+    b.lbu(a4, 1, t6);
+    b.seq(a4, a4, t7);
+    b.add(a3, a3, a4);              // a3 = connections (0..4)
+
+    // Weight = libs*4 + connections*2, signed by colour.
+    b.slli(a4, a1, 2);
+    b.slli(a5, a3, 1);
+    b.add(a4, a4, a5);
+    b.seqi(a5, t7, 1);
+    b.bnez(a5, add_score);
+    b.sub(s4, s4, a4);
+    b.j(after_score);
+    b.bind(add_score);
+    b.add(s4, s4, a4);
+    b.bind(after_score);
+
+    // No liberties: enqueue for capture.
+    b.bnez(a1, next_cell);
+    b.slli(a2, s6, 3);
+    b.add(a2, s5, a2);
+    b.sd(t5, 0, a2);
+    b.addi(s6, s6, 1);
+
+    b.bind(next_cell);
+    b.addi(t5, t5, 1);
+    b.j(eval_loop);
+
+    // Capture pass: remove queued stones, score the captures.
+    b.bind(cap_loop);
+    b.beqz(s6, end_caps);
+    b.addi(s6, s6, -1);
+    b.slli(a2, s6, 3);
+    b.add(a2, s5, a2);
+    b.ld(a3, 0, a2);
+    b.add(a4, s0, a3);
+    b.sb(zero, 0, a4);
+    b.addi(s4, s4, 5);
+    b.j(cap_loop);
+
+    b.bind(end_caps);
+    b.addi(s3, s3, 1);
+    b.j(outer);
+
+    b.bind(finish);
+    b.la(t0, result);
+    b.sd(s4, 0, t0);
+    b.halt();
+
+    return b.build();
+}
+
+} // namespace vp::workloads

@@ -1,0 +1,382 @@
+/**
+ * @file
+ * "ijpeg" workload: block DCT image codec.
+ *
+ * Mirrors 132.ijpeg's hot path: 8x8 block extraction, separable
+ * integer DCT butterflies (adds/subs/shifts with a few multiplies),
+ * quantization (divides, with power-of-two entries strength-reduced
+ * to shifts the way libjpeg's fast paths do), zigzag reordering via an
+ * index table, and zero-run-length coding. The fixed-trip nested loops
+ * make this the most stride-friendly workload, matching ijpeg's high
+ * add/sub share (Table 5) and good stride predictability (Figure 4).
+ */
+
+#include "masm/builder.hh"
+#include "workloads/inputs.hh"
+#include "workloads/layout.hh"
+#include "workloads/workload.hh"
+
+namespace vp::workloads {
+
+using namespace vp::masm;
+using namespace vp::masm::reg;
+
+namespace {
+
+/** Standard zigzag order for an 8x8 block. */
+const int zigzag[64] = {
+     0,  1,  8, 16,  9,  2,  3, 10,
+    17, 24, 32, 25, 18, 11,  4,  5,
+    12, 19, 26, 33, 40, 48, 41, 34,
+    27, 20, 13,  6,  7, 14, 21, 28,
+    35, 42, 49, 56, 57, 50, 43, 36,
+    29, 22, 15, 23, 30, 37, 44, 51,
+    58, 59, 52, 45, 38, 31, 39, 46,
+    53, 60, 61, 54, 47, 55, 62, 63,
+};
+
+/** JPEG-ish luminance quantization values (some powers of two). */
+const int qtable[64] = {
+    16,  8,  8, 16, 24, 40, 51, 61,
+     8,  8, 13, 16, 26, 58, 60, 55,
+     8, 13, 16, 24, 40, 57, 69, 56,
+    16, 16, 24, 29, 51, 87, 80, 62,
+    24, 26, 40, 51, 68, 109, 103, 77,
+    40, 58, 57, 87, 109, 104, 121, 92,
+    51, 60, 69, 80, 103, 121, 120, 101,
+    61, 55, 56, 62, 77, 92, 101, 99,
+};
+
+} // anonymous namespace
+
+isa::Program
+buildIjpeg(const WorkloadConfig &config)
+{
+    const uint64_t seed = inputSeed("ijpeg", config.input);
+
+    // Image dimensions scale with the work budget, in whole blocks.
+    int width = 128, height = 96;
+    if (config.scale != 100) {
+        const int blocks = std::max<int>(
+                1, static_cast<int>(config.scaled(192)));
+        width = 64;
+        height = std::max(8, (blocks / (width / 8)) * 8);
+    }
+
+    ProgramBuilder b("ijpeg");
+
+    const auto image = makeImage(seed, width, height);
+    const uint64_t image_addr = b.addBytes(image, 8);
+    const uint64_t work = b.allocData(64 * 8, 8);       // block workspace
+    const uint64_t coef = b.allocData(64 * 8, 8);       // DCT output
+    const uint64_t quant = b.allocData(64 * 8, 8);      // quantized
+    const uint64_t out = b.allocData(
+            static_cast<size_t>(width) * height * 2 + 64, 8);
+    // Codec state struct, reloaded per block the way libjpeg walks
+    // its cinfo pointers: [0] work ptr, [8] coef ptr, [16] quant ptr,
+    // [24] blocks-done counter, [32] image width.
+    const uint64_t cinfo = b.allocData(40, 8);
+    const uint64_t result = b.allocData(32, 8);
+    b.nameData("image", image_addr);
+    b.nameData("result", result);
+
+    std::vector<int64_t> zz(zigzag, zigzag + 64);
+    const uint64_t zigzag_addr = b.addWords(zz);
+    std::vector<int64_t> qt(qtable, qtable + 64);
+    const uint64_t qtable_addr = b.addWords(qt);
+    // Precomputed "is power of two" flags and shift amounts.
+    std::vector<int64_t> qshift(64, -1);
+    for (int i = 0; i < 64; ++i) {
+        const int q = qtable[i];
+        if ((q & (q - 1)) == 0) {
+            int shift = 0;
+            while ((1 << shift) < q)
+                ++shift;
+            qshift[i] = shift;
+        }
+    }
+    const uint64_t qshift_addr = b.addWords(qshift);
+
+    // Register plan:
+    //   s0 image base   s1 work   s2 coef   s3 quant
+    //   s4 out base     s5 out count   s6 block x   s7 block y
+    //   s8 zigzag base  s9 qtable base  gp qshift base
+    const auto block_loop_y = b.newLabel();
+    const auto block_loop_x = b.newLabel();
+    const auto load_row = b.newLabel();
+    const auto dct_rows = b.newLabel();
+    const auto dct_cols = b.newLabel();
+    const auto quant_loop = b.newLabel();
+    const auto q_shift_path = b.newLabel();
+    const auto q_done = b.newLabel();
+    const auto rle_loop = b.newLabel();
+    const auto rle_zero = b.newLabel();
+    const auto rle_next = b.newLabel();
+    const auto next_block_x = b.newLabel();
+    const auto next_block_y = b.newLabel();
+    const auto finish = b.newLabel();
+    const auto dct8 = b.newLabel();     // subroutine
+
+    b.la(s0, image_addr);
+    b.la(s1, work);
+    b.la(s2, coef);
+    b.la(s3, quant);
+    b.la(s4, out);
+    b.li(s5, 0);
+    b.li(s7, 0);
+    b.la(s8, zigzag_addr);
+    b.la(s9, qtable_addr);
+    b.la(gp, qshift_addr);
+    b.la(t0, cinfo);
+    b.sd(s1, 0, t0);
+    b.sd(s2, 8, t0);
+    b.sd(s3, 16, t0);
+    b.sd(zero, 24, t0);
+    b.li(t1, width);
+    b.sd(t1, 32, t0);
+
+    b.bind(block_loop_y);
+    b.li(s6, 0);
+    b.bind(block_loop_x);
+    // Reload codec state for this block (invariant loads) and bump
+    // the progress counter.
+    b.la(t0, cinfo);
+    b.ld(s1, 0, t0);
+    b.ld(s2, 8, t0);
+    b.ld(s3, 16, t0);
+    b.ld(t1, 24, t0);
+    b.addi(t1, t1, 1);
+    b.sd(t1, 24, t0);
+
+    // ---- Load 8x8 block into the workspace as 64-bit words,
+    //      level-shifted by -128 as JPEG does.
+    b.li(t0, 0);                    // row
+    b.bind(load_row);
+    // pixel base = image + (blocky*8 + row) * width + blockx*8
+    b.slli(t1, s7, 3);
+    b.add(t1, t1, t0);
+    b.la(t2, cinfo);
+    b.ld(t2, 32, t2);               // reload image width
+    b.mul(t1, t1, t2);
+    b.slli(t2, s6, 3);
+    b.add(t1, t1, t2);
+    b.add(t1, s0, t1);
+    // work base for the row
+    b.slli(t2, t0, 6);              // row * 8 words * 8 bytes
+    b.add(t2, s1, t2);
+    for (int c = 0; c < 8; ++c) {
+        b.lbu(t3, c, t1);
+        b.addi(t3, t3, -128);
+        b.sd(t3, c * 8, t2);
+    }
+    b.addi(t0, t0, 1);
+    b.slti(t1, t0, 8);
+    b.bnez(t1, load_row);
+
+    // ---- Row DCT: work rows -> coef rows.
+    b.li(t0, 0);
+    b.bind(dct_rows);
+    b.slli(t1, t0, 6);
+    b.add(a0, s1, t1);              // src row (stride 8 bytes)
+    b.add(a1, s2, t1);              // dst row
+    b.li(a2, 8);                    // element stride in bytes
+    b.call(dct8);
+    b.addi(t0, t0, 1);
+    b.slti(t1, t0, 8);
+    b.bnez(t1, dct_rows);
+
+    // ---- Column DCT in place on coef.
+    b.li(t0, 0);
+    b.bind(dct_cols);
+    b.slli(t1, t0, 3);
+    b.add(a0, s2, t1);              // src col start
+    b.add(a1, s2, t1);              // dst col
+    b.li(a2, 64);                   // element stride: one row of words
+    b.call(dct8);
+    b.addi(t0, t0, 1);
+    b.slti(t1, t0, 8);
+    b.bnez(t1, dct_cols);
+
+    // ---- Quantize with zigzag reordering:
+    //      quant[i] = coef[zigzag[i]] / qtable[i].
+    b.li(t0, 0);
+    b.bind(quant_loop);
+    b.slli(t1, t0, 3);
+    b.add(t2, s8, t1);
+    b.ld(t3, 0, t2);                // zigzag[i]
+    b.slli(t3, t3, 3);
+    b.add(t3, s2, t3);
+    b.ld(t4, 0, t3);                // coefficient
+    b.add(t5, gp, t1);
+    b.ld(t6, 0, t5);                // shift amount or -1
+    b.bge(t6, zero, q_shift_path);
+    b.add(t5, s9, t1);
+    b.ld(t7, 0, t5);                // quantizer
+    b.div(t8, t4, t7);
+    b.j(q_done);
+    b.bind(q_shift_path);
+    b.sra(t8, t4, t6);              // power-of-two fast path
+    b.bind(q_done);
+    b.add(t5, s3, t1);
+    b.sd(t8, 0, t5);
+    b.addi(t0, t0, 1);
+    b.slti(t1, t0, 64);
+    b.bnez(t1, quant_loop);
+
+    // ---- Zero-run-length encode the quantized block.
+    b.li(t0, 0);                    // index
+    b.li(t1, 0);                    // current zero run
+    b.bind(rle_loop);
+    b.slti(t2, t0, 64);
+    b.beqz(t2, next_block_x);
+    b.slli(t2, t0, 3);
+    b.add(t2, s3, t2);
+    b.ld(t3, 0, t2);
+    b.beqz(t3, rle_zero);
+    // Emit (run, value) as two 16-bit slots.
+    b.slli(t4, s5, 2);
+    b.add(t4, s4, t4);
+    b.sh(t1, 0, t4);
+    b.sh(t3, 2, t4);
+    b.addi(s5, s5, 1);
+    b.li(t1, 0);
+    b.j(rle_next);
+    b.bind(rle_zero);
+    b.addi(t1, t1, 1);
+    b.bind(rle_next);
+    b.addi(t0, t0, 1);
+    b.j(rle_loop);
+
+    b.bind(next_block_x);
+    b.addi(s6, s6, 1);
+    b.li(t0, width / 8);
+    b.blt(s6, t0, block_loop_x);
+    b.bind(next_block_y);
+    b.addi(s7, s7, 1);
+    b.li(t0, height / 8);
+    b.blt(s7, t0, block_loop_y);
+
+    b.bind(finish);
+    b.la(t0, result);
+    b.sd(s5, 0, t0);                // emitted symbol count
+    b.halt();
+
+    // ---- dct8 subroutine: 8-point DCT.
+    //      a0 = src base, a1 = dst base, a2 = element stride (bytes).
+    //      Loads 8 elements, butterflies, stores 8 elements.
+    //      Clobbers a3-a5, v0, v1, t2-t9... uses its own registers:
+    //      we deliberately avoid t0/t1 (loop counters of the caller).
+    b.bind(dct8);
+    // Load p0..p7 into t2..t9 via strided addressing.
+    b.mov(v0, a0);
+    b.ld(t2, 0, v0);
+    b.add(v0, v0, a2);
+    b.ld(t3, 0, v0);
+    b.add(v0, v0, a2);
+    b.ld(t4, 0, v0);
+    b.add(v0, v0, a2);
+    b.ld(t5, 0, v0);
+    b.add(v0, v0, a2);
+    b.ld(t6, 0, v0);
+    b.add(v0, v0, a2);
+    b.ld(t7, 0, v0);
+    b.add(v0, v0, a2);
+    b.ld(t8, 0, v0);
+    b.add(v0, v0, a2);
+    b.ld(t9, 0, v0);
+
+    // Even part: sums and differences.
+    b.add(a3, t2, t9);              // s07
+    b.sub(t2, t2, t9);              // d07 (reuse t2)
+    b.add(a4, t3, t8);              // s16
+    b.sub(t3, t3, t8);              // d16
+    b.add(a5, t4, t7);              // s25
+    b.sub(t4, t4, t7);              // d25
+    b.add(v1, t5, t6);              // s34
+    b.sub(t5, t5, t6);              // d34
+
+    // out0 = s07+s16+s25+s34 ; out4 = (s07+s34) - (s16+s25)
+    b.add(t6, a3, v1);              // e0
+    b.add(t7, a4, a5);              // e1
+    b.add(t8, t6, t7);              // out0
+    b.sub(t9, t6, t7);              // out4
+    b.sd(t8, 0, a1);                // dst[0]
+    // dst addressing: dst + k*stride
+    b.slli(t6, a2, 2);              // 4*stride
+    b.add(t6, a1, t6);
+    b.sd(t9, 0, t6);                // dst[4]
+
+    // out2 = (c2*(s07-s34) + c6*(s16-s25)) >> 10
+    b.sub(t8, a3, v1);              // o0
+    b.sub(t9, a4, a5);              // o1
+    b.li(t6, 1338);                 // c2 ~ cos(pi/8)*1448
+    b.mul(t7, t8, t6);
+    b.li(t6, 554);                  // c6 ~ sin(pi/8)*1448
+    b.mul(t6, t9, t6);
+    b.add(t7, t7, t6);
+    b.srai(t7, t7, 10);
+    b.slli(t6, a2, 1);              // 2*stride
+    b.add(t6, a1, t6);
+    b.sd(t7, 0, t6);                // dst[2]
+    // out6 = (c6*o0 - c2*o1) >> 10
+    b.li(t6, 554);
+    b.mul(t7, t8, t6);
+    b.li(t6, 1338);
+    b.mul(t6, t9, t6);
+    b.sub(t7, t7, t6);
+    b.srai(t7, t7, 10);
+    b.slli(t6, a2, 2);
+    b.add(t6, t6, a2);
+    b.add(t6, t6, a2);              // 6*stride
+    b.add(t6, a1, t6);
+    b.sd(t7, 0, t6);                // dst[6]
+
+    // Odd part (approximate rotations, shift/add flavoured):
+    // out1 = (d07*3 + d16*2 + d25 + (d34>>1)) >> 1
+    b.slli(t6, t2, 1);
+    b.add(t6, t6, t2);              // d07*3
+    b.slli(t7, t3, 1);              // d16*2
+    b.add(t6, t6, t7);
+    b.add(t6, t6, t4);
+    b.srai(t7, t5, 1);
+    b.add(t6, t6, t7);
+    b.srai(t6, t6, 1);
+    b.add(t7, a1, a2);
+    b.sd(t6, 0, t7);                // dst[1]
+    // out3 = (d07*2 - d16 + d25*2 - d34) >> 1
+    b.slli(t6, t2, 1);
+    b.sub(t6, t6, t3);
+    b.slli(t7, t4, 1);
+    b.add(t6, t6, t7);
+    b.sub(t6, t6, t5);
+    b.srai(t6, t6, 1);
+    b.slli(t7, a2, 1);
+    b.add(t7, t7, a2);              // 3*stride
+    b.add(t7, a1, t7);
+    b.sd(t6, 0, t7);                // dst[3]
+    // out5 = (d07 - d16*2 + d25 + d34*2) >> 1
+    b.slli(t6, t3, 1);
+    b.sub(t6, t2, t6);
+    b.add(t6, t6, t4);
+    b.slli(t7, t5, 1);
+    b.add(t6, t6, t7);
+    b.srai(t6, t6, 1);
+    b.slli(t7, a2, 2);
+    b.add(t7, t7, a2);              // 5*stride
+    b.add(t7, a1, t7);
+    b.sd(t6, 0, t7);                // dst[5]
+    // out7 = (d07 - d16 + d25 - d34) >> 1
+    b.sub(t6, t2, t3);
+    b.add(t6, t6, t4);
+    b.sub(t6, t6, t5);
+    b.srai(t6, t6, 1);
+    b.slli(t7, a2, 3);
+    b.sub(t7, t7, a2);              // 7*stride
+    b.add(t7, a1, t7);
+    b.sd(t6, 0, t7);                // dst[7]
+    b.ret();
+
+    return b.build();
+}
+
+} // namespace vp::workloads

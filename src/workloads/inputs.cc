@@ -1,0 +1,211 @@
+#include "workloads/inputs.hh"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+#include "synth/sequences.hh"
+
+namespace vp::workloads {
+
+using synth::Rng;
+
+namespace {
+
+/** Seeded pseudo-word: alternating consonant/vowel syllables. */
+std::string
+pseudoWord(Rng &rng, int min_len, int max_len)
+{
+    static const char consonants[] = "bcdfghjklmnprstvwz";
+    static const char vowels[] = "aeiou";
+    const int len = static_cast<int>(rng.between(min_len, max_len));
+    std::string word;
+    for (int i = 0; i < len; ++i) {
+        if (i % 2 == 0)
+            word.push_back(consonants[rng.range(sizeof(consonants) - 1)]);
+        else
+            word.push_back(vowels[rng.range(sizeof(vowels) - 1)]);
+    }
+    return word;
+}
+
+} // anonymous namespace
+
+std::vector<uint8_t>
+makeText(uint64_t seed, size_t bytes)
+{
+    Rng rng(seed);
+
+    // Small vocabulary with skewed (rank-weighted) selection gives the
+    // repetitive character of natural text.
+    std::vector<std::string> vocab;
+    const int vocab_size = 256;
+    for (int i = 0; i < vocab_size; ++i)
+        vocab.push_back(pseudoWord(rng, 2, 9));
+
+    std::vector<uint8_t> text;
+    text.reserve(bytes + 16);
+    int column = 0;
+    while (text.size() < bytes) {
+        // Zipf-ish: square the uniform draw to favour low ranks.
+        const uint64_t u = rng.range(vocab_size);
+        const uint64_t rank = (u * u) / vocab_size;
+        const std::string &word = vocab[rank];
+        for (char c : word)
+            text.push_back(static_cast<uint8_t>(c));
+        column += static_cast<int>(word.size()) + 1;
+        if (column > 64) {
+            text.push_back('\n');
+            column = 0;
+        } else {
+            text.push_back(' ');
+        }
+    }
+    text.resize(bytes);
+    return text;
+}
+
+std::vector<uint8_t>
+makeExpressions(uint64_t seed, size_t count, int max_depth)
+{
+    Rng rng(seed);
+
+    // Literals follow source-code statistics: 0/1/powers-of-two and
+    // other small values dominate, with an occasional big constant.
+    auto literal = [&rng]() -> std::string {
+        const uint64_t draw = rng.range(100);
+        int64_t value;
+        if (draw < 45) {
+            static const int64_t common[] = {0, 1, 2, 4, 8, 16, 32, 64,
+                                             128, 256, 10, 100};
+            value = common[rng.range(12)];
+        } else if (draw < 85) {
+            value = rng.between(0, 99);
+        } else {
+            value = rng.between(100, 99999);
+        }
+        return std::to_string(value);
+    };
+
+    // Recursive expression generator (host side).
+    std::string expr;
+    std::function<void(int)> gen = [&](int depth) {
+        if (depth >= max_depth || rng.range(100) < 35) {
+            const std::string text = literal();
+            expr.insert(expr.end(), text.begin(), text.end());
+            return;
+        }
+        const bool parens = rng.range(100) < 30;
+        if (parens)
+            expr.push_back('(');
+        gen(depth + 1);
+        static const char ops[] = "+-*/";
+        expr.push_back(ops[rng.range(4)]);
+        gen(depth + 1);
+        if (parens)
+            expr.push_back(')');
+    };
+
+    // Real translation units repeat the same statement shapes over and
+    // over (macro expansions, idioms); draw most statements from a
+    // pool of templates and generate the rest fresh.
+    std::vector<std::string> pool;
+    for (int i = 0; i < 48; ++i) {
+        expr.clear();
+        gen(0);
+        pool.push_back(expr);
+    }
+
+    std::vector<uint8_t> out;
+    for (size_t i = 0; i < count; ++i) {
+        if (rng.range(100) < 90) {
+            const auto &tmpl = pool[rng.range(pool.size())];
+            out.insert(out.end(), tmpl.begin(), tmpl.end());
+        } else {
+            expr.clear();
+            gen(0);
+            out.insert(out.end(), expr.begin(), expr.end());
+        }
+        out.push_back(';');
+        if (i % 8 == 7)
+            out.push_back('\n');
+    }
+    out.push_back('\0');
+    return out;
+}
+
+std::vector<uint8_t>
+makeBoard(uint64_t seed, int size, int stones)
+{
+    Rng rng(seed);
+    std::vector<uint8_t> board(static_cast<size_t>(size) * size, 0);
+
+    // Stones cluster: each new stone lands near an existing one with
+    // high probability, alternating colors like a real game record.
+    std::vector<int> placed;
+    for (int s = 0; s < stones; ++s) {
+        int pos;
+        if (!placed.empty() && rng.range(100) < 70) {
+            const int anchor =
+                    placed[rng.range(placed.size())];
+            const int dr = static_cast<int>(rng.between(-2, 2));
+            const int dc = static_cast<int>(rng.between(-2, 2));
+            const int row = std::clamp(anchor / size + dr, 0, size - 1);
+            const int col = std::clamp(anchor % size + dc, 0, size - 1);
+            pos = row * size + col;
+        } else {
+            pos = static_cast<int>(rng.range(board.size()));
+        }
+        if (board[pos] != 0)
+            continue;
+        board[pos] = static_cast<uint8_t>(1 + (s & 1));
+        placed.push_back(pos);
+    }
+    return board;
+}
+
+std::vector<uint8_t>
+makeImage(uint64_t seed, int width, int height)
+{
+    Rng rng(seed);
+    std::vector<uint8_t> image(static_cast<size_t>(width) * height);
+
+    // Smooth diagonal gradient + per-region offset + light noise,
+    // with flat background regions (real photographs have plenty of
+    // uniform sky/wall area; specmun.ppm certainly does).
+    const int gx = static_cast<int>(rng.between(1, 3));
+    const int gy = static_cast<int>(rng.between(1, 3));
+    for (int y = 0; y < height; ++y) {
+        for (int x = 0; x < width; ++x) {
+            const int bx = x / 32, by = y / 32;
+            const uint64_t block_hash =
+                    (static_cast<uint64_t>(by) * 2654435761u + bx) *
+                    0x9e3779b97f4a7c15ull + seed;
+            int v;
+            if ((block_hash >> 32) % 100 < 40) {
+                // Flat region: constant brightness per 32x32 block.
+                v = static_cast<int>(block_hash % 200) + 20;
+            } else {
+                v = (x * gx + y * gy) & 0xff;
+                const int block = by * 7 + bx * 13;
+                v = (v + block * 11) & 0xff;
+                v = (v + static_cast<int>(rng.range(9)) - 4) & 0xff;
+            }
+            image[static_cast<size_t>(y) * width + x] =
+                    static_cast<uint8_t>(v);
+        }
+    }
+    return image;
+}
+
+std::vector<std::string>
+makeWords(uint64_t seed, size_t count)
+{
+    Rng rng(seed);
+    std::set<std::string> unique;
+    while (unique.size() < count)
+        unique.insert(pseudoWord(rng, 2, 9));
+    return std::vector<std::string>(unique.begin(), unique.end());
+}
+
+} // namespace vp::workloads

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Deterministic synthetic input generation for the workloads.
+ *
+ * SPEC95 reference inputs are proprietary; these generators produce
+ * inputs with the same statistical character (English-like text with
+ * word repetition, smooth images with texture, plausible Go board
+ * positions, dictionaries of syllabic words) from fixed seeds, so that
+ * every experiment is bit-reproducible.
+ */
+
+#ifndef VP_WORKLOADS_INPUTS_HH
+#define VP_WORKLOADS_INPUTS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vp::workloads {
+
+/**
+ * English-like text: words drawn with a Zipf-ish skew from a seeded
+ * vocabulary, separated by spaces with occasional newlines. Highly
+ * compressible, like SPEC compress input.
+ */
+std::vector<uint8_t> makeText(uint64_t seed, size_t bytes);
+
+/**
+ * A stream of arithmetic expressions over integer literals with
+ * operators + - * / ( ), each terminated by ';'. Models source code
+ * fed to the gcc workload's expression compiler.
+ */
+std::vector<uint8_t> makeExpressions(uint64_t seed, size_t count,
+                                     int max_depth = 3);
+
+/**
+ * A Go position on a 19x19 board: bytes 0 empty / 1 black / 2 white,
+ * placed in clustered patterns (stones attract stones).
+ */
+std::vector<uint8_t> makeBoard(uint64_t seed, int size = 19,
+                               int stones = 120);
+
+/**
+ * Greyscale image, row-major bytes: smooth gradients plus low-level
+ * noise and some blocky structure (models specmun.ppm).
+ */
+std::vector<uint8_t> makeImage(uint64_t seed, int width, int height);
+
+/**
+ * Dictionary of syllabic pseudo-words, each 2-9 letters, unique,
+ * lowercase. Used by the perl (scrabble) workload.
+ */
+std::vector<std::string> makeWords(uint64_t seed, size_t count);
+
+/**
+ * Bytecode program for the m88ksim workload's guest CPU; see
+ * m88ksim.cc for the guest ISA. @p variant selects among a few guest
+ * programs (the "ctl.raw" analog).
+ */
+std::vector<uint32_t> makeGuestProgram(const std::string &variant);
+
+} // namespace vp::workloads
+
+#endif // VP_WORKLOADS_INPUTS_HH

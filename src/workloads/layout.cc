@@ -1,0 +1,44 @@
+#include "workloads/layout.hh"
+
+namespace vp::workloads {
+
+uint64_t
+inputSeed(const std::string &workload, const std::string &input)
+{
+    // FNV-1a over "workload/input".
+    uint64_t hash = 1469598103934665603ull;
+    auto mix = [&hash](const std::string &text) {
+        for (char c : text) {
+            hash ^= static_cast<uint8_t>(c);
+            hash *= 1099511628211ull;
+        }
+    };
+    mix(workload);
+    mix("/");
+    mix(input);
+    return hash ? hash : 1;
+}
+
+CodegenOptions
+CodegenOptions::fromFlags(const std::string &flags)
+{
+    CodegenOptions opts;
+    if (flags == "none") {
+        opts.registerCache = false;
+        opts.tableDispatch = false;
+        opts.unroll = false;
+        opts.strengthReduce = false;
+    } else if (flags == "O1") {
+        opts.registerCache = true;
+        opts.tableDispatch = false;
+        opts.unroll = false;
+    } else if (flags == "O2") {
+        opts.registerCache = true;
+        opts.tableDispatch = true;
+        opts.unroll = false;
+    }
+    // "ref" (and anything else) keeps the tuned defaults.
+    return opts;
+}
+
+} // namespace vp::workloads

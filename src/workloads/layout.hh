@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Small shared helpers for workload construction.
+ */
+
+#ifndef VP_WORKLOADS_LAYOUT_HH
+#define VP_WORKLOADS_LAYOUT_HH
+
+#include <cstdint>
+#include <string>
+
+namespace vp::workloads {
+
+/**
+ * Deterministic seed for a (workload, input-name) pair. Different
+ * input names give uncorrelated input data, which is all Table 6
+ * needs from its different gcc input files.
+ */
+uint64_t inputSeed(const std::string &workload, const std::string &input);
+
+/** Codegen knobs decoded from a WorkloadConfig flags string. */
+struct CodegenOptions
+{
+    /** Keep hot values in registers instead of reloading from memory. */
+    bool registerCache = true;
+
+    /** Use lookup tables instead of branchy recomputation. */
+    bool tableDispatch = true;
+
+    /** Unroll short fixed-trip inner loops by 2. */
+    bool unroll = true;
+
+    /** Replace small-constant multiplies with shift/add sequences. */
+    bool strengthReduce = true;
+
+    /** Decode from a flags name: "none", "O1", "O2", "ref". */
+    static CodegenOptions fromFlags(const std::string &flags);
+};
+
+} // namespace vp::workloads
+
+#endif // VP_WORKLOADS_LAYOUT_HH

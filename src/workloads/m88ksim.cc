@@ -1,0 +1,414 @@
+/**
+ * @file
+ * "m88ksim" workload: a CPU simulator running inside the VM.
+ *
+ * Mirrors 124.m88ksim — a Motorola 88100 simulator interpreting a
+ * guest program. The host-level code is a classic fetch/decode/
+ * dispatch/execute loop over a guest register file and guest memory
+ * held in (VM) memory. Because the guest program loops, every static
+ * host instruction sees highly repetitive value sequences (the fetched
+ * instruction words repeat with the guest loop period), which is why
+ * m88ksim is the most value-predictable SPEC95int member and why
+ * context-based prediction shines on it.
+ *
+ * Guest ISA (32-bit words):
+ *   bits [7:0] opcode, [11:8] rd, [15:12] rs, [31:16] signed imm.
+ *   0 halt          1 addi rd,rs,imm     2 add rd,rd,rs
+ *   3 lw rd,imm(rs) 4 sw rd,imm(rs)      5 beq rd,rs,imm(abs)
+ *   6 bne rd,rs,imm 7 li rd,imm          8 xor rd,rd,rs
+ *   9 sll rd,rd,imm 10 blt rd,rs,imm     11 srl rd,rd,imm
+ *   12 andi rd,rs,imm
+ */
+
+#include "masm/builder.hh"
+#include "workloads/inputs.hh"
+#include "workloads/layout.hh"
+#include "workloads/workload.hh"
+
+namespace vp::workloads {
+
+using namespace vp::masm;
+using namespace vp::masm::reg;
+
+namespace {
+
+/** Tiny assembler for the guest ISA. */
+struct GuestAsm
+{
+    std::vector<uint32_t> code;
+
+    void
+    emit(int op, int rd, int rs, int imm)
+    {
+        code.push_back(static_cast<uint32_t>(op & 0xff) |
+                       (static_cast<uint32_t>(rd & 0xf) << 8) |
+                       (static_cast<uint32_t>(rs & 0xf) << 12) |
+                       (static_cast<uint32_t>(imm & 0xffff) << 16));
+    }
+
+    int pc() const { return static_cast<int>(code.size()); }
+
+    void halt() { emit(0, 0, 0, 0); }
+    void addi(int rd, int rs, int imm) { emit(1, rd, rs, imm); }
+    void add(int rd, int rs) { emit(2, rd, rs, 0); }
+    void lw(int rd, int rs, int imm) { emit(3, rd, rs, imm); }
+    void sw(int rd, int rs, int imm) { emit(4, rd, rs, imm); }
+    void beq(int rd, int rs, int target) { emit(5, rd, rs, target); }
+    void bne(int rd, int rs, int target) { emit(6, rd, rs, target); }
+    void li(int rd, int imm) { emit(7, rd, 0, imm); }
+    void xor_(int rd, int rs) { emit(8, rd, rs, 0); }
+    void sll(int rd, int imm) { emit(9, rd, 0, imm); }
+    void blt(int rd, int rs, int target) { emit(10, rd, rs, target); }
+    void srl(int rd, int imm) { emit(11, rd, 0, imm); }
+    void andi(int rd, int rs, int imm) { emit(12, rd, rs, imm); }
+};
+
+} // anonymous namespace
+
+std::vector<uint32_t>
+makeGuestProgram(const std::string &variant)
+{
+    GuestAsm g;
+
+    // Work sizes differ per "input" variant (the ctl.raw analog).
+    int array_len = 48, fib_len = 24;
+    if (variant == "small") {
+        array_len = 24;
+        fib_len = 12;
+    } else if (variant == "xl") {
+        array_len = 96;
+        fib_len = 40;
+    }
+
+    // r1 = outer counter, r2 = outer limit (patched by the host loop
+    // in the VP program via guest r2 initialization), r3..r9 scratch.
+    //
+    // Guest outer limit lives in guest_mem[0] so the host code can
+    // scale it; the guest loads it at startup.
+    g.li(1, 0);                         // i = 0
+    g.lw(2, 0, 0);                      // limit = mem[r0 + 0]
+
+    const int outer_top = g.pc();
+    // Phase 1: fill array at mem[64..64+8*len) with i + j.
+    g.li(3, 0);                         // j
+    g.li(4, array_len);
+    const int fill_top = g.pc();
+    g.li(5, 0);
+    g.add(5, 1);                        // r5 = i
+    g.andi(5, 5, 3);                    // phase wraps every 4 iters
+    g.add(5, 3);                        // r5 = (i & 3) + j
+    g.li(6, 8);
+    g.li(7, 0);
+    g.add(7, 3);
+    g.sll(7, 3);                        // r7 = j*8
+    g.sw(5, 7, 64);                     // mem[j*8 + 64] = r5
+    g.addi(3, 3, 1);
+    g.blt(3, 4, fill_top);
+
+    // Phase 2: walk the array, sum and xor.
+    g.li(3, 0);
+    g.li(5, 0);                         // sum
+    g.li(6, 0);                         // xor
+    const int walk_top = g.pc();
+    g.li(7, 0);
+    g.add(7, 3);
+    g.sll(7, 3);
+    g.lw(8, 7, 64);                     // r8 = mem[j*8+64]
+    g.add(5, 8);
+    g.xor_(6, 8);
+    g.addi(3, 3, 1);
+    g.blt(3, 4, walk_top);
+    g.sw(5, 0, 8);                      // mem[8] = sum
+    g.sw(6, 0, 16);                     // mem[16] = xor
+
+    // Phase 3: Fibonacci.
+    g.li(5, 1);
+    g.li(6, 1);
+    g.li(3, 0);
+    g.li(4, fib_len);
+    const int fib_top = g.pc();
+    g.li(7, 0);
+    g.add(7, 5);
+    g.add(5, 6);                        // a = a + b
+    g.li(6, 0);
+    g.add(6, 7);                        // b = old a
+    g.addi(3, 3, 1);
+    g.blt(3, 4, fib_top);
+    g.sw(5, 0, 24);                     // mem[24] = fib
+
+    // Outer loop control.
+    g.addi(1, 1, 1);
+    g.blt(1, 2, outer_top);
+    g.halt();
+
+    return g.code;
+}
+
+isa::Program
+buildM88ksim(const WorkloadConfig &config)
+{
+    const size_t outer_iters = config.scaled(34);
+
+    ProgramBuilder b("m88ksim");
+
+    const auto guest = makeGuestProgram(config.input);
+    std::vector<uint8_t> guest_bytes;
+    for (uint32_t word : guest) {
+        for (int i = 0; i < 4; ++i)
+            guest_bytes.push_back(
+                    static_cast<uint8_t>(word >> (8 * i)));
+    }
+    const uint64_t guest_code = b.addBytes(guest_bytes, 8);
+    const uint64_t guest_regs = b.allocData(16 * 8, 8);
+    const uint64_t guest_mem = b.allocData(4096, 8);
+    // Simulator state block, as real m88ksim keeps: [0] register-file
+    // pointer, [8] retired-instruction statistic, [16] trace-enable
+    // flag, [24] code size (for the fetch bounds check), [32] code
+    // base pointer, [40] guest memory base pointer, [48] pending
+    // exception flags, [56] processor mode word.
+    const uint64_t sim_state = b.allocData(64, 8);
+    const uint64_t result = b.allocData(16, 8);
+    b.nameData("guest_code", guest_code);
+    b.nameData("result", result);
+
+    // Register plan:
+    //   s0 guest code base  s1 guest regs base  s2 guest mem base
+    //   s3 guest pc         s4 retired guest instructions
+    //   s5 simulator state block
+    //   t1 fetched word  t2 op  t3 rd  t4 rs  t5 imm
+    const auto loop = b.newLabel();
+    const auto op_addi = b.newLabel();
+    const auto op_add = b.newLabel();
+    const auto op_lw = b.newLabel();
+    const auto op_sw = b.newLabel();
+    const auto op_beq = b.newLabel();
+    const auto op_bne = b.newLabel();
+    const auto op_li = b.newLabel();
+    const auto op_xor = b.newLabel();
+    const auto op_sll = b.newLabel();
+    const auto op_blt = b.newLabel();
+    const auto op_srl = b.newLabel();
+    const auto op_andi = b.newLabel();
+    const auto take_branch = b.newLabel();
+    const auto guest_halt = b.newLabel();
+    const auto no_trace = b.newLabel();
+
+    b.la(s0, guest_code);
+    b.la(s1, guest_regs);
+    b.la(s2, guest_mem);
+    b.la(s5, sim_state);
+    b.li(s3, 0);
+    b.li(s4, 0);
+    b.sd(s1, 0, s5);                // state.regfile = guest_regs
+    b.sd(zero, 8, s5);              // state.retired = 0
+    b.sd(zero, 16, s5);             // state.trace = off
+    b.li(t0, static_cast<int64_t>(guest.size()));
+    b.sd(t0, 24, s5);               // state.code_size
+    b.sd(s0, 32, s5);               // state.code_base
+    b.sd(s2, 40, s5);               // state.mem_base
+
+    // Scale knob: guest reads its outer limit from guest_mem[0].
+    b.li(t0, static_cast<int64_t>(outer_iters));
+    b.sd(t0, 0, s2);
+
+    // ------------------------------------------------- dispatch loop
+    b.bind(loop);
+    // Simulator bookkeeping, as the real interpreter does on every
+    // guest instruction: reload the cpu-state pointers, bump the
+    // retired statistic, check the trace flag and the fetch bound.
+    b.ld(s1, 0, s5);                // invariant reload
+    b.ld(s0, 32, s5);               // code base reload
+    b.ld(s2, 40, s5);               // guest memory base reload
+    b.ld(t8, 8, s5);
+    b.addi(t8, t8, 1);
+    b.sd(t8, 8, s5);                // statistics counter
+    b.ld(t9, 16, s5);               // trace enable (always 0 here)
+    b.bnez(t9, no_trace);
+    b.bind(no_trace);
+    b.ld(t9, 48, s5);               // pending-exception flags
+    b.ld(t6, 56, s5);               // processor mode word
+    b.and_(t9, t9, t6);             // active exceptions (always 0)
+    b.ld(t7, 24, s5);
+    b.sltu(t6, s3, t7);             // fetch bounds check
+    b.beqz(t6, guest_halt);
+    b.slli(t0, s3, 2);
+    b.add(t0, s0, t0);
+    b.lw(t1, 0, t0);                // fetch guest instruction
+    b.andi(t2, t1, 255);            // opcode
+    b.srli(t3, t1, 8);
+    b.andi(t3, t3, 15);             // rd
+    b.srli(t4, t1, 12);
+    b.andi(t4, t4, 15);             // rs
+    b.srai(t5, t1, 16);             // sign-extended imm
+    b.addi(s3, s3, 1);              // default next pc
+    b.addi(s4, s4, 1);
+
+    b.beqz(t2, guest_halt);
+    b.seqi(t6, t2, 1);
+    b.bnez(t6, op_addi);
+    b.seqi(t6, t2, 2);
+    b.bnez(t6, op_add);
+    b.seqi(t6, t2, 3);
+    b.bnez(t6, op_lw);
+    b.seqi(t6, t2, 4);
+    b.bnez(t6, op_sw);
+    b.seqi(t6, t2, 5);
+    b.bnez(t6, op_beq);
+    b.seqi(t6, t2, 6);
+    b.bnez(t6, op_bne);
+    b.seqi(t6, t2, 7);
+    b.bnez(t6, op_li);
+    b.seqi(t6, t2, 8);
+    b.bnez(t6, op_xor);
+    b.seqi(t6, t2, 9);
+    b.bnez(t6, op_sll);
+    b.seqi(t6, t2, 10);
+    b.bnez(t6, op_blt);
+    b.seqi(t6, t2, 11);
+    b.bnez(t6, op_srl);
+    b.seqi(t6, t2, 12);
+    b.bnez(t6, op_andi);
+    b.j(loop);                      // unknown opcode: treat as nop
+
+    // r[rd] = r[rs] + imm
+    b.bind(op_addi);
+    b.slli(t7, t4, 3);
+    b.add(t7, s1, t7);
+    b.ld(t8, 0, t7);
+    b.add(t8, t8, t5);
+    b.slli(t7, t3, 3);
+    b.add(t7, s1, t7);
+    b.sd(t8, 0, t7);
+    b.j(loop);
+
+    // r[rd] += r[rs]
+    b.bind(op_add);
+    b.slli(t7, t4, 3);
+    b.add(t7, s1, t7);
+    b.ld(t8, 0, t7);
+    b.slli(t7, t3, 3);
+    b.add(t7, s1, t7);
+    b.ld(t9, 0, t7);
+    b.add(t9, t9, t8);
+    b.sd(t9, 0, t7);
+    b.j(loop);
+
+    // r[rd] = guestmem[r[rs] + imm]
+    b.bind(op_lw);
+    b.slli(t7, t4, 3);
+    b.add(t7, s1, t7);
+    b.ld(t8, 0, t7);
+    b.add(t8, t8, t5);
+    b.andi(t8, t8, 4088);           // keep in bounds, 8-aligned
+    b.add(t8, s2, t8);
+    b.ld(t9, 0, t8);
+    b.slli(t7, t3, 3);
+    b.add(t7, s1, t7);
+    b.sd(t9, 0, t7);
+    b.j(loop);
+
+    // guestmem[r[rs] + imm] = r[rd]
+    b.bind(op_sw);
+    b.slli(t7, t4, 3);
+    b.add(t7, s1, t7);
+    b.ld(t8, 0, t7);
+    b.add(t8, t8, t5);
+    b.andi(t8, t8, 4088);
+    b.add(t8, s2, t8);
+    b.slli(t7, t3, 3);
+    b.add(t7, s1, t7);
+    b.ld(t9, 0, t7);
+    b.sd(t9, 0, t8);
+    b.j(loop);
+
+    // Conditional branches (absolute guest targets in imm).
+    b.bind(op_beq);
+    b.slli(t7, t3, 3);
+    b.add(t7, s1, t7);
+    b.ld(t8, 0, t7);
+    b.slli(t7, t4, 3);
+    b.add(t7, s1, t7);
+    b.ld(t9, 0, t7);
+    b.bne(t8, t9, loop);
+    b.j(take_branch);
+
+    b.bind(op_bne);
+    b.slli(t7, t3, 3);
+    b.add(t7, s1, t7);
+    b.ld(t8, 0, t7);
+    b.slli(t7, t4, 3);
+    b.add(t7, s1, t7);
+    b.ld(t9, 0, t7);
+    b.beq(t8, t9, loop);
+    b.j(take_branch);
+
+    b.bind(op_blt);
+    b.slli(t7, t3, 3);
+    b.add(t7, s1, t7);
+    b.ld(t8, 0, t7);
+    b.slli(t7, t4, 3);
+    b.add(t7, s1, t7);
+    b.ld(t9, 0, t7);
+    b.bge(t8, t9, loop);
+    b.j(take_branch);
+
+    b.bind(take_branch);
+    b.mov(s3, t5);
+    b.j(loop);
+
+    // r[rd] = imm
+    b.bind(op_li);
+    b.slli(t7, t3, 3);
+    b.add(t7, s1, t7);
+    b.sd(t5, 0, t7);
+    b.j(loop);
+
+    // r[rd] ^= r[rs]
+    b.bind(op_xor);
+    b.slli(t7, t4, 3);
+    b.add(t7, s1, t7);
+    b.ld(t8, 0, t7);
+    b.slli(t7, t3, 3);
+    b.add(t7, s1, t7);
+    b.ld(t9, 0, t7);
+    b.xor_(t9, t9, t8);
+    b.sd(t9, 0, t7);
+    b.j(loop);
+
+    // r[rd] <<= imm, r[rd] >>= imm
+    b.bind(op_sll);
+    b.slli(t7, t3, 3);
+    b.add(t7, s1, t7);
+    b.ld(t8, 0, t7);
+    b.sll(t8, t8, t5);
+    b.sd(t8, 0, t7);
+    b.j(loop);
+
+    b.bind(op_srl);
+    b.slli(t7, t3, 3);
+    b.add(t7, s1, t7);
+    b.ld(t8, 0, t7);
+    b.srl(t8, t8, t5);
+    b.sd(t8, 0, t7);
+    b.j(loop);
+
+    // r[rd] = r[rs] & imm
+    b.bind(op_andi);
+    b.slli(t7, t4, 3);
+    b.add(t7, s1, t7);
+    b.ld(t8, 0, t7);
+    b.and_(t8, t8, t5);
+    b.slli(t7, t3, 3);
+    b.add(t7, s1, t7);
+    b.sd(t8, 0, t7);
+    b.j(loop);
+
+    b.bind(guest_halt);
+    b.la(t0, result);
+    b.sd(s4, 0, t0);                // retired guest instruction count
+    b.halt();
+
+    return b.build();
+}
+
+} // namespace vp::workloads

@@ -1,0 +1,37 @@
+#include "workloads/workload.hh"
+
+#include <stdexcept>
+
+namespace vp::workloads {
+
+const std::vector<WorkloadInfo> &
+allWorkloads()
+{
+    static const std::vector<WorkloadInfo> registry = {
+        {"compress", "LZW compression of English-like text",
+         buildCompress},
+        {"gcc", "expression compiler: tokenize, parse, constant-fold",
+         buildGcc},
+        {"go", "Go board evaluation with capture scans", buildGo},
+        {"ijpeg", "8x8 block DCT image codec", buildIjpeg},
+        {"m88ksim", "CPU simulator interpreting a guest program",
+         buildM88ksim},
+        {"perl", "string hashing and scrabble dictionary scoring",
+         buildPerl},
+        {"xlisp", "N-queens over cons cells (the '7 queens' input)",
+         buildXlisp},
+    };
+    return registry;
+}
+
+const WorkloadInfo &
+findWorkload(const std::string &name)
+{
+    for (const auto &info : allWorkloads()) {
+        if (info.name == name)
+            return info;
+    }
+    throw std::out_of_range("unknown workload: " + name);
+}
+
+} // namespace vp::workloads

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Workload registry: the seven SPEC95int-proxy mini-benchmarks.
+ *
+ * The paper evaluates on integer SPEC95 (compress, gcc, go, ijpeg,
+ * m88ksim, perl, xlisp) compiled for SimpleScalar. We reproduce each
+ * benchmark's computational core as a program for the VP ISA; each
+ * mini-benchmark mirrors its namesake's dominant kernels and therefore
+ * its characteristic value-sequence behaviour (see DESIGN.md for the
+ * substitution argument).
+ */
+
+#ifndef VP_WORKLOADS_WORKLOAD_HH
+#define VP_WORKLOADS_WORKLOAD_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace vp::workloads {
+
+/**
+ * Workload build configuration.
+ *
+ * @c input names the input data set (the analog of SPEC's input
+ * files; Table 6 varies this for gcc). @c flags names the code
+ * generation variant (the analog of compiler flags; Table 7 varies
+ * this for gcc): "ref" is the tuned default, "none" disables register
+ * caching and table-driven dispatch, "O1" and "O2" sit in between.
+ * @c scale multiplies the amount of work (percent; 100 = default).
+ */
+struct WorkloadConfig
+{
+    std::string input = "ref";
+    std::string flags = "ref";
+    int scale = 100;
+
+    /** Scale a default iteration/size count. */
+    size_t
+    scaled(size_t base) const
+    {
+        const size_t scaled = base * static_cast<size_t>(scale) / 100;
+        return scaled == 0 ? 1 : scaled;
+    }
+};
+
+/** Factory signature for one workload. */
+using WorkloadFn =
+        std::function<isa::Program(const WorkloadConfig &)>;
+
+/** Registry entry. */
+struct WorkloadInfo
+{
+    std::string name;           ///< "compress", "gcc", ...
+    std::string description;
+    WorkloadFn build;
+};
+
+/** All seven workloads in the paper's order. */
+const std::vector<WorkloadInfo> &allWorkloads();
+
+/** Look up one workload by name; throws std::out_of_range if absent. */
+const WorkloadInfo &findWorkload(const std::string &name);
+
+// Individual builders (exposed for targeted tests).
+isa::Program buildCompress(const WorkloadConfig &config);
+isa::Program buildGcc(const WorkloadConfig &config);
+isa::Program buildGo(const WorkloadConfig &config);
+isa::Program buildIjpeg(const WorkloadConfig &config);
+isa::Program buildM88ksim(const WorkloadConfig &config);
+isa::Program buildPerl(const WorkloadConfig &config);
+isa::Program buildXlisp(const WorkloadConfig &config);
+
+} // namespace vp::workloads
+
+#endif // VP_WORKLOADS_WORKLOAD_HH

@@ -1,0 +1,270 @@
+/**
+ * @file
+ * "xlisp" workload: N-queens over cons cells.
+ *
+ * Mirrors 130.li, whose SPEC input is literally the N-queens puzzle
+ * ("7 queens" in Table 2 of the paper). The board state is kept the
+ * way a Lisp interpreter would keep it: a linked list of cons cells
+ * bump-allocated from a heap, with car/cdr loads during the safety
+ * walk and genuine recursion through the VM call stack. Backtracking
+ * search gives bursty, moderately predictable value streams.
+ *
+ * Cons cell layout mirrors xlisp's typed nodes: [type:8][car:8]
+ * [cdr:8] with type = 3 (CONS); nil = 0. Every access type-checks the
+ * node first, exactly as xlisp's evaluator does on each car/cdr.
+ * car packs a queen as (col << 8) | row.
+ *
+ * The search runs for N in {5,6,7,8}, each with a per-run column
+ * permutation (host-seeded) so successive runs do not replay the
+ * same value trace verbatim.
+ */
+
+#include "masm/builder.hh"
+#include "synth/sequences.hh"
+#include "workloads/inputs.hh"
+#include "workloads/layout.hh"
+#include "workloads/workload.hh"
+
+namespace vp::workloads {
+
+using namespace vp::masm;
+using namespace vp::masm::reg;
+
+isa::Program
+buildXlisp(const WorkloadConfig &config)
+{
+    const uint64_t seed = inputSeed("xlisp", config.input);
+    const size_t reps = config.scaled(3);
+
+    ProgramBuilder b("xlisp");
+
+    // Run descriptors: one per (rep, N): [N, permutation base offset].
+    // Each run gets its own column permutation of 0..N-1.
+    synth::Rng rng(seed);
+    std::vector<int64_t> perm_words;
+    std::vector<int64_t> run_words;
+    // "7 queens" is xlisp's SPEC input; smaller boards model the
+    // interpreter warming up on the driver script.
+    const int board_sizes[] = {5, 6, 7};
+    // One permutation per board size; later repetitions re-run the
+    // same searches (the lisp interpreter re-evaluating the same
+    // program), which is where context predictors profit.
+    for (int n : board_sizes) {
+        run_words.push_back(n);
+        run_words.push_back(
+                static_cast<int64_t>(perm_words.size() * 8));
+        std::vector<int64_t> perm(n);
+        for (int i = 0; i < n; ++i)
+            perm[i] = i;
+        for (int i = n - 1; i > 0; --i) {
+            const int j = static_cast<int>(rng.range(i + 1));
+            std::swap(perm[i], perm[j]);
+        }
+        perm_words.insert(perm_words.end(), perm.begin(), perm.end());
+    }
+    const size_t runs_per_rep = run_words.size() / 2;
+    for (size_t rep = 1; rep < reps; ++rep) {
+        for (size_t i = 0; i < runs_per_rep * 2; ++i)
+            run_words.push_back(run_words[i]);
+    }
+    const size_t num_runs = run_words.size() / 2;
+
+    const uint64_t perm_addr = b.addWords(perm_words);
+    const uint64_t run_addr = b.addWords(run_words);
+    const uint64_t heap = b.allocData(1 << 16, 8);      // cons heap
+    // Interpreter globals the way xlisp keeps its evaluator state:
+    // [0] board size N for the current run, [8] per-run eval counter,
+    // [16] accumulated solutions, [24] accumulated nodes.
+    const uint64_t globals = b.allocData(32, 8);
+    const uint64_t result = b.allocData(32, 8);
+    b.nameData("result", result);
+
+    // Register plan (globals):
+    //   s0 heap base   s1 free-cell index (cons bump pointer)
+    //   s2 solutions   s3 N for current run   s4 perm base
+    //   s5 run index   s6 nodes visited
+    const auto run_loop = b.newLabel();
+    const auto finish = b.newLabel();
+    const auto solve = b.newLabel();        // solve(a0=row, a1=list)
+    const auto col_loop = b.newLabel();
+    const auto col_next = b.newLabel();
+    const auto solve_done = b.newLabel();
+    const auto found = b.newLabel();
+    const auto safe = b.newLabel();         // safe(a0=col,a1=row,a2=list)
+    const auto safe_loop = b.newLabel();
+    const auto safe_no = b.newLabel();
+    const auto safe_yes = b.newLabel();
+    const auto cons = b.newLabel();         // cons(a0=car,a1=cdr) -> v0
+
+    b.la(s0, heap);
+    b.li(s2, 0);
+    b.li(s5, 0);
+    b.li(s6, 0);
+
+    b.bind(run_loop);
+    b.li(t0, static_cast<int64_t>(num_runs));
+    b.bge(s5, t0, finish);
+    b.slli(t0, s5, 4);
+    b.la(t1, run_addr);
+    b.add(t1, t1, t0);
+    b.ld(s3, 0, t1);                // N
+    b.ld(t2, 8, t1);                // permutation offset
+    b.la(s4, perm_addr);
+    b.add(s4, s4, t2);
+    b.la(t3, globals);
+    b.sd(s3, 0, t3);                // publish N to the globals block
+    b.sd(zero, 8, t3);              // per-run eval counter resets
+    b.li(s1, 0);                    // reset cons heap per run
+    b.li(s2, 0);                    // per-run solution count
+    b.li(s6, 0);                    // per-run node count
+    b.li(a0, 0);                    // row 0
+    b.li(a1, 0);                    // empty placement list (nil)
+    b.call(solve);
+    // Garbage collection after each evaluation: sweep every allocated
+    // node, checking its tag and clearing the mark bit — xlisp's
+    // mark-and-sweep collector is a large share of 130.li's time.
+    {
+        const auto gc_loop = b.newLabel();
+        const auto gc_done = b.newLabel();
+        b.li(t5, 0);
+        b.bind(gc_loop);
+        b.bge(t5, s1, gc_done);
+        b.slli(t6, t5, 5);
+        b.add(t6, s0, t6);
+        b.ld(t7, 0, t6);            // tag (always CONS here)
+        b.ld(t8, 24, t6);           // flags
+        b.andi(t8, t8, -2);         // clear MARK
+        b.sd(t8, 24, t6);
+        b.add(t4, t4, t7);          // tag checksum (defeats DCE)
+        b.addi(t5, t5, 1);
+        b.j(gc_loop);
+        b.bind(gc_done);
+    }
+    // Record the run's results (the lisp REPL printing its answer).
+    b.la(t3, globals);
+    b.ld(t4, 16, t3);
+    b.add(t4, t4, s2);
+    b.sd(t4, 16, t3);               // accumulated solutions
+    b.ld(t4, 24, t3);
+    b.add(t4, t4, s6);
+    b.sd(t4, 24, t3);               // accumulated nodes
+    b.addi(s5, s5, 1);
+    b.j(run_loop);
+
+    b.bind(finish);
+    b.la(t3, globals);
+    b.ld(t1, 16, t3);
+    b.ld(t2, 24, t3);
+    b.la(t0, result);
+    b.sd(t1, 0, t0);                // total solutions
+    b.sd(t2, 8, t0);                // nodes visited
+    b.halt();
+
+    // ------------------------------------------------------- solve
+    // solve(a0 = row, a1 = placed list). Uses the real call stack.
+    // Frame: ra, s7 (row), s8 (list), s9 (perm index).
+    b.bind(solve);
+    // Evaluator boilerplate: reload N (invariant within a run), bump
+    // the eval counter kept in memory.
+    b.la(v1, globals);
+    b.ld(s3, 0, v1);                // invariant reload
+    b.ld(v0, 8, v1);
+    b.addi(v0, v0, 1);
+    b.sd(v0, 8, v1);
+    b.addi(s6, s6, 1);
+    b.beq(a0, s3, found);           // row == N: solution
+    b.push(ra);
+    b.push(s7);
+    b.push(s8);
+    b.push(s9);
+    b.mov(s7, a0);
+    b.mov(s8, a1);
+    b.li(s9, 0);
+
+    b.bind(col_loop);
+    b.bge(s9, s3, solve_done);
+    // col = perm[s9]
+    b.slli(t0, s9, 3);
+    b.add(t0, s4, t0);
+    b.ld(a0, 0, t0);                // candidate column
+    b.mov(a1, s7);                  // row
+    b.mov(a2, s8);                  // list
+    b.call(safe);
+    b.beqz(v0, col_next);
+    // Place: cons((col<<8)|row, list), recurse on row+1.
+    b.slli(t0, s9, 3);
+    b.add(t0, s4, t0);
+    b.ld(t1, 0, t0);                // column again
+    b.slli(a0, t1, 8);
+    b.or_(a0, a0, s7);              // packed queen
+    b.mov(a1, s8);
+    b.call(cons);
+    b.addi(a0, s7, 1);
+    b.mov(a1, v0);
+    b.call(solve);
+    b.bind(col_next);
+    b.addi(s9, s9, 1);
+    b.j(col_loop);
+
+    b.bind(solve_done);
+    b.pop(s9);
+    b.pop(s8);
+    b.pop(s7);
+    b.pop(ra);
+    b.ret();
+
+    b.bind(found);
+    b.addi(s2, s2, 1);
+    b.ret();
+
+    // -------------------------------------------------------- safe
+    // safe(a0 = col, a1 = row, a2 = list) -> v0 (1 = safe).
+    // Leaf routine: walks the cons list.
+    b.bind(safe);
+    b.bind(safe_loop);
+    b.beqz(a2, safe_yes);
+    // Evaluator overhead per node visit, as in xlisp's evaluator:
+    // reload the environment pointer (invariant) and type-check the
+    // node before touching car/cdr.
+    b.la(t9, globals);
+    b.ld(t9, 0, t9);                // environment reload
+    b.ld(t8, 0, a2);                // node type tag
+    b.seqi(t8, t8, 3);              // is it a CONS? (always yes)
+    b.beqz(t8, safe_yes);           // tag mismatch: bail (never taken)
+    b.ld(t8, 24, a2);               // node flags word
+    b.andi(t8, t8, 1);              // MARK bit test (clear outside gc)
+    b.ld(a3, 8, a2);                // car: packed queen
+    b.srli(a4, a3, 8);              // placed column
+    b.andi(a5, a3, 255);            // placed row
+    b.beq(a4, a0, safe_no);         // same column
+    // |pcol - col| == row - prow  -> diagonal attack.
+    b.sub(v0, a4, a0);
+    b.abs_(v0, v0);
+    b.sub(v1, a1, a5);
+    b.beq(v0, v1, safe_no);
+    b.ld(a2, 16, a2);               // cdr
+    b.j(safe_loop);
+    b.bind(safe_yes);
+    b.li(v0, 1);
+    b.ret();
+    b.bind(safe_no);
+    b.li(v0, 0);
+    b.ret();
+
+    // -------------------------------------------------------- cons
+    // cons(a0 = car, a1 = cdr) -> v0 = cell address. Writes the CONS
+    // type tag like xlisp's newnode().
+    b.bind(cons);
+    b.slli(v0, s1, 5);              // 32-byte typed cells
+    b.add(v0, s0, v0);
+    b.li(t9, 3);                    // CONS tag
+    b.sd(t9, 0, v0);
+    b.sd(a0, 8, v0);
+    b.sd(a1, 16, v0);
+    b.addi(s1, s1, 1);
+    b.ret();
+
+    return b.build();
+}
+
+} // namespace vp::workloads

@@ -1,0 +1,298 @@
+/**
+ * @file
+ * Unit and property tests for the finite context method predictor —
+ * Section 2.2 of the paper: exact contexts, blending with lazy
+ * exclusion, learning times (Table 1 / Figure 2), and the counter
+ * variants.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/fcm.hh"
+#include "core/learning.hh"
+#include "synth/sequences.hh"
+
+namespace {
+
+using namespace vp;
+using namespace vp::core;
+using namespace vp::synth;
+
+FcmPredictor
+makeFcm(int order, FcmBlending blending = FcmBlending::LazyExclusion,
+        uint32_t counter_max = 0)
+{
+    FcmConfig config;
+    config.order = order;
+    config.blending = blending;
+    config.counterMax = counter_max;
+    return FcmPredictor(config);
+}
+
+TEST(Fcm, ColdEntryDeclines)
+{
+    auto pred = makeFcm(2);
+    EXPECT_FALSE(pred.predict(0).valid);
+}
+
+TEST(Fcm, BlendedPredictsFromOrderZeroAfterOneValue)
+{
+    auto pred = makeFcm(3);
+    pred.update(0, 5);
+    const auto p = pred.predict(0);
+    ASSERT_TRUE(p.valid);           // order-0 fallback
+    EXPECT_EQ(p.value, 5u);
+}
+
+TEST(Fcm, PureOrderKDeclinesUntilFullContext)
+{
+    auto pred = makeFcm(2, FcmBlending::None);
+    pred.update(0, 5);
+    EXPECT_FALSE(pred.predict(0).valid);
+    pred.update(0, 5);
+    // Context (5,5) exists but no follower recorded yet.
+    EXPECT_FALSE(pred.predict(0).valid);
+    pred.update(0, 5);
+    // Context (5,5) -> 5 has been seen once.
+    const auto p = pred.predict(0);
+    ASSERT_TRUE(p.valid);
+    EXPECT_EQ(p.value, 5u);
+}
+
+TEST(Fcm, LearnsFigure2ExactTrace)
+{
+    // Figure 2 of the paper: repeated stride 1 2 3 4, order-2 fcm.
+    // Learn time = period + order = 6; 100% thereafter.
+    auto pred = makeFcm(2, FcmBlending::None);
+    const auto seq = repeatedStrideSeq(1, 1, 4, 24);
+    const auto result = analyzeLearning(pred, seq);
+    EXPECT_EQ(result.learningTime, 6);
+    EXPECT_DOUBLE_EQ(result.learningDegree, 1.0);
+}
+
+TEST(Fcm, MostFrequentFollowerWins)
+{
+    auto pred = makeFcm(1);
+    // Context (7) followed by 8 twice, by 9 once.
+    for (uint64_t follower : {8u, 9u, 8u}) {
+        pred.update(0, 7);
+        pred.update(0, follower);
+    }
+    pred.update(0, 7);
+    const auto p = pred.predict(0);
+    ASSERT_TRUE(p.valid);
+    EXPECT_EQ(p.value, 8u);
+}
+
+TEST(Fcm, TieBreaksTowardMostRecent)
+{
+    auto pred = makeFcm(1);
+    pred.update(0, 7);
+    pred.update(0, 8);      // (7)->8
+    pred.update(0, 7);
+    pred.update(0, 9);      // (7)->9, both counts now 1
+    pred.update(0, 7);
+    const auto p = pred.predict(0);
+    ASSERT_TRUE(p.valid);
+    EXPECT_EQ(p.value, 9u);         // most recently observed
+}
+
+TEST(Fcm, LongestMatchingContextSuppliesPrediction)
+{
+    auto pred = makeFcm(2);
+    // Train: 1,2 -> 3 and separately 9,2 -> 4.
+    for (uint64_t v : {1u, 2u, 3u, 9u, 2u, 4u})
+        pred.update(0, v);
+    // History is now (2,4); extend so history becomes (9,2): feed 9, 2.
+    pred.update(0, 9);
+    pred.update(0, 2);
+    const auto p = pred.predict(0);
+    ASSERT_TRUE(p.valid);
+    EXPECT_EQ(p.value, 4u);         // order-2 match beats order-1 (2)->3/4 tie
+}
+
+TEST(Fcm, NoAliasingBetweenPcs)
+{
+    auto pred = makeFcm(2);
+    for (uint64_t v : {1u, 2u, 3u, 1u, 2u})
+        pred.update(7, v);
+    // Same history at a different PC must not predict.
+    pred.update(8, 1);
+    pred.update(8, 2);
+    EXPECT_EQ(pred.predict(7).value, 3u);
+    const auto other = pred.predict(8);
+    // PC 8 falls back to order-0/1 within its own table only.
+    ASSERT_TRUE(other.valid);
+    EXPECT_NE(other.value, 3u);
+}
+
+TEST(Fcm, RepeatedNonStrideIsLearnedPerfectly)
+{
+    // Table 1: RNS is where fcm shines and stride fails.
+    auto pred = makeFcm(3);
+    const auto seq = repeatedNonStrideSeq(17, 5, 100);
+    const auto result = analyzeLearning(pred, seq);
+    ASSERT_GE(result.learningTime, 0);
+    // Steady state: perfect from one full period + order onward.
+    for (size_t i = 10; i < seq.size(); ++i)
+        EXPECT_TRUE(result.correctAt[i]) << "index " << i;
+}
+
+TEST(Fcm, CannotPredictFreshStrides)
+{
+    // Table 1: "S" row has no fcm entry — contexts never repeat.
+    auto pred = makeFcm(3);
+    const auto result = analyzeLearning(pred, strideSeq(0, 1, 200));
+    EXPECT_LT(result.accuracy, 0.02);
+}
+
+TEST(Fcm, CannotPredictNonStride)
+{
+    auto pred = makeFcm(2);
+    const auto result = analyzeLearning(pred, nonStrideSeq(23, 300));
+    EXPECT_LT(result.accuracy, 0.02);
+}
+
+TEST(Fcm, ResetDropsEverything)
+{
+    auto pred = makeFcm(2);
+    for (uint64_t v : {1u, 2u, 3u, 1u, 2u})
+        pred.update(0, v);
+    EXPECT_GT(pred.tableEntries(), 0u);
+    pred.reset();
+    EXPECT_EQ(pred.tableEntries(), 0u);
+    EXPECT_FALSE(pred.predict(0).valid);
+}
+
+TEST(Fcm, NamesEncodeOrderAndVariant)
+{
+    EXPECT_EQ(makeFcm(3).name(), "fcm3");
+    EXPECT_EQ(makeFcm(1, FcmBlending::Full).name(), "fcm1-full");
+    EXPECT_EQ(makeFcm(2, FcmBlending::None).name(), "fcm2-pure");
+}
+
+TEST(Fcm, RejectsNegativeOrder)
+{
+    FcmConfig config;
+    config.order = -1;
+    EXPECT_THROW(FcmPredictor{config}, std::invalid_argument);
+}
+
+TEST(Fcm, OrderZeroIsFrequencyTable)
+{
+    auto pred = makeFcm(0);
+    for (uint64_t v : {4u, 4u, 9u})
+        pred.update(0, v);
+    EXPECT_EQ(pred.predict(0).value, 4u);   // count 2 beats count 1
+}
+
+TEST(Fcm, SmallCountersHalveAndFavorRecency)
+{
+    // counterMax = 4: after saturation, counts rescale so newer
+    // behaviour can take over faster than exact counting allows.
+    auto exact = makeFcm(0);
+    auto small = makeFcm(0, FcmBlending::LazyExclusion, 4);
+    for (int i = 0; i < 100; ++i) {
+        exact.update(0, 1);
+        small.update(0, 1);
+    }
+    for (int i = 0; i < 6; ++i) {
+        exact.update(0, 2);
+        small.update(0, 2);
+    }
+    EXPECT_EQ(exact.predict(0).value, 1u);  // 100 vs 6
+    EXPECT_EQ(small.predict(0).value, 2u);  // rescaled away
+}
+
+TEST(Fcm, LazyExclusionTrainsOnlyMatchedOrderAndAbove)
+{
+    // After 1,2,3,1,2 the order-2 context (1,2) matched for the
+    // prediction of the next value; updating with 9 must train
+    // orders 2..k but NOT order 0/1 under lazy exclusion.
+    auto lazy = makeFcm(2, FcmBlending::LazyExclusion);
+    for (uint64_t v : {1u, 2u, 3u, 1u, 2u})
+        lazy.update(0, v);
+    lazy.update(0, 9);      // matched order was 2
+    // Order-1 context (9) has never been trained with a follower, and
+    // order-1 (2)->9 must NOT exist; verify via a probe history.
+    // Feed 5, 2: history (5,2); order-2 (5,2) unknown; order-1 (2)
+    // should still say 3 (trained before lazy exclusion kicked in).
+    lazy.update(0, 5);
+    lazy.update(0, 2);
+    const auto p = lazy.predict(0);
+    ASSERT_TRUE(p.valid);
+    EXPECT_EQ(p.value, 3u);
+}
+
+TEST(Fcm, FullBlendingTrainsAllOrders)
+{
+    auto full = makeFcm(2, FcmBlending::Full);
+    for (uint64_t v : {1u, 2u, 3u, 1u, 2u})
+        full.update(0, v);
+    full.update(0, 9);      // trains (1,2)->9, (2)->9, ()->9
+    full.update(0, 5);
+    full.update(0, 2);
+    const auto p = full.predict(0);
+    ASSERT_TRUE(p.valid);
+    // Order-1 (2) now has followers 3(x1), 9(x1): tie -> recent -> 9.
+    EXPECT_EQ(p.value, 9u);
+}
+
+/**
+ * Table 1 property sweep: an order-o pure fcm on a repeating
+ * sequence of period p learns in p+o values and is perfect after.
+ */
+class FcmLearningSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(FcmLearningSweep, LearnTimeIsPeriodPlusOrder)
+{
+    const auto [order, period] = GetParam();
+    if (order >= period) {
+        // Contexts spanning whole periods repeat immediately; the
+        // formula applies to the usual case order < period.
+        GTEST_SKIP();
+    }
+    auto pred = makeFcm(order, FcmBlending::None);
+    const auto seq = repeatedNonStrideSeq(
+            uint64_t(order) * 31 + period, period,
+            static_cast<size_t>(period) * 20);
+    const auto result = analyzeLearning(pred, seq);
+    EXPECT_EQ(result.learningTime, period + order);
+    EXPECT_DOUBLE_EQ(result.learningDegree, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+        OrderPeriod, FcmLearningSweep,
+        ::testing::Combine(::testing::Values(1, 2, 3, 4),
+                           ::testing::Values(3, 4, 5, 8, 13)));
+
+/** Composed sequences: phase changes are re-learned. */
+TEST(Fcm, RelearnsAfterPhaseChange)
+{
+    auto pred = makeFcm(2);
+    const auto phase1 = repeatedNonStrideSeq(5, 4, 60);
+    const auto phase2 = repeatedNonStrideSeq(99, 6, 90);
+    const auto seq = concatSeq({phase1, phase2});
+    const auto result = analyzeLearning(pred, seq);
+    // Perfect at the end of phase 1 and at the end of phase 2.
+    for (size_t i = 30; i < 60; ++i)
+        EXPECT_TRUE(result.correctAt[i]) << i;
+    for (size_t i = seq.size() - 30; i < seq.size(); ++i)
+        EXPECT_TRUE(result.correctAt[i]) << i;
+}
+
+TEST(Fcm, InterleavedConstantsFormAPattern)
+{
+    // a,b,a,b,... is RNS with period 2: order >= 2 nails it.
+    auto pred = makeFcm(2);
+    const auto seq = interleaveSeq(
+            {constantSeq(10, 50), constantSeq(77, 50)});
+    const auto result = analyzeLearning(pred, seq);
+    for (size_t i = 8; i < seq.size(); ++i)
+        EXPECT_TRUE(result.correctAt[i]) << i;
+}
+
+} // anonymous namespace

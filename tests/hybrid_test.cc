@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Tests for the hybrid stride+fcm predictor (the Section 4.2
+ * extension study).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/hybrid.hh"
+#include "core/learning.hh"
+#include "synth/sequences.hh"
+
+namespace {
+
+using namespace vp;
+using namespace vp::core;
+using namespace vp::synth;
+
+TEST(Hybrid, TracksStrideOnFreshStrides)
+{
+    // FCM cannot predict a fresh stride; the chooser must migrate to
+    // the stride component and the hybrid then performs like s2.
+    HybridPredictor hybrid;
+    StridePredictor stride;
+    const auto seq = strideSeq(5, 3, 300);
+    const auto h = analyzeLearning(hybrid, seq);
+    const auto s = analyzeLearning(stride, seq);
+    EXPECT_GT(h.accuracy, s.accuracy - 0.05);
+}
+
+TEST(Hybrid, TracksFcmOnRepeatedNonStrides)
+{
+    HybridPredictor hybrid;
+    FcmConfig fc;
+    fc.order = 3;
+    FcmPredictor fcm(fc);
+    const auto seq = repeatedNonStrideSeq(9, 6, 400);
+    const auto h = analyzeLearning(hybrid, seq);
+    const auto f = analyzeLearning(fcm, seq);
+    EXPECT_GT(h.accuracy, f.accuracy - 0.05);
+}
+
+TEST(Hybrid, BeatsBothComponentsOnAMixedWorkload)
+{
+    // Alternate phases favouring each component. The chooser is
+    // per-PC, so give each phase its own PC, as distinct static
+    // instructions would have.
+    HybridPredictor hybrid;
+    StridePredictor stride;
+    FcmConfig fc;
+    fc.order = 3;
+    FcmPredictor fcm(fc);
+
+    auto run = [](ValuePredictor &pred) {
+        uint64_t correct = 0, total = 0;
+        const auto strides = strideSeq(0, 7, 400);
+        const auto rns = repeatedNonStrideSeq(4, 5, 400);
+        for (size_t i = 0; i < strides.size(); ++i) {
+            for (uint64_t pc : {0, 1}) {
+                const uint64_t actual =
+                        pc == 0 ? strides[i] : rns[i];
+                const auto p = pred.predict(pc);
+                correct += p.valid && p.value == actual;
+                ++total;
+                pred.update(pc, actual);
+            }
+        }
+        return static_cast<double>(correct) / total;
+    };
+
+    const double h = run(hybrid);
+    const double s = run(stride);
+    const double f = run(fcm);
+    EXPECT_GT(h, s);
+    EXPECT_GT(h, f);
+    EXPECT_GT(h, 0.9);
+}
+
+TEST(Hybrid, FallsBackWhenPreferredComponentDeclines)
+{
+    HybridPredictor hybrid;
+    hybrid.update(0, 10);
+    // Only one value seen: fcm's order-0 can predict, stride predicts
+    // last value; either way a valid prediction must come out.
+    EXPECT_TRUE(hybrid.predict(0).valid);
+}
+
+TEST(Hybrid, ReportsChoiceFractionAndEntries)
+{
+    HybridPredictor hybrid;
+    for (uint64_t v : {1u, 2u, 3u, 4u, 5u})
+        hybrid.update(0, v);
+    EXPECT_GT(hybrid.tableEntries(), 0u);
+    EXPECT_GE(hybrid.fcmChoiceFraction(), 0.0);
+    EXPECT_LE(hybrid.fcmChoiceFraction(), 1.0);
+    hybrid.reset();
+    EXPECT_EQ(hybrid.tableEntries(), 0u);
+    EXPECT_DOUBLE_EQ(hybrid.fcmChoiceFraction(), 0.0);
+}
+
+TEST(Hybrid, NameListsComponents)
+{
+    EXPECT_EQ(HybridPredictor().name(), "hyb(s2+fcm3)");
+}
+
+} // anonymous namespace

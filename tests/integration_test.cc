@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Integration tests: the paper's headline qualitative results must
+ * hold end-to-end (at reduced scale so the suite stays fast).
+ *
+ * These encode the "shape checks" from EXPERIMENTS.md:
+ *   - l < s2 < fcm3 per benchmark (Figure 3);
+ *   - context prediction captures values the computational
+ *     predictors miss, and l adds almost nothing (Figure 8);
+ *   - a minority of static instructions carries most of the fcm
+ *     improvement (Figure 9);
+ *   - most static instructions generate few unique values
+ *     (Figure 10).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "exp/suite.hh"
+
+namespace {
+
+using namespace vp;
+using namespace vp::exp;
+
+class IntegrationSuite : public ::testing::Test
+{
+  protected:
+    static const std::vector<BenchmarkRun> &
+    runs()
+    {
+        static const std::vector<BenchmarkRun> cached = [] {
+            SuiteOptions options;
+            options.predictors = {"l", "s2", "fcm3"};
+            options.config.scale = 30;
+            options.overlap = 3;
+            options.improvementA = 2;
+            options.improvementB = 1;
+            options.values = true;
+            return runSuite(options);
+        }();
+        return cached;
+    }
+};
+
+TEST_F(IntegrationSuite, PredictorOrderingHoldsPerBenchmark)
+{
+    for (const auto &run : runs()) {
+        SCOPED_TRACE(run.name);
+        const double l = run.accuracyPct(0);
+        const double s2 = run.accuracyPct(1);
+        const double fcm3 = run.accuracyPct(2);
+        EXPECT_LT(l, s2);
+        EXPECT_LT(s2, fcm3);
+    }
+}
+
+TEST_F(IntegrationSuite, ValuesAreHighlyPredictable)
+{
+    // "Simulations ... show that data values can be highly
+    // predictable": fcm3 well above half overall.
+    EXPECT_GT(meanAccuracyPct(runs(), 2), 60.0);
+    // And the fcm advantage over stride is large (paper: ~20 pts).
+    EXPECT_GT(meanAccuracyPct(runs(), 2) - meanAccuracyPct(runs(), 1),
+              8.0);
+}
+
+TEST_F(IntegrationSuite, M88ksimMostPredictableGoNearLeast)
+{
+    std::vector<std::pair<double, std::string>> ranked;
+    for (const auto &run : runs())
+        ranked.emplace_back(run.accuracyPct(2), run.name);
+    std::sort(ranked.begin(), ranked.end());
+
+    // Paper Figure 3: m88ksim on top; go at the bottom. At the
+    // reduced integration scale go must still sit in the bottom two.
+    EXPECT_EQ(ranked.back().second, "m88ksim");
+    EXPECT_TRUE(ranked[0].second == "go" || ranked[1].second == "go")
+            << ranked[0].second << ", " << ranked[1].second;
+}
+
+TEST_F(IntegrationSuite, Figure8SliceShapes)
+{
+    // Aggregate overlap over all benchmarks.
+    core::OverlapTracker all(3);
+    for (const auto &run : runs())
+        all.merge(*run.overlap);
+
+    const double np = all.fraction(0b000);
+    const double lsf = all.fraction(0b111);
+    double f_only = all.fraction(0b100);
+    // l-or-s-only without f: buckets 001, 010, 011.
+    const double ls_not_f = all.fraction(0b001) + all.fraction(0b010) +
+            all.fraction(0b011);
+
+    // Paper: np ~18%, lsf ~40%, f-only >20%, non-f-computational <5%
+    // of predictions. Generous bands: the shape, not the digits.
+    EXPECT_LT(np, 0.45);
+    EXPECT_GT(lsf, 0.15);
+    EXPECT_GT(f_only, 0.08);
+    EXPECT_GT(f_only, ls_not_f / 2);
+    // Last value adds almost nothing beyond stride+fcm.
+    const double l_only = all.fraction(0b001);
+    EXPECT_LT(l_only, 0.02);
+}
+
+TEST_F(IntegrationSuite, Figure9ConcentrationOfImprovement)
+{
+    // Paper: ~20% of statics give ~97% of fcm-over-stride gains.
+    for (const auto &run : runs()) {
+        SCOPED_TRACE(run.name);
+        const double pct =
+                run.improvement->staticPctForImprovement(0.9);
+        EXPECT_LT(pct, 60.0);
+    }
+}
+
+TEST_F(IntegrationSuite, Figure10FewUniqueValues)
+{
+    for (const auto &run : runs()) {
+        SCOPED_TRACE(run.name);
+        // Paper: >=50% of statics generate one value; >=90% fewer
+        // than 64. Bands are loosened: the proxies have only the hot
+        // kernels, while SPEC binaries carry large amounts of cold
+        // code whose statics produce a single value (EXPERIMENTS.md
+        // discusses this shift).
+        EXPECT_GT(run.values->staticFractionAtMost(1), 0.08);
+        EXPECT_GT(run.values->staticFractionAtMost(64), 0.45);
+        EXPECT_GT(run.values->dynamicFractionAtMost(4096), 0.75);
+    }
+}
+
+TEST_F(IntegrationSuite, PredictedFractionsInBand)
+{
+    for (const auto &run : runs()) {
+        SCOPED_TRACE(run.name);
+        const double pct = 100.0 * run.exec.predictedFraction();
+        EXPECT_GT(pct, 55.0);
+        EXPECT_LT(pct, 92.0);
+    }
+}
+
+} // anonymous namespace

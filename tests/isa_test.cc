@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Unit tests for the ISA module: opcode metadata, binary encoding,
+ * program validation, and the disassembler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/disasm.hh"
+#include "isa/encoding.hh"
+#include "isa/program.hh"
+#include "synth/sequences.hh"
+
+namespace {
+
+using namespace vp::isa;
+
+TEST(OpcodeMeta, EveryOpcodeHasANonEmptyUniqueName)
+{
+    std::set<std::string_view> names;
+    for (int i = 0; i < numOpcodes; ++i) {
+        const auto op = static_cast<Opcode>(i);
+        EXPECT_FALSE(opcodeName(op).empty());
+        EXPECT_TRUE(names.insert(opcodeName(op)).second)
+                << "duplicate mnemonic " << opcodeName(op);
+    }
+}
+
+TEST(OpcodeMeta, NameRoundTrips)
+{
+    for (int i = 0; i < numOpcodes; ++i) {
+        const auto op = static_cast<Opcode>(i);
+        const auto parsed = opcodeFromName(opcodeName(op));
+        ASSERT_TRUE(parsed.has_value());
+        EXPECT_EQ(*parsed, op);
+    }
+    EXPECT_FALSE(opcodeFromName("bogus").has_value());
+    EXPECT_FALSE(opcodeFromName("").has_value());
+}
+
+TEST(OpcodeMeta, CategoryNamesRoundTrip)
+{
+    for (int i = 0; i < numCategories; ++i) {
+        const auto cat = static_cast<Category>(i);
+        const auto parsed = categoryFromName(categoryName(cat));
+        ASSERT_TRUE(parsed.has_value());
+        EXPECT_EQ(*parsed, cat);
+    }
+    EXPECT_FALSE(categoryFromName("Bogus").has_value());
+}
+
+TEST(OpcodeMeta, PredictedCategoriesMatchPaperTable3)
+{
+    // The paper's Table 3 defines eight predicted categories; stores,
+    // branches, jumps and system ops are excluded (Section 3).
+    EXPECT_TRUE(isPredictedCategory(Category::AddSub));
+    EXPECT_TRUE(isPredictedCategory(Category::Loads));
+    EXPECT_TRUE(isPredictedCategory(Category::Logic));
+    EXPECT_TRUE(isPredictedCategory(Category::Shift));
+    EXPECT_TRUE(isPredictedCategory(Category::Set));
+    EXPECT_TRUE(isPredictedCategory(Category::MultDiv));
+    EXPECT_TRUE(isPredictedCategory(Category::Lui));
+    EXPECT_TRUE(isPredictedCategory(Category::Other));
+    EXPECT_FALSE(isPredictedCategory(Category::Store));
+    EXPECT_FALSE(isPredictedCategory(Category::Branch));
+    EXPECT_FALSE(isPredictedCategory(Category::Jump));
+    EXPECT_FALSE(isPredictedCategory(Category::System));
+}
+
+TEST(OpcodeMeta, JumpsWriteRegistersButAreNotPredicted)
+{
+    EXPECT_TRUE(opcodeWritesReg(Opcode::Jal));
+    EXPECT_TRUE(opcodeWritesReg(Opcode::Jalr));
+    EXPECT_FALSE(opcodePredicted(Opcode::Jal));
+    EXPECT_FALSE(opcodePredicted(Opcode::Jalr));
+}
+
+TEST(OpcodeMeta, StoresAndBranchesDoNotWrite)
+{
+    for (auto op : {Opcode::Sd, Opcode::Sw, Opcode::Sh, Opcode::Sb,
+                    Opcode::Beq, Opcode::Bne, Opcode::Blt, Opcode::Bge,
+                    Opcode::Bltu, Opcode::Bgeu, Opcode::Beqz,
+                    Opcode::Bnez, Opcode::J, Opcode::Jr, Opcode::Nop,
+                    Opcode::Halt}) {
+        EXPECT_FALSE(opcodeWritesReg(op)) << opcodeName(op);
+        EXPECT_FALSE(opcodePredicted(op)) << opcodeName(op);
+    }
+}
+
+TEST(OpcodeMeta, CategorySpotChecks)
+{
+    EXPECT_EQ(opcodeCategory(Opcode::Add), Category::AddSub);
+    EXPECT_EQ(opcodeCategory(Opcode::Ld), Category::Loads);
+    EXPECT_EQ(opcodeCategory(Opcode::Nor), Category::Logic);
+    EXPECT_EQ(opcodeCategory(Opcode::Srai), Category::Shift);
+    EXPECT_EQ(opcodeCategory(Opcode::Sltu), Category::Set);
+    EXPECT_EQ(opcodeCategory(Opcode::Rem), Category::MultDiv);
+    EXPECT_EQ(opcodeCategory(Opcode::Lui), Category::Lui);
+    EXPECT_EQ(opcodeCategory(Opcode::Abs), Category::Other);
+    EXPECT_EQ(opcodeCategory(Opcode::Sb), Category::Store);
+    EXPECT_EQ(opcodeCategory(Opcode::Beqz), Category::Branch);
+    EXPECT_EQ(opcodeCategory(Opcode::Jalr), Category::Jump);
+    EXPECT_EQ(opcodeCategory(Opcode::Halt), Category::System);
+}
+
+// ------------------------------------------------------- encoding
+
+TEST(Encoding, RoundTripsAllOpcodesWithExtremeFields)
+{
+    for (int i = 0; i < numOpcodes; ++i) {
+        for (int32_t imm : {0, 1, -1, 42, -65536,
+                            std::numeric_limits<int32_t>::max(),
+                            std::numeric_limits<int32_t>::min()}) {
+            const Instr instr(static_cast<Opcode>(i), 31, 0, 17, imm);
+            const auto decoded = decode(encode(instr));
+            ASSERT_TRUE(decoded.has_value());
+            EXPECT_EQ(*decoded, instr);
+        }
+    }
+}
+
+TEST(Encoding, RejectsBadOpcodeField)
+{
+    const uint64_t bad = 0xff;      // opcode byte out of range
+    EXPECT_FALSE(decode(bad).has_value());
+}
+
+TEST(Encoding, RejectsBadRegisterFields)
+{
+    Instr instr = makeR(Opcode::Add, 1, 2, 3);
+    uint64_t word = encode(instr);
+    word |= uint64_t(200) << 8;     // rd = 200
+    EXPECT_FALSE(decode(word).has_value());
+}
+
+class EncodingFuzz : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(EncodingFuzz, RandomInstructionsRoundTripThroughWords)
+{
+    vp::synth::Rng rng(GetParam());
+    for (int n = 0; n < 200; ++n) {
+        Instr instr;
+        instr.op = static_cast<Opcode>(rng.range(numOpcodes));
+        instr.rd = static_cast<uint8_t>(rng.range(numRegs));
+        instr.rs1 = static_cast<uint8_t>(rng.range(numRegs));
+        instr.rs2 = static_cast<uint8_t>(rng.range(numRegs));
+        instr.imm = static_cast<int32_t>(rng.next());
+        const auto decoded = decode(encode(instr));
+        ASSERT_TRUE(decoded.has_value());
+        EXPECT_EQ(*decoded, instr);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EncodingFuzz,
+                         ::testing::Values(1, 7, 42, 1234, 99999));
+
+TEST(Encoding, WholeSectionRoundTrip)
+{
+    std::vector<Instr> code = {
+        makeI(Opcode::Addi, 1, 0, 5),
+        makeR(Opcode::Add, 2, 1, 1),
+        makeJ(Opcode::Halt, 0),
+    };
+    const auto words = encodeAll(code);
+    const auto back = decodeAll(words);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, code);
+
+    auto corrupted = words;
+    corrupted[1] = 0xfe;            // invalid opcode
+    EXPECT_FALSE(decodeAll(corrupted).has_value());
+}
+
+// ------------------------------------------------------- program
+
+TEST(Program, ValidateAcceptsGoodProgram)
+{
+    Program prog;
+    prog.code = {
+        makeI(Opcode::Addi, 1, 0, 3),
+        makeB(Opcode::Bnez, 1, 0, 0),
+        makeJ(Opcode::Halt, 0),
+    };
+    EXPECT_EQ(prog.validate(), "");
+}
+
+TEST(Program, ValidateRejectsBranchOutOfRange)
+{
+    Program prog;
+    prog.code = {
+        makeB(Opcode::Beq, 1, 2, 7),
+        makeJ(Opcode::Halt, 0),
+    };
+    EXPECT_NE(prog.validate(), "");
+}
+
+TEST(Program, StaticCountsByCategory)
+{
+    Program prog;
+    prog.code = {
+        makeI(Opcode::Addi, 1, 0, 3),
+        makeR(Opcode::Add, 2, 1, 1),
+        makeMem(Opcode::Ld, 3, 1, 0),
+        makeMem(Opcode::Sd, 3, 1, 0),
+        makeJ(Opcode::Halt, 0),
+    };
+    EXPECT_EQ(prog.countPredictedStatic(), 3u);
+    EXPECT_EQ(prog.countPredictedStatic(Category::AddSub), 2u);
+    EXPECT_EQ(prog.countPredictedStatic(Category::Loads), 1u);
+    EXPECT_EQ(prog.countPredictedStatic(Category::Store), 0u);
+}
+
+// ------------------------------------------------------- disasm
+
+TEST(Disasm, FormatsRepresentativeInstructions)
+{
+    EXPECT_EQ(disassemble(makeR(Opcode::Add, 1, 2, 3)),
+              "add r1, r2, r3");
+    EXPECT_EQ(disassemble(makeI(Opcode::Addi, 5, 5, -4)),
+              "addi r5, r5, -4");
+    EXPECT_EQ(disassemble(makeMem(Opcode::Ld, 7, 30, 16)),
+              "ld r7, 16(r30)");
+    EXPECT_EQ(disassemble(makeMem(Opcode::Sw, 7, 30, -8)),
+              "sw r7, -8(r30)");
+    EXPECT_EQ(disassemble(makeB(Opcode::Beq, 1, 2, 14)),
+              "beq r1, r2, 14");
+    EXPECT_EQ(disassemble(makeU(Opcode::Lui, 9, 100)), "lui r9, 100");
+    EXPECT_EQ(disassemble(makeJ(Opcode::J, 3)), "j 3");
+    EXPECT_EQ(disassemble(Instr(Opcode::Halt, 0, 0, 0, 0)), "halt");
+}
+
+TEST(Disasm, ProgramListingIncludesLabelsAndPcs)
+{
+    Program prog;
+    prog.code = {
+        makeI(Opcode::Addi, 1, 0, 3),
+        makeJ(Opcode::Halt, 0),
+    };
+    prog.codeSymbols["main"] = 0;
+    const auto text = disassemble(prog);
+    EXPECT_NE(text.find("main:"), std::string::npos);
+    EXPECT_NE(text.find("0:"), std::string::npos);
+    EXPECT_NE(text.find("halt"), std::string::npos);
+}
+
+} // anonymous namespace

@@ -1,0 +1,315 @@
+/**
+ * @file
+ * Unit tests for the program builder and the text assembler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "masm/assembler.hh"
+#include "masm/builder.hh"
+#include "synth/sequences.hh"
+#include "vm/machine.hh"
+
+namespace {
+
+using namespace vp;
+using namespace vp::masm;
+using namespace vp::masm::reg;
+
+int64_t
+runAndRead(const isa::Program &prog, int reg_index)
+{
+    vm::Machine machine;
+    const auto result = machine.run(prog);
+    EXPECT_TRUE(result.ok()) << result.diagnostic;
+    return machine.reg(reg_index);
+}
+
+// ------------------------------------------------------- builder
+
+TEST(Builder, ForwardAndBackwardLabels)
+{
+    ProgramBuilder b("labels");
+    const auto fwd = b.newLabel();
+    const auto back = b.here();
+    b.li(t0, 1);
+    b.j(fwd);
+    b.li(t0, 99);                   // skipped
+    b.bind(fwd);
+    b.halt();
+    const auto prog = b.build();
+    EXPECT_EQ(runAndRead(prog, t0), 1);
+    (void)back;
+}
+
+TEST(Builder, UnboundLabelThrows)
+{
+    ProgramBuilder b("unbound");
+    const auto label = b.newLabel();
+    b.j(label);
+    b.halt();
+    EXPECT_THROW(b.build(), std::logic_error);
+}
+
+TEST(Builder, DoubleBindThrows)
+{
+    ProgramBuilder b("dbl");
+    const auto label = b.here();
+    EXPECT_THROW(b.bind(label), std::logic_error);
+}
+
+TEST(Builder, DataAllocationAlignsAndNames)
+{
+    ProgramBuilder b("data");
+    const auto a = b.addBytes({1, 2, 3}, 1);
+    const auto w = b.addWords({42});
+    b.nameData("tbl", w);
+    b.halt();
+    const auto prog = b.build();
+    EXPECT_EQ(a, isa::defaultDataBase);
+    EXPECT_EQ(w % 8, 0u);
+    EXPECT_EQ(prog.dataSymbols.at("tbl"), w);
+    // The word 42 is at offset w - dataBase, little endian.
+    EXPECT_EQ(prog.data[w - isa::defaultDataBase], 42);
+}
+
+class BuilderLiSweep : public ::testing::TestWithParam<int64_t>
+{
+};
+
+TEST_P(BuilderLiSweep, LiMaterializesExactValue)
+{
+    ProgramBuilder b("li");
+    b.li(t0, GetParam());
+    b.halt();
+    EXPECT_EQ(runAndRead(b.build(), t0), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+        Constants, BuilderLiSweep,
+        ::testing::Values(0, 1, -1, 42, -65536, 0x7fffffffLL,
+                          -0x80000000LL, 0x80000000LL, 0x123456789LL,
+                          -0x123456789abcLL,
+                          std::numeric_limits<int64_t>::max(),
+                          std::numeric_limits<int64_t>::min(),
+                          0x5a5a5a5a5a5a5a5aLL));
+
+TEST(Builder, ValidateRunsOnBuild)
+{
+    // Branch targets are patched, so build() output always validates.
+    ProgramBuilder b("ok");
+    const auto l = b.newLabel();
+    b.li(t0, 2);
+    b.bind(l);
+    b.addi(t0, t0, -1);
+    b.bnez(t0, l);
+    b.halt();
+    EXPECT_EQ(b.build().validate(), "");
+}
+
+// ------------------------------------------------------- assembler
+
+TEST(Assembler, EndToEndProgram)
+{
+    const std::string src = R"(
+        .data
+tbl:    .word 5, 7
+msg:    .asciiz "hi"
+        .text
+main:   la   t0, tbl
+        ld   t1, 0(t0)
+        ld   t2, 8(t0)
+        add  t3, t1, t2     # 12
+loop:   addi t3, t3, -1
+        bnez t3, loop
+        halt
+    )";
+    const auto prog = masm::assemble("demo", src);
+    EXPECT_EQ(prog.name, "demo");
+    EXPECT_TRUE(prog.codeSymbols.count("main"));
+    EXPECT_TRUE(prog.codeSymbols.count("loop"));
+    EXPECT_TRUE(prog.dataSymbols.count("tbl"));
+
+    vm::Machine machine;
+    const auto result = machine.run(prog);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(machine.reg(t3), 0);
+    EXPECT_EQ(machine.reg(t1), 5);
+    EXPECT_EQ(machine.reg(t2), 7);
+}
+
+TEST(Assembler, RegisterAliasesAndNumbers)
+{
+    const auto prog = masm::assemble("regs", R"(
+        addi r5, zero, 1
+        addi sp, sp, -16
+        mov  a0, t4
+        halt
+    )");
+    EXPECT_EQ(prog.code[0].rd, 5);
+    EXPECT_EQ(prog.code[1].rd, isa::stackReg);
+    EXPECT_EQ(prog.code[2].rd, a0);
+    EXPECT_EQ(prog.code[2].rs1, t4);
+}
+
+TEST(Assembler, NumberFormats)
+{
+    const auto prog = masm::assemble("nums", R"(
+        li t0, 0x10
+        li t1, -42
+        li t2, 'a'
+        li t3, '\n'
+        halt
+    )");
+    vm::Machine machine;
+    ASSERT_TRUE(machine.run(prog).ok());
+    EXPECT_EQ(machine.reg(t0), 16);
+    EXPECT_EQ(machine.reg(t1), -42);
+    EXPECT_EQ(machine.reg(t2), 'a');
+    EXPECT_EQ(machine.reg(t3), '\n');
+}
+
+TEST(Assembler, PseudoOpsExpand)
+{
+    const auto prog = masm::assemble("pseudo", R"(
+        li   t0, 5
+        push t0
+        pop  t1
+        inc  t1
+        dec  t1
+        call fn
+        halt
+fn:     ret
+    )");
+    vm::Machine machine;
+    ASSERT_TRUE(machine.run(prog).ok());
+    EXPECT_EQ(machine.reg(t1), 5);
+}
+
+TEST(Assembler, DirectivesBuildDataImage)
+{
+    const auto prog = masm::assemble("dirs", R"(
+        .data
+        .align 8
+a:      .byte 1, 2, 3
+        .align 8
+b:      .space 16
+c:      .word 9
+        .text
+        halt
+    )");
+    const auto a_addr = prog.dataSymbols.at("a");
+    const auto b_addr = prog.dataSymbols.at("b");
+    const auto c_addr = prog.dataSymbols.at("c");
+    EXPECT_EQ(a_addr % 8, 0u);
+    EXPECT_EQ(b_addr % 8, 0u);
+    EXPECT_EQ(c_addr, b_addr + 16);
+    EXPECT_EQ(prog.data[a_addr - isa::defaultDataBase + 1], 2);
+    EXPECT_EQ(prog.data[c_addr - isa::defaultDataBase], 9);
+}
+
+TEST(Assembler, StringEscapes)
+{
+    const auto prog = masm::assemble("str", R"(
+        .data
+s:      .ascii "a\tb\nc\\d\"e"
+        .text
+        halt
+    )");
+    const auto s = prog.dataSymbols.at("s") - isa::defaultDataBase;
+    const std::string text(prog.data.begin() + s, prog.data.end());
+    EXPECT_EQ(text, "a\tb\nc\\d\"e");
+}
+
+TEST(Assembler, CommentsAndBlankLines)
+{
+    const auto prog = masm::assemble("comments", R"(
+        # full line comment
+        li t0, 1    ; trailing comment
+        ; another
+        halt
+    )");
+    EXPECT_EQ(prog.code.size(), 2u);
+}
+
+TEST(Assembler, ErrorsCarryLineNumbers)
+{
+    try {
+        masm::assemble("bad", "li t0, 1\nbogus t1, t2\n");
+        FAIL() << "expected AsmError";
+    } catch (const masm::AsmError &err) {
+        EXPECT_EQ(err.line, 2);
+        EXPECT_NE(std::string(err.what()).find("bogus"),
+                  std::string::npos);
+    }
+}
+
+TEST(Assembler, RejectsUnknownRegister)
+{
+    EXPECT_THROW(masm::assemble("r", "addi r99, r0, 1\nhalt\n"),
+                 masm::AsmError);
+    EXPECT_THROW(masm::assemble("r", "addi rx, r0, 1\nhalt\n"),
+                 masm::AsmError);
+}
+
+TEST(Assembler, RejectsWrongOperandCount)
+{
+    EXPECT_THROW(masm::assemble("ops", "add t0, t1\nhalt\n"),
+                 masm::AsmError);
+}
+
+TEST(Assembler, RejectsUnknownDataSymbol)
+{
+    EXPECT_THROW(masm::assemble("sym", "la t0, nothere\nhalt\n"),
+                 masm::AsmError);
+}
+
+TEST(Assembler, RejectsInstructionInDataSection)
+{
+    EXPECT_THROW(masm::assemble("sec", ".data\naddi t0, t0, 1\n"),
+                 masm::AsmError);
+}
+
+TEST(Assembler, RejectsUnboundForwardLabel)
+{
+    EXPECT_THROW(masm::assemble("fwd", "j nowhere\nhalt\n"),
+                 masm::AsmError);
+}
+
+TEST(Assembler, MemOperandForms)
+{
+    const auto prog = masm::assemble("mem", R"(
+        .data
+buf:    .space 32
+        .text
+        la  t0, buf
+        li  t1, 77
+        sd  t1, 8(t0)
+        ld  t2, 8(t0)
+        ld  t3, buf(zero)
+        halt
+    )");
+    vm::Machine machine;
+    ASSERT_TRUE(machine.run(prog).ok());
+    EXPECT_EQ(machine.reg(t2), 77);
+}
+
+TEST(Assembler, BranchVariants)
+{
+    const auto prog = masm::assemble("br", R"(
+        li t0, 3
+        li t1, 5
+        blt t0, t1, less
+        li t2, 0
+        halt
+less:   li t2, 1
+        bgeu t1, t0, done
+        li t2, 2
+done:   halt
+    )");
+    vm::Machine machine;
+    ASSERT_TRUE(machine.run(prog).ok());
+    EXPECT_EQ(machine.reg(t2), 1);
+}
+
+} // anonymous namespace

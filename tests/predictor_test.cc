@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Unit and property tests for the computational predictors (last
+ * value and stride) — Section 2.1 of the paper, including the
+ * hysteresis variants and the Table 1 learning behaviours.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/last_value.hh"
+#include "core/learning.hh"
+#include "core/stride.hh"
+#include "synth/sequences.hh"
+
+namespace {
+
+using namespace vp;
+using namespace vp::core;
+using namespace vp::synth;
+
+// ------------------------------------------------------ last value
+
+TEST(LastValue, DeclinesOnColdEntryThenPredictsLastValue)
+{
+    LastValuePredictor pred;
+    EXPECT_FALSE(pred.predict(10).valid);
+    pred.update(10, 7);
+    const auto p = pred.predict(10);
+    ASSERT_TRUE(p.valid);
+    EXPECT_EQ(p.value, 7u);
+    pred.update(10, 9);
+    EXPECT_EQ(pred.predict(10).value, 9u);
+}
+
+TEST(LastValue, EntriesArePerPcWithNoAliasing)
+{
+    LastValuePredictor pred;
+    pred.update(1, 100);
+    pred.update(2, 200);
+    EXPECT_EQ(pred.predict(1).value, 100u);
+    EXPECT_EQ(pred.predict(2).value, 200u);
+    EXPECT_FALSE(pred.predict(3).valid);
+    EXPECT_EQ(pred.tableEntries(), 2u);
+}
+
+TEST(LastValue, ResetDropsAllState)
+{
+    LastValuePredictor pred;
+    pred.update(1, 5);
+    pred.reset();
+    EXPECT_FALSE(pred.predict(1).valid);
+    EXPECT_EQ(pred.tableEntries(), 0u);
+}
+
+TEST(LastValue, PerfectOnConstantSequences)
+{
+    LastValuePredictor pred;
+    const auto result =
+            analyzeLearning(pred, constantSeq(5, 100));
+    EXPECT_EQ(result.learningTime, 1);      // Table 1: LT = 1
+    EXPECT_DOUBLE_EQ(result.learningDegree, 1.0);
+}
+
+TEST(LastValue, UselessOnStrideSequences)
+{
+    LastValuePredictor pred;
+    const auto result =
+            analyzeLearning(pred, strideSeq(0, 3, 100));
+    EXPECT_EQ(result.learningTime, -1);     // Table 1: "-"
+    EXPECT_DOUBLE_EQ(result.accuracy, 0.0);
+}
+
+TEST(LastValueHysteresis, SaturatingCounterResistsOneOffNoise)
+{
+    LvConfig config;
+    config.policy = LvPolicy::SaturatingCounter;
+    config.counterMax = 3;
+    config.counterThreshold = 1;
+    LastValuePredictor pred(config);
+
+    // Establish 7 with confidence.
+    for (int i = 0; i < 4; ++i)
+        pred.update(0, 7);
+    // A single glitch must not displace the stored value...
+    pred.update(0, 99);
+    EXPECT_EQ(pred.predict(0).value, 7u);
+    // ...but persistent new behaviour eventually does.
+    for (int i = 0; i < 6; ++i)
+        pred.update(0, 99);
+    EXPECT_EQ(pred.predict(0).value, 99u);
+}
+
+TEST(LastValueHysteresis, ConsecutivePolicyNeedsARun)
+{
+    LvConfig config;
+    config.policy = LvPolicy::Consecutive;
+    config.consecutiveRequired = 2;
+    LastValuePredictor pred(config);
+
+    pred.update(0, 7);
+    // Alternating values never appear twice in a row: stays at 7.
+    pred.update(0, 8);
+    pred.update(0, 9);
+    pred.update(0, 8);
+    pred.update(0, 9);
+    EXPECT_EQ(pred.predict(0).value, 7u);
+    // Two consecutive 4s switch the prediction.
+    pred.update(0, 4);
+    pred.update(0, 4);
+    EXPECT_EQ(pred.predict(0).value, 4u);
+}
+
+TEST(LastValueHysteresis, NamesDistinguishVariants)
+{
+    LvConfig sat;
+    sat.policy = LvPolicy::SaturatingCounter;
+    LvConfig con;
+    con.policy = LvPolicy::Consecutive;
+    EXPECT_EQ(LastValuePredictor().name(), "l");
+    EXPECT_EQ(LastValuePredictor(sat).name(), "l-sat");
+    EXPECT_EQ(LastValuePredictor(con).name(), "l-consec");
+}
+
+// --------------------------------------------------------- stride
+
+TEST(Stride, TwoDeltaLearnsAStrideInTwoValues)
+{
+    StridePredictor pred;       // two-delta by default
+    const auto result = analyzeLearning(pred, strideSeq(10, 4, 100));
+    EXPECT_EQ(result.learningTime, 2);      // Table 1: LT = 2
+    EXPECT_DOUBLE_EQ(result.learningDegree, 1.0);   // LD = 100%
+}
+
+TEST(Stride, ConstantIsZeroStride)
+{
+    StridePredictor pred;
+    const auto result = analyzeLearning(pred, constantSeq(42, 50));
+    EXPECT_EQ(result.learningTime, 1);
+    EXPECT_DOUBLE_EQ(result.learningDegree, 1.0);
+}
+
+TEST(Stride, NegativeAndLargeStrides)
+{
+    for (int64_t delta : {-1, -1000, 123456789}) {
+        StridePredictor pred;
+        const auto result =
+                analyzeLearning(pred, strideSeq(1'000'000, delta, 60));
+        EXPECT_EQ(result.learningTime, 2) << delta;
+        EXPECT_DOUBLE_EQ(result.learningDegree, 1.0) << delta;
+    }
+}
+
+TEST(Stride, HopelessOnNonStride)
+{
+    StridePredictor pred;
+    const auto result = analyzeLearning(pred, nonStrideSeq(3, 300));
+    EXPECT_LT(result.accuracy, 0.02);
+}
+
+TEST(Stride, WrapsModulo64BitCleanly)
+{
+    StridePredictor pred;
+    const uint64_t near_max = std::numeric_limits<uint64_t>::max() - 1;
+    pred.update(0, near_max);
+    pred.update(0, near_max + 1);       // wraps to 0... delta 1
+    const auto p = pred.predict(0);
+    ASSERT_TRUE(p.valid);
+    EXPECT_EQ(p.value, 0u);             // max + 1 == 0 mod 2^64
+}
+
+/**
+ * Table 1 property: on a repeated stride sequence of period p, the
+ * two-delta predictor settles at exactly one misprediction per
+ * period: LD = (p-1)/p.
+ */
+class StrideRepeatedSweep
+    : public ::testing::TestWithParam<std::tuple<int, int64_t>>
+{
+};
+
+TEST_P(StrideRepeatedSweep, OneMispredictionPerPeriod)
+{
+    const auto [period, delta] = GetParam();
+    StridePredictor pred;
+    const size_t reps = 40;
+    const auto seq = repeatedStrideSeq(100, delta,
+                                       static_cast<size_t>(period),
+                                       period * reps);
+    const auto result = analyzeLearning(pred, seq);
+
+    // Steady state after the first two periods: check the tail.
+    size_t wrong = 0, total = 0;
+    for (size_t i = 2 * period; i < seq.size(); ++i) {
+        ++total;
+        if (!result.correctAt[i])
+            ++wrong;
+    }
+    // Exactly one miss per period (the wrap), as in Figure 2.
+    EXPECT_EQ(wrong, total / period);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+        Periods, StrideRepeatedSweep,
+        ::testing::Combine(::testing::Values(2, 3, 4, 7, 16),
+                           ::testing::Values(int64_t(1), int64_t(-3),
+                                             int64_t(1000))));
+
+TEST(StrideSimple, RecomputesEveryUpdateAndMissesTwicePerPeriod)
+{
+    StrideConfig config;
+    config.policy = StridePolicy::Simple;
+    StridePredictor pred(config);
+    const int period = 5;
+    const auto seq = repeatedStrideSeq(0, 1, period, period * 30);
+    const auto result = analyzeLearning(pred, seq);
+
+    size_t wrong = 0, total = 0;
+    for (size_t i = 2 * period; i < seq.size(); ++i) {
+        ++total;
+        if (!result.correctAt[i])
+            ++wrong;
+    }
+    // The naive stride predictor re-learns after each wrap: two
+    // misses per period (Section 2.1's motivation for hysteresis).
+    EXPECT_EQ(wrong, 2 * total / period);
+}
+
+TEST(StrideSaturating, AlsoSettlesAtOneMissPerPeriod)
+{
+    StrideConfig config;
+    config.policy = StridePolicy::SaturatingCounter;
+    StridePredictor pred(config);
+    const int period = 6;
+    const auto seq = repeatedStrideSeq(0, 2, period, period * 30);
+    const auto result = analyzeLearning(pred, seq);
+
+    size_t wrong = 0, total = 0;
+    for (size_t i = 4 * period; i < seq.size(); ++i) {
+        ++total;
+        if (!result.correctAt[i])
+            ++wrong;
+    }
+    EXPECT_EQ(wrong, total / period);
+}
+
+TEST(Stride, NamesDistinguishVariants)
+{
+    StrideConfig simple;
+    simple.policy = StridePolicy::Simple;
+    StrideConfig sat;
+    sat.policy = StridePolicy::SaturatingCounter;
+    EXPECT_EQ(StridePredictor().name(), "s2");
+    EXPECT_EQ(StridePredictor(simple).name(), "s");
+    EXPECT_EQ(StridePredictor(sat).name(), "s-sat");
+}
+
+TEST(Stride, PredictIsConst)
+{
+    // predict() must not change what the next predict() returns.
+    StridePredictor pred;
+    pred.update(0, 10);
+    pred.update(0, 20);
+    const auto first = pred.predict(0);
+    const auto second = pred.predict(0);
+    EXPECT_EQ(first.value, second.value);
+    EXPECT_EQ(first.valid, second.valid);
+}
+
+} // anonymous namespace

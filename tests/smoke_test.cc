@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Build-level smoke test: every workload builds, validates, runs to a
+ * clean halt, and produces a non-trivial prediction trace.
+ */
+
+#include <gtest/gtest.h>
+
+#include "exp/suite.hh"
+
+namespace {
+
+using namespace vp;
+
+TEST(Smoke, AllWorkloadsRunAndPredict)
+{
+    exp::SuiteOptions options;
+    options.predictors = {"l"};
+    options.config.scale = 5;       // tiny inputs: this is a smoke test
+
+    const auto runs = exp::runSuite(options);
+    ASSERT_EQ(runs.size(), 7u);
+    for (const auto &run : runs) {
+        SCOPED_TRACE(run.name);
+        EXPECT_GT(run.exec.retired, 1000u);
+        EXPECT_GT(run.exec.predicted, 500u);
+        EXPECT_GT(run.exec.predictedFraction(), 0.4);
+        EXPECT_LT(run.exec.predictedFraction(), 0.95);
+        EXPECT_GT(run.staticPredicted, 20u);
+    }
+}
+
+} // anonymous namespace

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Unit tests for the statistics layer: accuracy accounting, overlap
+ * buckets (Figure 8), improvement curves (Figure 9), value profiles
+ * (Figure 10) and the learning analyzer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/improvement.hh"
+#include "core/last_value.hh"
+#include "core/learning.hh"
+#include "core/overlap.hh"
+#include "core/stats.hh"
+#include "core/value_profile.hh"
+
+namespace {
+
+using namespace vp;
+using namespace vp::core;
+using isa::Category;
+
+TEST(PredictionStats, OverallAndPerCategory)
+{
+    PredictionStats stats;
+    stats.record(Category::AddSub, true);
+    stats.record(Category::AddSub, false);
+    stats.record(Category::Loads, true);
+    EXPECT_EQ(stats.total(), 3u);
+    EXPECT_EQ(stats.correct(), 2u);
+    EXPECT_DOUBLE_EQ(stats.accuracy(), 2.0 / 3.0);
+    EXPECT_DOUBLE_EQ(stats.accuracy(Category::AddSub), 0.5);
+    EXPECT_DOUBLE_EQ(stats.accuracy(Category::Loads), 1.0);
+    EXPECT_DOUBLE_EQ(stats.accuracy(Category::Shift), 0.0);
+}
+
+TEST(PredictionStats, MergeAddsCounts)
+{
+    PredictionStats a, b;
+    a.record(Category::Set, true);
+    b.record(Category::Set, false);
+    b.record(Category::Lui, true);
+    a.merge(b);
+    EXPECT_EQ(a.total(), 3u);
+    EXPECT_EQ(a.correct(), 2u);
+    EXPECT_EQ(a.total(Category::Set), 2u);
+}
+
+TEST(PredictionStats, EmptyAccuracyIsZeroNotNan)
+{
+    PredictionStats stats;
+    EXPECT_DOUBLE_EQ(stats.accuracy(), 0.0);
+}
+
+// -------------------------------------------------------- overlap
+
+TEST(Overlap, BucketsMatchFigure8Semantics)
+{
+    OverlapTracker tracker(3);      // l, s, f
+    tracker.record(Category::AddSub, 0b000);    // np
+    tracker.record(Category::AddSub, 0b111);    // lsf
+    tracker.record(Category::AddSub, 0b100);    // f only
+    tracker.record(Category::Loads, 0b011);     // ls
+    EXPECT_EQ(tracker.total(), 4u);
+    EXPECT_DOUBLE_EQ(tracker.fraction(0b000), 0.25);
+    EXPECT_DOUBLE_EQ(tracker.fraction(0b111), 0.25);
+    EXPECT_DOUBLE_EQ(tracker.fraction(0b100), 0.25);
+    EXPECT_DOUBLE_EQ(tracker.fraction(Category::Loads, 0b011), 1.0);
+}
+
+TEST(Overlap, UnionFractionIsOracleAccuracy)
+{
+    OverlapTracker tracker(2);
+    tracker.record(Category::AddSub, 0b00);
+    tracker.record(Category::AddSub, 0b01);
+    tracker.record(Category::AddSub, 0b10);
+    tracker.record(Category::AddSub, 0b11);
+    // Either predictor correct in 3 of 4 events.
+    EXPECT_DOUBLE_EQ(tracker.unionFraction(0b11), 0.75);
+    EXPECT_DOUBLE_EQ(tracker.unionFraction(0b01), 0.5);
+}
+
+TEST(Overlap, MergeAccumulates)
+{
+    OverlapTracker a(2), b(2);
+    a.record(Category::AddSub, 0b01);
+    b.record(Category::AddSub, 0b01);
+    b.record(Category::Loads, 0b10);
+    a.merge(b);
+    EXPECT_EQ(a.total(), 3u);
+    EXPECT_EQ(a.bucket(0b01), 2u);
+    EXPECT_EQ(a.bucket(Category::Loads, 0b10), 1u);
+}
+
+// ---------------------------------------------------- improvement
+
+TEST(Improvement, CurveConcentratesOnImprovingStatics)
+{
+    ImprovementTracker tracker;
+    // PC 1: A wins 90 times more than B; PCs 2..11: A wins once.
+    for (int i = 0; i < 90; ++i)
+        tracker.record(1, Category::AddSub, true, false);
+    for (uint64_t pc = 2; pc <= 11; ++pc) {
+        tracker.record(pc, Category::AddSub, true, false);
+        tracker.record(pc, Category::AddSub, true, true);
+    }
+    const auto curve = tracker.curve();
+    ASSERT_GT(curve.size(), 2u);
+    // First static (1/11 = 9.1% of statics) carries 90% improvement.
+    EXPECT_NEAR(curve[1].staticPct, 100.0 / 11, 1e-9);
+    EXPECT_NEAR(curve[1].improvementPct, 90.0, 1e-9);
+    EXPECT_NEAR(curve.back().improvementPct, 100.0, 1e-9);
+    EXPECT_LE(tracker.staticPctForImprovement(0.9),
+              100.0 / 11 + 1e-9);
+}
+
+TEST(Improvement, NegativeDeltasFlattenTheTail)
+{
+    ImprovementTracker tracker;
+    tracker.record(1, Category::AddSub, true, false);   // +1
+    tracker.record(2, Category::AddSub, false, true);   // -1
+    const auto curve = tracker.curve();
+    // Total improvement = 1; the tail dips to 0 after the -1 PC.
+    EXPECT_NEAR(curve[1].improvementPct, 100.0, 1e-9);
+    EXPECT_NEAR(curve[2].improvementPct, 0.0, 1e-9);
+}
+
+TEST(Improvement, CategoryFilter)
+{
+    ImprovementTracker tracker;
+    tracker.record(1, Category::AddSub, true, false);
+    tracker.record(2, Category::Loads, true, false);
+    EXPECT_EQ(tracker.curve(Category::AddSub).size(), 2u);
+    EXPECT_EQ(tracker.curve().size(), 3u);
+}
+
+// -------------------------------------------------- value profile
+
+TEST(ValueProfile, BucketBoundariesMatchFigure10)
+{
+    EXPECT_EQ(ValueProfiler::bucketFor(1), 0);
+    EXPECT_EQ(ValueProfiler::bucketFor(2), 1);
+    EXPECT_EQ(ValueProfiler::bucketFor(4), 1);
+    EXPECT_EQ(ValueProfiler::bucketFor(5), 2);
+    EXPECT_EQ(ValueProfiler::bucketFor(64), 3);
+    EXPECT_EQ(ValueProfiler::bucketFor(65536), 8);
+    EXPECT_EQ(ValueProfiler::bucketFor(65537), 9);
+    EXPECT_EQ(ValueProfiler::bucketLabel(0), "1");
+    EXPECT_EQ(ValueProfiler::bucketLabel(9), ">65536");
+}
+
+TEST(ValueProfile, StaticAndDynamicShares)
+{
+    ValueProfiler profiler;
+    // PC 1: one unique value, 9 dynamic events.
+    for (int i = 0; i < 9; ++i)
+        profiler.record(1, Category::AddSub, 42);
+    // PC 2: three unique values, 3 dynamic events.
+    profiler.record(2, Category::Loads, 1);
+    profiler.record(2, Category::Loads, 2);
+    profiler.record(2, Category::Loads, 3);
+
+    const auto dist = profiler.distribution();
+    EXPECT_DOUBLE_EQ(dist.staticShare[0], 0.5);     // bucket "1"
+    EXPECT_DOUBLE_EQ(dist.staticShare[1], 0.5);     // bucket "4"
+    EXPECT_DOUBLE_EQ(dist.dynamicShare[0], 0.75);
+    EXPECT_DOUBLE_EQ(dist.dynamicShare[1], 0.25);
+
+    EXPECT_DOUBLE_EQ(profiler.staticFractionAtMost(1), 0.5);
+    EXPECT_DOUBLE_EQ(profiler.dynamicFractionAtMost(64), 1.0);
+}
+
+TEST(ValueProfile, CategoryFilter)
+{
+    ValueProfiler profiler;
+    profiler.record(1, Category::AddSub, 1);
+    profiler.record(2, Category::Shift, 1);
+    profiler.record(2, Category::Shift, 2);
+    const auto shift = profiler.distribution(Category::Shift);
+    EXPECT_DOUBLE_EQ(shift.staticShare[1], 1.0);    // 2 values
+    EXPECT_DOUBLE_EQ(shift.staticShare[0], 0.0);
+}
+
+// ------------------------------------------------------- learning
+
+TEST(Learning, MeasuresLtAndLd)
+{
+    LastValuePredictor pred;
+    // 5 5 9 9 9: first correct prediction at index 1 (LT=1);
+    // predictions after: idx2 wrong, idx3 wrong? (last=9 after idx2
+    // update) -> idx3 correct, idx4 correct => LD = 2/3.
+    const auto result =
+            analyzeLearning(pred, {5, 5, 9, 9, 9});
+    EXPECT_EQ(result.learningTime, 1);
+    EXPECT_NEAR(result.learningDegree, 2.0 / 3.0, 1e-12);
+    EXPECT_NEAR(result.accuracy, 3.0 / 5.0, 1e-12);
+    ASSERT_EQ(result.correctAt.size(), 5u);
+    EXPECT_FALSE(result.correctAt[0]);
+    EXPECT_TRUE(result.correctAt[1]);
+    EXPECT_FALSE(result.correctAt[2]);
+    EXPECT_TRUE(result.correctAt[3]);
+}
+
+TEST(Learning, NeverCorrectGivesMinusOne)
+{
+    LastValuePredictor pred;
+    const auto result = analyzeLearning(pred, {1, 2, 3, 4});
+    EXPECT_EQ(result.learningTime, -1);
+    EXPECT_DOUBLE_EQ(result.accuracy, 0.0);
+    EXPECT_DOUBLE_EQ(result.learningDegree, 0.0);
+}
+
+TEST(Learning, EmptySequenceIsSafe)
+{
+    LastValuePredictor pred;
+    const auto result = analyzeLearning(pred, {});
+    EXPECT_EQ(result.learningTime, -1);
+    EXPECT_DOUBLE_EQ(result.accuracy, 0.0);
+}
+
+} // anonymous namespace

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Tests for the experiment harness: predictor spec parsing, suite
+ * running, and averaging.
+ */
+
+#include <gtest/gtest.h>
+
+#include "exp/suite.hh"
+
+namespace {
+
+using namespace vp;
+using namespace vp::exp;
+
+TEST(MakePredictor, ParsesEverySpec)
+{
+    for (const char *spec :
+         {"l", "l-sat", "l-consec", "s", "s-sat", "s2", "fcm0", "fcm1",
+          "fcm3", "fcm8", "fcm2-full", "fcm2-pure", "fcm2-sat",
+          "hybrid"}) {
+        const auto pred = makePredictor(spec);
+        ASSERT_NE(pred, nullptr) << spec;
+        // Round trip through name() for the canonical specs (the
+        // hybrid names its components; counter width is not a model).
+        const std::string s(spec);
+        if (s.find("sat") == std::string::npos && s != "hybrid") {
+            EXPECT_EQ(pred->name(), spec);
+        }
+    }
+    EXPECT_EQ(makePredictor("hybrid")->name(), "hyb(s2+fcm3)");
+    // fcmK-sat keeps the plain name (counter width is not a model).
+    EXPECT_EQ(makePredictor("fcm2-sat")->name(), "fcm2");
+}
+
+TEST(MakePredictor, RejectsUnknownSpecs)
+{
+    EXPECT_THROW(makePredictor("bogus"), std::invalid_argument);
+    EXPECT_THROW(makePredictor("fcmx"), std::invalid_argument);
+    EXPECT_THROW(makePredictor("fcm2-weird"), std::invalid_argument);
+    EXPECT_THROW(makePredictor(""), std::invalid_argument);
+}
+
+TEST(Suite, RunsASubsetWithTrackers)
+{
+    SuiteOptions options;
+    options.predictors = {"l", "s2", "fcm2"};
+    options.benchmarks = {"compress", "xlisp"};
+    options.config.scale = 5;
+    options.overlap = 3;
+    options.improvementA = 2;       // fcm2 over s2
+    options.improvementB = 1;
+    options.values = true;
+
+    const auto runs = runSuite(options);
+    ASSERT_EQ(runs.size(), 2u);
+    for (const auto &run : runs) {
+        SCOPED_TRACE(run.name);
+        ASSERT_EQ(run.predictors.size(), 3u);
+        EXPECT_EQ(run.predictors[0].first, "l");
+        EXPECT_GT(run.predictors[0].second.total(), 0u);
+        ASSERT_TRUE(run.overlap.has_value());
+        EXPECT_EQ(run.overlap->total(),
+                  run.predictors[0].second.total());
+        ASSERT_TRUE(run.improvement.has_value());
+        ASSERT_TRUE(run.values.has_value());
+        EXPECT_GT(run.staticPredicted, 0u);
+    }
+}
+
+TEST(Suite, AccuracyPctAndMean)
+{
+    SuiteOptions options;
+    options.predictors = {"l", "s2"};
+    options.benchmarks = {"m88ksim", "go"};
+    options.config.scale = 5;
+    const auto runs = runSuite(options);
+    ASSERT_EQ(runs.size(), 2u);
+
+    const double mean_l = meanAccuracyPct(runs, 0);
+    EXPECT_NEAR(mean_l,
+                (runs[0].accuracyPct(0) + runs[1].accuracyPct(0)) / 2,
+                1e-9);
+    for (const auto &run : runs) {
+        EXPECT_GE(run.accuracyPct(1), 0.0);
+        EXPECT_LE(run.accuracyPct(1), 100.0);
+    }
+}
+
+TEST(Suite, EmptyBenchmarksMeansAllSeven)
+{
+    SuiteOptions options;
+    options.predictors = {"l"};
+    options.config.scale = 3;
+    const auto runs = runSuite(options);
+    EXPECT_EQ(runs.size(), 7u);
+}
+
+TEST(Suite, ReportedCategoriesMatchTheFigures)
+{
+    const auto &cats = reportedCategories();
+    ASSERT_EQ(cats.size(), 5u);
+    EXPECT_EQ(cats[0], isa::Category::AddSub);
+    EXPECT_EQ(cats[1], isa::Category::Loads);
+    EXPECT_EQ(cats[4], isa::Category::Set);
+}
+
+} // anonymous namespace

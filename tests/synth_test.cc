@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Tests for the synthetic sequence generators (Section 1.1 classes).
+ */
+
+#include <gtest/gtest.h>
+
+#include "synth/sequences.hh"
+
+namespace {
+
+using namespace vp::synth;
+
+TEST(Sequences, ConstantIsConstant)
+{
+    const auto seq = constantSeq(9, 50);
+    ASSERT_EQ(seq.size(), 50u);
+    for (auto v : seq)
+        EXPECT_EQ(v, 9u);
+}
+
+TEST(Sequences, StrideHasConstantDelta)
+{
+    const auto seq = strideSeq(100, -7, 40);
+    ASSERT_EQ(seq.size(), 40u);
+    for (size_t i = 1; i < seq.size(); ++i)
+        EXPECT_EQ(seq[i] - seq[i - 1], static_cast<uint64_t>(-7));
+}
+
+TEST(Sequences, NonStrideHasNoConstantDeltaRun)
+{
+    const auto seq = nonStrideSeq(1234, 500);
+    ASSERT_EQ(seq.size(), 500u);
+    for (size_t i = 2; i < seq.size(); ++i) {
+        EXPECT_FALSE(seq[i] - seq[i - 1] == seq[i - 1] - seq[i - 2])
+                << "stride run at " << i;
+    }
+    for (size_t i = 1; i < seq.size(); ++i)
+        EXPECT_NE(seq[i], seq[i - 1]);
+}
+
+TEST(Sequences, NonStrideIsDeterministicPerSeed)
+{
+    EXPECT_EQ(nonStrideSeq(5, 100), nonStrideSeq(5, 100));
+    EXPECT_NE(nonStrideSeq(5, 100), nonStrideSeq(6, 100));
+}
+
+TEST(Sequences, RepeatedStridePeriodicity)
+{
+    const size_t period = 6;
+    const auto seq = repeatedStrideSeq(1, 2, period, 60);
+    for (size_t i = period; i < seq.size(); ++i)
+        EXPECT_EQ(seq[i], seq[i - period]);
+    // Within a period the delta is constant.
+    for (size_t i = 1; i < period; ++i)
+        EXPECT_EQ(seq[i] - seq[i - 1], 2u);
+}
+
+TEST(Sequences, RepeatedNonStridePeriodicity)
+{
+    const size_t period = 9;
+    const auto seq = repeatedNonStrideSeq(7, period, 90);
+    for (size_t i = period; i < seq.size(); ++i)
+        EXPECT_EQ(seq[i], seq[i - period]);
+}
+
+TEST(Sequences, RepeatPatternHandlesEdgeCases)
+{
+    EXPECT_TRUE(repeatPattern({}, 10).empty());
+    const auto seq = repeatPattern({1, 2}, 5);
+    EXPECT_EQ(seq, (std::vector<uint64_t>{1, 2, 1, 2, 1}));
+}
+
+TEST(Sequences, ConcatAndInterleave)
+{
+    const auto cat = concatSeq({{1, 2}, {3}, {}, {4, 5}});
+    EXPECT_EQ(cat, (std::vector<uint64_t>{1, 2, 3, 4, 5}));
+
+    const auto inter = interleaveSeq({{1, 3, 5}, {2, 4}});
+    EXPECT_EQ(inter, (std::vector<uint64_t>{1, 2, 3, 4, 5}));
+    EXPECT_TRUE(interleaveSeq({}).empty());
+}
+
+TEST(Sequences, ClassNames)
+{
+    EXPECT_EQ(seqClassName(SeqClass::Constant), "C");
+    EXPECT_EQ(seqClassName(SeqClass::Stride), "S");
+    EXPECT_EQ(seqClassName(SeqClass::NonStride), "NS");
+    EXPECT_EQ(seqClassName(SeqClass::RepeatedStride), "RS");
+    EXPECT_EQ(seqClassName(SeqClass::RepeatedNonStride), "RNS");
+}
+
+TEST(Rng, DeterministicAndRangeBounded)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+    Rng c(7);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_LT(c.range(10), 10u);
+        const auto v = c.between(-5, 5);
+        EXPECT_GE(v, -5);
+        EXPECT_LE(v, 5);
+    }
+}
+
+TEST(Rng, ZeroSeedIsRemapped)
+{
+    Rng zero(0);
+    EXPECT_NE(zero.next(), 0u);
+}
+
+} // anonymous namespace

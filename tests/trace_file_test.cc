@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Tests for the value-trace file format: round trips, streaming use
+ * as a VM sink, replay equivalence, and corruption handling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/fcm.hh"
+#include "exp/suite.hh"
+#include "masm/builder.hh"
+#include "sim/driver.hh"
+#include "synth/sequences.hh"
+#include "vm/machine.hh"
+#include "vm/trace_file.hh"
+
+namespace {
+
+using namespace vp;
+using namespace vp::masm;
+using namespace vp::masm::reg;
+using vm::TraceEvent;
+
+std::vector<TraceEvent>
+sampleEvents(size_t n)
+{
+    synth::Rng rng(99);
+    std::vector<TraceEvent> events;
+    for (size_t i = 0; i < n; ++i) {
+        TraceEvent event{};
+        event.op = (i % 3 == 0) ? isa::Opcode::Add
+                 : (i % 3 == 1) ? isa::Opcode::Ld
+                                : isa::Opcode::Slli;
+        event.cat = isa::opcodeCategory(event.op);
+        event.pc = rng.range(500);
+        event.value = rng.next() >> (rng.range(60));
+        events.push_back(event);
+    }
+    return events;
+}
+
+TEST(TraceFile, StreamRoundTrip)
+{
+    const auto events = sampleEvents(1000);
+    std::stringstream buf(std::ios::in | std::ios::out |
+                          std::ios::binary);
+    vm::TraceWriter writer(buf);
+    for (const auto &event : events)
+        writer.onValue(event);
+    writer.finish();
+    EXPECT_EQ(writer.eventCount(), events.size());
+
+    buf.seekg(0);
+    vm::TraceReader reader(buf);
+    EXPECT_EQ(reader.eventCount(), events.size());
+    TraceEvent event{};
+    for (const auto &expected : events) {
+        ASSERT_TRUE(reader.next(event));
+        EXPECT_EQ(event.pc, expected.pc);
+        EXPECT_EQ(event.value, expected.value);
+        EXPECT_EQ(event.op, expected.op);
+        EXPECT_EQ(event.cat, expected.cat);
+    }
+    EXPECT_FALSE(reader.next(event));
+}
+
+TEST(TraceFile, FileRoundTripHelpers)
+{
+    const auto events = sampleEvents(300);
+    const std::string path = "test_roundtrip.vpt";
+    vm::writeTraceFile(path, events);
+    const auto back = vm::readTraceFile(path);
+    std::remove(path.c_str());
+    ASSERT_EQ(back.size(), events.size());
+    for (size_t i = 0; i < events.size(); ++i) {
+        EXPECT_EQ(back[i].pc, events[i].pc);
+        EXPECT_EQ(back[i].value, events[i].value);
+    }
+}
+
+TEST(TraceFile, RecordedVmTraceReplaysIdentically)
+{
+    // Run a real program once live and once through a trace file;
+    // the fcm predictor must see exactly the same stream.
+    ProgramBuilder b("rec");
+    const auto loop = b.newLabel();
+    b.li(t0, 200);
+    b.bind(loop);
+    b.mul(t1, t0, t0);
+    b.andi(t2, t1, 255);
+    b.addi(t0, t0, -1);
+    b.bnez(t0, loop);
+    b.halt();
+    const auto prog = b.build();
+
+    // Live run into a predictor bank.
+    sim::PredictorBank live;
+    live.add(vp::exp::makePredictor("fcm2"));
+    sim::runProgram(prog, live);
+
+    // Recorded run.
+    std::stringstream buf(std::ios::in | std::ios::out |
+                          std::ios::binary);
+    vm::TraceWriter writer(buf);
+    vm::Machine machine;
+    machine.setSink(&writer);
+    ASSERT_TRUE(machine.run(prog).ok());
+    writer.finish();
+
+    buf.seekg(0);
+    vm::TraceReader reader(buf);
+    sim::PredictorBank replayed;
+    replayed.add(vp::exp::makePredictor("fcm2"));
+    const auto n = reader.replay(replayed);
+
+    EXPECT_EQ(n, live.member(0).stats.total());
+    EXPECT_EQ(replayed.member(0).stats.correct(),
+              live.member(0).stats.correct());
+}
+
+TEST(TraceFile, RejectsGarbage)
+{
+    std::stringstream buf;
+    buf << "not a trace at all";
+    EXPECT_THROW(vm::TraceReader reader(buf), vm::TraceFileError);
+}
+
+TEST(TraceFile, RejectsTruncatedBody)
+{
+    const auto events = sampleEvents(50);
+    std::stringstream buf(std::ios::in | std::ios::out |
+                          std::ios::binary);
+    vm::TraceWriter writer(buf);
+    for (const auto &event : events)
+        writer.onValue(event);
+    writer.finish();
+
+    // Chop the tail off.
+    std::string data = buf.str();
+    data.resize(data.size() - 4);
+    std::stringstream cut(data, std::ios::in | std::ios::binary);
+    vm::TraceReader reader(cut);
+    TraceEvent event{};
+    EXPECT_THROW(
+            {
+                while (reader.next(event)) {
+                }
+            },
+            vm::TraceFileError);
+}
+
+TEST(TraceFile, RejectsNonPredictedOpcodeTags)
+{
+    // Handcraft a file whose single event claims to be a store.
+    std::stringstream buf(std::ios::in | std::ios::out |
+                          std::ios::binary);
+    vm::TraceWriter writer(buf);
+    TraceEvent good{};
+    good.op = isa::Opcode::Add;
+    good.cat = isa::Category::AddSub;
+    writer.onValue(good);
+    writer.finish();
+    std::string data = buf.str();
+    data[16] = static_cast<char>(isa::Opcode::Sd);  // first tag byte
+    std::stringstream bad(data, std::ios::in | std::ios::binary);
+    vm::TraceReader reader(bad);
+    TraceEvent event{};
+    EXPECT_THROW(reader.next(event), vm::TraceFileError);
+}
+
+TEST(TraceFile, MissingFileThrows)
+{
+    EXPECT_THROW(vm::readTraceFile("/nonexistent/x.vpt"),
+                 vm::TraceFileError);
+}
+
+} // anonymous namespace

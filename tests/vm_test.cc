@@ -1,0 +1,386 @@
+/**
+ * @file
+ * Unit tests for the VM: instruction semantics, trace emission,
+ * execution statistics, faults and limits.
+ */
+
+#include <gtest/gtest.h>
+
+#include "masm/builder.hh"
+#include "synth/sequences.hh"
+#include "vm/machine.hh"
+
+namespace {
+
+using namespace vp;
+using namespace vp::masm;
+using namespace vp::masm::reg;
+using vm::ExitReason;
+
+/** Run a builder-made program and return the machine for inspection. */
+struct RunHelper
+{
+    vm::Machine machine;
+    vm::RecordingSink trace;
+    vm::RunResult result;
+
+    explicit RunHelper(const isa::Program &prog,
+                       vm::MachineConfig config = {})
+        : machine(config)
+    {
+        machine.setSink(&trace);
+        result = machine.run(prog);
+    }
+};
+
+/** Build a program computing `op(a, b)` into t2 and halting. */
+isa::Program
+binop(void (ProgramBuilder::*emit)(int, int, int), int64_t lhs,
+      int64_t rhs)
+{
+    ProgramBuilder b("binop");
+    b.li(t0, lhs);
+    b.li(t1, rhs);
+    (b.*emit)(3 /* t2 */, t0, t1);
+    b.halt();
+    return b.build();
+}
+
+int64_t
+evalBinop(void (ProgramBuilder::*emit)(int, int, int), int64_t a,
+          int64_t b)
+{
+    RunHelper run(binop(emit, a, b));
+    EXPECT_TRUE(run.result.ok());
+    return run.machine.reg(t2);
+}
+
+TEST(VmArithmetic, BasicOps)
+{
+    EXPECT_EQ(evalBinop(&ProgramBuilder::add, 2, 3), 5);
+    EXPECT_EQ(evalBinop(&ProgramBuilder::sub, 2, 3), -1);
+    EXPECT_EQ(evalBinop(&ProgramBuilder::mul, -4, 6), -24);
+    EXPECT_EQ(evalBinop(&ProgramBuilder::div, 7, 2), 3);
+    EXPECT_EQ(evalBinop(&ProgramBuilder::div, -7, 2), -3);
+    EXPECT_EQ(evalBinop(&ProgramBuilder::rem, 7, 2), 1);
+    EXPECT_EQ(evalBinop(&ProgramBuilder::rem, -7, 2), -1);
+}
+
+TEST(VmArithmetic, DivisionEdgeCases)
+{
+    // Division by zero is defined, not faulting (see machine.hh).
+    EXPECT_EQ(evalBinop(&ProgramBuilder::div, 42, 0), 0);
+    EXPECT_EQ(evalBinop(&ProgramBuilder::rem, 42, 0), 42);
+    const int64_t min = std::numeric_limits<int64_t>::min();
+    EXPECT_EQ(evalBinop(&ProgramBuilder::div, min, -1), min);
+    EXPECT_EQ(evalBinop(&ProgramBuilder::rem, min, -1), 0);
+}
+
+TEST(VmArithmetic, AddWrapsModulo64)
+{
+    const int64_t max = std::numeric_limits<int64_t>::max();
+    EXPECT_EQ(evalBinop(&ProgramBuilder::add, max, 1),
+              std::numeric_limits<int64_t>::min());
+}
+
+TEST(VmArithmetic, MulhComputesHighHalf)
+{
+    EXPECT_EQ(evalBinop(&ProgramBuilder::mulh, int64_t(1) << 40,
+                        int64_t(1) << 40),
+              int64_t(1) << 16);
+    EXPECT_EQ(evalBinop(&ProgramBuilder::mulh, -1, 1), -1);
+}
+
+TEST(VmLogic, Operations)
+{
+    EXPECT_EQ(evalBinop(&ProgramBuilder::and_, 0b1100, 0b1010), 0b1000);
+    EXPECT_EQ(evalBinop(&ProgramBuilder::or_, 0b1100, 0b1010), 0b1110);
+    EXPECT_EQ(evalBinop(&ProgramBuilder::xor_, 0b1100, 0b1010), 0b0110);
+    EXPECT_EQ(evalBinop(&ProgramBuilder::nor, 0, 0), -1);
+}
+
+TEST(VmShift, AmountsAreMaskedTo6Bits)
+{
+    EXPECT_EQ(evalBinop(&ProgramBuilder::sll, 1, 65), 2);
+    EXPECT_EQ(evalBinop(&ProgramBuilder::srl, -1, 60), 15);
+    EXPECT_EQ(evalBinop(&ProgramBuilder::sra, -16, 2), -4);
+}
+
+TEST(VmSet, Comparisons)
+{
+    EXPECT_EQ(evalBinop(&ProgramBuilder::slt, -1, 0), 1);
+    EXPECT_EQ(evalBinop(&ProgramBuilder::sltu, -1, 0), 0); // unsigned
+    EXPECT_EQ(evalBinop(&ProgramBuilder::seq, 5, 5), 1);
+    EXPECT_EQ(evalBinop(&ProgramBuilder::sne, 5, 5), 0);
+    EXPECT_EQ(evalBinop(&ProgramBuilder::min, 3, -7), -7);
+    EXPECT_EQ(evalBinop(&ProgramBuilder::max, 3, -7), 3);
+}
+
+TEST(VmRegisters, R0IsHardwiredToZero)
+{
+    ProgramBuilder b("r0");
+    b.addi(0, 0, 42);               // attempt to write r0
+    b.addi(t0, 0, 1);               // t0 = r0 + 1
+    b.halt();
+    RunHelper run(b.build());
+    ASSERT_TRUE(run.result.ok());
+    EXPECT_EQ(run.machine.reg(0), 0);
+    EXPECT_EQ(run.machine.reg(t0), 1);
+}
+
+TEST(VmMemory, LoadStoreWidthsAndSignExtension)
+{
+    ProgramBuilder b("mem");
+    const auto buf = b.allocData(64, 8);
+    b.la(t0, buf);
+    b.li(t1, -2);                   // 0xfffffffffffffffe
+    b.sd(t1, 0, t0);
+    b.ld(t2, 0, t0);                // full 64-bit
+    b.lw(t3, 0, t0);                // 32-bit sign extended
+    b.lh(t4, 0, t0);                // 16-bit sign extended
+    b.lb(t5, 0, t0);                // 8-bit sign extended
+    b.lbu(t6, 0, t0);               // 8-bit zero extended
+    b.li(t1, 0x1234);
+    b.sh(t1, 8, t0);
+    b.lh(t7, 8, t0);
+    b.li(t1, 0xab);
+    b.sb(t1, 16, t0);
+    b.lbu(t8, 16, t0);
+    b.halt();
+
+    RunHelper run(b.build());
+    ASSERT_TRUE(run.result.ok());
+    EXPECT_EQ(run.machine.reg(t2), -2);
+    EXPECT_EQ(run.machine.reg(t3), -2);
+    EXPECT_EQ(run.machine.reg(t4), -2);
+    EXPECT_EQ(run.machine.reg(t5), -2);
+    EXPECT_EQ(run.machine.reg(t6), 0xfe);
+    EXPECT_EQ(run.machine.reg(t7), 0x1234);
+    EXPECT_EQ(run.machine.reg(t8), 0xab);
+}
+
+TEST(VmMemory, DataImageIsLoadedAtDataBase)
+{
+    ProgramBuilder b("img");
+    const auto addr = b.addWords({111, 222});
+    b.la(t0, addr);
+    b.ld(t1, 0, t0);
+    b.ld(t2, 8, t0);
+    b.halt();
+    RunHelper run(b.build());
+    ASSERT_TRUE(run.result.ok());
+    EXPECT_EQ(run.machine.reg(t1), 111);
+    EXPECT_EQ(run.machine.reg(t2), 222);
+}
+
+TEST(VmMemory, OutOfRangeAccessFaults)
+{
+    ProgramBuilder b("fault");
+    b.li(t0, 1 << 30);              // way past default memory
+    b.ld(t1, 0, t0);
+    b.halt();
+    vm::MachineConfig config;
+    config.memBytes = 1 << 20;
+    RunHelper run(b.build(), config);
+    EXPECT_EQ(run.result.reason, ExitReason::MemoryFault);
+    EXPECT_FALSE(run.result.diagnostic.empty());
+}
+
+TEST(VmControl, LoopAndBranches)
+{
+    ProgramBuilder b("loop");
+    const auto loop = b.newLabel();
+    b.li(t0, 10);
+    b.li(t1, 0);
+    b.bind(loop);
+    b.add(t1, t1, t0);
+    b.addi(t0, t0, -1);
+    b.bnez(t0, loop);
+    b.halt();
+    RunHelper run(b.build());
+    ASSERT_TRUE(run.result.ok());
+    EXPECT_EQ(run.machine.reg(t1), 55);
+}
+
+TEST(VmControl, CallAndReturn)
+{
+    ProgramBuilder b("call");
+    const auto fn = b.newLabel();
+    const auto over = b.newLabel();
+    b.li(a0, 20);
+    b.call(fn);
+    b.mov(t0, v0);
+    b.halt();
+    b.j(over);                      // unreachable guard
+    b.bind(fn);
+    b.slli(v0, a0, 1);
+    b.ret();
+    b.bind(over);
+    b.halt();
+    RunHelper run(b.build());
+    ASSERT_TRUE(run.result.ok());
+    EXPECT_EQ(run.machine.reg(t0), 40);
+}
+
+TEST(VmControl, StackPushPop)
+{
+    ProgramBuilder b("stack");
+    b.li(t0, 123);
+    b.li(t1, 456);
+    b.push(t0);
+    b.push(t1);
+    b.pop(t2);
+    b.pop(t3);
+    b.halt();
+    RunHelper run(b.build());
+    ASSERT_TRUE(run.result.ok());
+    EXPECT_EQ(run.machine.reg(t2), 456);
+    EXPECT_EQ(run.machine.reg(t3), 123);
+}
+
+TEST(VmControl, InstructionLimitStopsRunawayPrograms)
+{
+    ProgramBuilder b("spin");
+    const auto loop = b.newLabel();
+    b.bind(loop);
+    b.addi(t0, t0, 1);
+    b.j(loop);
+    b.halt();
+    vm::MachineConfig config;
+    config.maxInstructions = 1000;
+    RunHelper run(b.build(), config);
+    EXPECT_EQ(run.result.reason, ExitReason::InstrLimit);
+    EXPECT_LE(run.result.stats.retired, 1001u);
+}
+
+TEST(VmControl, FallingOffCodeIsBadPC)
+{
+    ProgramBuilder b("nohalt");
+    b.addi(t0, t0, 1);
+    RunHelper run(b.build());
+    EXPECT_EQ(run.result.reason, ExitReason::BadPC);
+}
+
+// ------------------------------------------------------- tracing
+
+TEST(VmTrace, EmitsOnlyPredictedCategoriesWithValues)
+{
+    ProgramBuilder b("trace");
+    const auto buf = b.allocData(16, 8);
+    b.li(t0, 7);                    // AddSub (li of small value)
+    b.slli(t1, t0, 2);              // Shift: 28
+    b.la(t2, buf);
+    b.sd(t1, 0, t2);                // Store: NOT traced
+    b.ld(t3, 0, t2);                // Loads: 28
+    b.nop();                        // System: NOT traced
+    b.halt();
+    RunHelper run(b.build());
+    ASSERT_TRUE(run.result.ok());
+
+    ASSERT_EQ(run.trace.events.size(), 4u);
+    EXPECT_EQ(run.trace.events[0].cat, isa::Category::AddSub);
+    EXPECT_EQ(run.trace.events[0].value, 7u);
+    EXPECT_EQ(run.trace.events[1].cat, isa::Category::Shift);
+    EXPECT_EQ(run.trace.events[1].value, 28u);
+    EXPECT_EQ(run.trace.events[2].cat, isa::Category::AddSub); // la
+    EXPECT_EQ(run.trace.events[3].cat, isa::Category::Loads);
+    EXPECT_EQ(run.trace.events[3].value, 28u);
+}
+
+TEST(VmTrace, JalLinkWriteIsNotTraced)
+{
+    ProgramBuilder b("jal");
+    const auto fn = b.newLabel();
+    b.call(fn);
+    b.halt();
+    b.bind(fn);
+    b.ret();
+    RunHelper run(b.build());
+    ASSERT_TRUE(run.result.ok());
+    EXPECT_TRUE(run.trace.events.empty());
+}
+
+TEST(VmTrace, WritesToR0AreNotTraced)
+{
+    ProgramBuilder b("r0trace");
+    b.addi(0, 0, 5);
+    b.halt();
+    RunHelper run(b.build());
+    ASSERT_TRUE(run.result.ok());
+    EXPECT_TRUE(run.trace.events.empty());
+    EXPECT_EQ(run.result.stats.predicted, 0u);
+}
+
+TEST(VmTrace, PcInEventsMatchesStaticInstruction)
+{
+    ProgramBuilder b("pcs");
+    b.li(t0, 1);                    // pc 0
+    b.li(t1, 2);                    // pc 1
+    b.halt();
+    RunHelper run(b.build());
+    ASSERT_EQ(run.trace.events.size(), 2u);
+    EXPECT_EQ(run.trace.events[0].pc, 0u);
+    EXPECT_EQ(run.trace.events[1].pc, 1u);
+}
+
+TEST(VmStats, CategoryCountsAndPredictedFraction)
+{
+    ProgramBuilder b("stats");
+    const auto buf = b.allocData(16, 8);
+    b.li(t0, 3);                    // AddSub
+    b.la(t1, buf);                  // AddSub
+    b.sd(t0, 0, t1);                // Store
+    b.ld(t2, 0, t1);                // Loads
+    b.halt();                       // System
+    RunHelper run(b.build());
+    ASSERT_TRUE(run.result.ok());
+    const auto &stats = run.result.stats;
+    EXPECT_EQ(stats.retired, 5u);
+    EXPECT_EQ(stats.predicted, 3u);
+    EXPECT_EQ(stats.byCategory[int(isa::Category::AddSub)], 2u);
+    EXPECT_EQ(stats.byCategory[int(isa::Category::Store)], 1u);
+    EXPECT_EQ(stats.byCategory[int(isa::Category::Loads)], 1u);
+    EXPECT_EQ(stats.byCategory[int(isa::Category::System)], 1u);
+    EXPECT_DOUBLE_EQ(stats.predictedFraction(), 0.6);
+}
+
+TEST(VmStats, FanoutSinkDuplicatesEvents)
+{
+    vm::RecordingSink a, c;
+    vm::FanoutSink fan;
+    fan.add(&a);
+    fan.add(&c);
+    fan.onValue(vm::TraceEvent{1, isa::Opcode::Add,
+                               isa::Category::AddSub, 9});
+    EXPECT_EQ(a.events.size(), 1u);
+    EXPECT_EQ(c.events.size(), 1u);
+}
+
+/** Property sweep: VM binary ops agree with host-side semantics. */
+class VmArithFuzz : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(VmArithFuzz, MatchesHostSemantics)
+{
+    vp::synth::Rng rng(GetParam());
+    for (int n = 0; n < 40; ++n) {
+        const auto a = static_cast<int64_t>(rng.next());
+        const auto c = static_cast<int64_t>(rng.next());
+        EXPECT_EQ(evalBinop(&ProgramBuilder::add, a, c),
+                  static_cast<int64_t>(static_cast<uint64_t>(a) +
+                                       static_cast<uint64_t>(c)));
+        EXPECT_EQ(evalBinop(&ProgramBuilder::xor_, a, c), a ^ c);
+        EXPECT_EQ(evalBinop(&ProgramBuilder::sltu, a, c),
+                  static_cast<uint64_t>(a) < static_cast<uint64_t>(c)
+                          ? 1 : 0);
+        EXPECT_EQ(evalBinop(&ProgramBuilder::srl, a, c & 63),
+                  static_cast<int64_t>(static_cast<uint64_t>(a) >>
+                                       (c & 63)));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VmArithFuzz,
+                         ::testing::Values(11, 22, 33));
+
+} // anonymous namespace

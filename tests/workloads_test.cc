@@ -1,0 +1,292 @@
+/**
+ * @file
+ * Tests for the seven mini-benchmarks: clean termination, semantic
+ * results (e.g. N-queens solution counts), determinism, category
+ * mixes, and input/flag sensitivity plumbing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/driver.hh"
+#include "vm/machine.hh"
+#include "workloads/inputs.hh"
+#include "workloads/layout.hh"
+#include "workloads/workload.hh"
+
+namespace {
+
+using namespace vp;
+using workloads::WorkloadConfig;
+
+WorkloadConfig
+tiny()
+{
+    WorkloadConfig config;
+    config.scale = 10;
+    return config;
+}
+
+/** Run and return (machine for memory inspection, result). */
+struct Ran
+{
+    vm::Machine machine;
+    vm::RunResult result;
+    isa::Program prog;
+
+    Ran(const std::string &name, const WorkloadConfig &config)
+        : prog(workloads::findWorkload(name).build(config))
+    {
+        result = machine.run(prog);
+    }
+
+    int64_t
+    resultWord(int index) const
+    {
+        const auto addr = prog.dataSymbols.at("result");
+        return static_cast<int64_t>(
+                machine.memory().read(addr + 8 * index, 8));
+    }
+};
+
+TEST(WorkloadRegistry, HasTheSevenSpec95IntBenchmarks)
+{
+    const auto &all = workloads::allWorkloads();
+    ASSERT_EQ(all.size(), 7u);
+    EXPECT_EQ(all[0].name, "compress");
+    EXPECT_EQ(all[1].name, "gcc");
+    EXPECT_EQ(all[2].name, "go");
+    EXPECT_EQ(all[3].name, "ijpeg");
+    EXPECT_EQ(all[4].name, "m88ksim");
+    EXPECT_EQ(all[5].name, "perl");
+    EXPECT_EQ(all[6].name, "xlisp");
+    EXPECT_THROW(workloads::findWorkload("nope"), std::out_of_range);
+}
+
+class EveryWorkload : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(EveryWorkload, HaltsCleanlyAtTinyScale)
+{
+    Ran run(GetParam(), tiny());
+    EXPECT_TRUE(run.result.ok()) << run.result.diagnostic;
+    EXPECT_GT(run.result.stats.predicted, 100u);
+}
+
+TEST_P(EveryWorkload, IsDeterministic)
+{
+    Ran a(GetParam(), tiny());
+    Ran b(GetParam(), tiny());
+    EXPECT_EQ(a.result.stats.retired, b.result.stats.retired);
+    EXPECT_EQ(a.resultWord(0), b.resultWord(0));
+}
+
+TEST_P(EveryWorkload, PredictedFractionIsInThePaperBand)
+{
+    // Table 2 reports 62%-84%; allow slack at tiny scale.
+    Ran run(GetParam(), tiny());
+    const double f = run.result.stats.predictedFraction();
+    EXPECT_GT(f, 0.5) << GetParam();
+    EXPECT_LT(f, 0.92) << GetParam();
+}
+
+TEST_P(EveryWorkload, ProgramValidates)
+{
+    const auto prog =
+            workloads::findWorkload(GetParam()).build(tiny());
+    EXPECT_EQ(prog.validate(), "");
+    EXPECT_GT(prog.countPredictedStatic(), 10u);
+    EXPECT_TRUE(prog.dataSymbols.count("result"));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+        Suite, EveryWorkload,
+        ::testing::Values("compress", "gcc", "go", "ijpeg", "m88ksim",
+                          "perl", "xlisp"));
+
+// ------------------------------------------------- semantic checks
+
+TEST(Xlisp, CountsQueensSolutionsCorrectly)
+{
+    // Boards 5/6/7 have 10/4/40 solutions; 3 repetitions at default
+    // scale => 3 * 54 = 162.
+    WorkloadConfig config;        // default scale
+    Ran run("xlisp", config);
+    ASSERT_TRUE(run.result.ok());
+    EXPECT_EQ(run.resultWord(0), 3 * (10 + 4 + 40));
+    EXPECT_GT(run.resultWord(1), 0);    // nodes visited
+}
+
+TEST(Compress, ProducesCompressedOutput)
+{
+    Ran run("compress", tiny());
+    ASSERT_TRUE(run.result.ok());
+    const int64_t codes = run.resultWord(0);
+    EXPECT_GT(codes, 0);
+    // LZW on skewed text must compress: fewer codes than bytes.
+    EXPECT_LT(codes, 3 * 1100 + 10);    // 3 passes over 1.1k @ 10%
+    EXPECT_EQ(run.resultWord(1), 3);    // passes completed
+}
+
+TEST(M88ksim, RetiresGuestInstructions)
+{
+    Ran run("m88ksim", tiny());
+    ASSERT_TRUE(run.result.ok());
+    EXPECT_GT(run.resultWord(0), 500);  // guest instructions retired
+}
+
+TEST(Perl, ScoresWordsAndCountsHits)
+{
+    Ran run("perl", tiny());
+    ASSERT_TRUE(run.result.ok());
+    EXPECT_GT(run.resultWord(1), 0);    // hit count
+    EXPECT_NE(run.resultWord(0), 0);    // total score moved
+}
+
+TEST(Gcc, FoldsStatements)
+{
+    Ran run("gcc", tiny());
+    ASSERT_TRUE(run.result.ok());
+    EXPECT_EQ(run.resultWord(1), 90);   // statements at scale 10
+}
+
+TEST(Ijpeg, EmitsRleSymbols)
+{
+    Ran run("ijpeg", tiny());
+    ASSERT_TRUE(run.result.ok());
+    EXPECT_GT(run.resultWord(0), 50);   // (run,value) pairs
+}
+
+TEST(Go, ComputesABoardScore)
+{
+    Ran run("go", tiny());
+    ASSERT_TRUE(run.result.ok());
+    EXPECT_NE(run.resultWord(0), 0);
+}
+
+// ------------------------------------------------- sensitivity
+
+TEST(Gcc, DifferentInputsChangeWorkAmount)
+{
+    WorkloadConfig small = tiny();
+    small.input = "jump.i";
+    WorkloadConfig big = tiny();
+    big.input = "stmt.i";
+    Ran a("gcc", small);
+    Ran c("gcc", big);
+    ASSERT_TRUE(a.result.ok());
+    ASSERT_TRUE(c.result.ok());
+    // stmt.i is the largest input file, as in Table 6.
+    EXPECT_GT(c.result.stats.predicted,
+              2 * a.result.stats.predicted);
+}
+
+TEST(Gcc, FlagsChangeCodeGeneration)
+{
+    WorkloadConfig none = tiny();
+    none.flags = "none";
+    WorkloadConfig ref = tiny();
+    const auto prog_none =
+            workloads::findWorkload("gcc").build(none);
+    const auto prog_ref = workloads::findWorkload("gcc").build(ref);
+    // -O0-style spills make the unoptimized build bigger and slower.
+    EXPECT_GT(prog_none.size(), prog_ref.size());
+    Ran a("gcc", none);
+    Ran b("gcc", ref);
+    EXPECT_GT(a.result.stats.retired, b.result.stats.retired);
+}
+
+TEST(Workloads, InputNameChangesSeedDeterministically)
+{
+    EXPECT_EQ(workloads::inputSeed("gcc", "a"),
+              workloads::inputSeed("gcc", "a"));
+    EXPECT_NE(workloads::inputSeed("gcc", "a"),
+              workloads::inputSeed("gcc", "b"));
+    EXPECT_NE(workloads::inputSeed("gcc", "a"),
+              workloads::inputSeed("perl", "a"));
+}
+
+TEST(CodegenOptions, FlagLaddersMatchDocumentation)
+{
+    const auto none = workloads::CodegenOptions::fromFlags("none");
+    EXPECT_FALSE(none.registerCache);
+    EXPECT_FALSE(none.tableDispatch);
+    EXPECT_FALSE(none.strengthReduce);
+    const auto o1 = workloads::CodegenOptions::fromFlags("O1");
+    EXPECT_TRUE(o1.registerCache);
+    EXPECT_FALSE(o1.tableDispatch);
+    const auto o2 = workloads::CodegenOptions::fromFlags("O2");
+    EXPECT_TRUE(o2.tableDispatch);
+    EXPECT_FALSE(o2.unroll);
+    const auto ref = workloads::CodegenOptions::fromFlags("ref");
+    EXPECT_TRUE(ref.unroll);
+    EXPECT_TRUE(ref.strengthReduce);
+}
+
+// ------------------------------------------------- input makers
+
+TEST(Inputs, TextIsPrintableAndSkewed)
+{
+    const auto text = workloads::makeText(1, 5000);
+    ASSERT_EQ(text.size(), 5000u);
+    for (uint8_t c : text) {
+        EXPECT_TRUE((c >= 'a' && c <= 'z') || c == ' ' || c == '\n')
+                << int(c);
+    }
+}
+
+TEST(Inputs, ExpressionsAreNulTerminatedStatements)
+{
+    const auto src = workloads::makeExpressions(2, 50);
+    EXPECT_EQ(src.back(), '\0');
+    size_t semis = 0;
+    for (uint8_t c : src)
+        semis += c == ';';
+    EXPECT_EQ(semis, 50u);
+}
+
+TEST(Inputs, BoardHasOnlyValidCells)
+{
+    const auto board = workloads::makeBoard(3, 19, 120);
+    ASSERT_EQ(board.size(), 19u * 19u);
+    int stones = 0;
+    for (uint8_t c : board) {
+        EXPECT_LE(c, 2);
+        stones += c != 0;
+    }
+    EXPECT_GT(stones, 60);
+}
+
+TEST(Inputs, WordsAreUniqueLowercase)
+{
+    const auto words = workloads::makeWords(4, 200);
+    ASSERT_EQ(words.size(), 200u);
+    std::set<std::string> set(words.begin(), words.end());
+    EXPECT_EQ(set.size(), 200u);
+    for (const auto &w : words) {
+        EXPECT_GE(w.size(), 2u);
+        EXPECT_LE(w.size(), 9u);
+        for (char c : w)
+            EXPECT_TRUE(c >= 'a' && c <= 'z');
+    }
+}
+
+TEST(Inputs, ImageHasFullSizeAndVariation)
+{
+    const auto img = workloads::makeImage(5, 64, 48);
+    ASSERT_EQ(img.size(), 64u * 48u);
+    std::set<uint8_t> distinct(img.begin(), img.end());
+    EXPECT_GT(distinct.size(), 16u);
+}
+
+TEST(Inputs, GuestProgramVariantsDiffer)
+{
+    const auto ref = workloads::makeGuestProgram("ref");
+    const auto small = workloads::makeGuestProgram("small");
+    const auto xl = workloads::makeGuestProgram("xl");
+    EXPECT_FALSE(ref.empty());
+    EXPECT_NE(ref, small);
+    EXPECT_NE(ref, xl);
+}
+
+} // anonymous namespace
