@@ -20,11 +20,15 @@ namespace vp::bench {
  */
 inline int
 runCategoryFigure(int figure_number, isa::Category cat,
-                  const char *paper_note)
+                  const char *paper_note, int argc, char **argv)
 {
+    const auto args = exp::BenchArgs::parse(argc, argv);
+    if (!args.ok)
+        return 2;
     exp::SuiteOptions options;
     options.predictors = {"l", "s2", "fcm1", "fcm2", "fcm3"};
 
+    args.apply(options);
     const auto runs = exp::runSuite(options);
     const auto cat_name = std::string(isa::categoryName(cat));
 

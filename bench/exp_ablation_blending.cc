@@ -14,11 +14,15 @@
 using namespace vp;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto args = exp::BenchArgs::parse(argc, argv);
+    if (!args.ok)
+        return 2;
     exp::SuiteOptions options;
     options.predictors = {"fcm3", "fcm3-full", "fcm3-pure", "fcm3-sat"};
 
+    args.apply(options);
     const auto runs = exp::runSuite(options);
 
     std::printf("Ablation: fcm blending and counter policies "

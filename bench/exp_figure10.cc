@@ -19,12 +19,16 @@
 using namespace vp;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto args = exp::BenchArgs::parse(argc, argv);
+    if (!args.ok)
+        return 2;
     exp::SuiteOptions options;
     options.predictors = {"l"};
     options.values = true;
 
+    args.apply(options);
     const auto runs = exp::runSuite(options);
 
     // The paper aggregates over the whole suite; average the

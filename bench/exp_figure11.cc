@@ -17,8 +17,11 @@
 using namespace vp;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto args = exp::BenchArgs::parse(argc, argv);
+    if (!args.ok)
+        return 2;
     std::printf("Figure 11: Sensitivity of 126.gcc to the FCM Order "
                 "(input gcc.i)\n\n");
 
@@ -35,6 +38,7 @@ main()
         options.predictors = {"fcm" + std::to_string(order)};
         options.benchmarks = {"gcc"};
         options.config.scale = 60;
+        args.apply(options);
         const auto runs = exp::runSuite(options);
         const double acc = runs.front().accuracyPct(0);
 

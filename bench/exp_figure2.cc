@@ -13,6 +13,7 @@
 #include "core/fcm.hh"
 #include "core/learning.hh"
 #include "core/stride.hh"
+#include "exp/suite.hh"
 #include "synth/sequences.hh"
 
 using namespace vp;
@@ -43,8 +44,12 @@ printTrace(const char *label, const std::vector<uint64_t> &seq,
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    // Synthetic sequences are already instant; --dry-run is accepted
+    // for uniformity with the other bench smoke targets.
+    if (!exp::BenchArgs::parse(argc, argv).ok)
+        return 2;
     const size_t period = 4;
     const auto seq = repeatedStrideSeq(1, 1, period, 16);
 

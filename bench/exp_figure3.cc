@@ -18,11 +18,15 @@
 using namespace vp;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto args = exp::BenchArgs::parse(argc, argv);
+    if (!args.ok)
+        return 2;
     exp::SuiteOptions options;
     options.predictors = {"l", "s2", "fcm1", "fcm2", "fcm3"};
 
+    args.apply(options);
     const auto runs = exp::runSuite(options);
 
     std::printf("Figure 3: Prediction Success for All Instructions "

@@ -7,12 +7,12 @@
 #include "category_figure.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     return vp::bench::runCategoryFigure(
             4, vp::isa::Category::AddSub,
             "add/subtract is the most stride-predictable category; "
             "stride clearly beats\nlast value here (the predictor "
             "operation matches the instruction), and fcm\nbeats "
-            "both.");
+            "both.", argc, argv);
 }

@@ -6,11 +6,11 @@
 #include "category_figure.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     return vp::bench::runCategoryFigure(
             5, vp::isa::Category::Loads,
             "loads are harder than add/subtract for every predictor; "
             "stride gains over\nlast value are small because loaded "
-            "values rarely stride.");
+            "values rarely stride.", argc, argv);
 }

@@ -6,11 +6,11 @@
 #include "category_figure.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     return vp::bench::runCategoryFigure(
             6, vp::isa::Category::Logic,
             "logical instructions are very predictable, especially "
             "by fcm (flag-like\nvalues recur in patterns); stride "
-            "adds little over last value.");
+            "adds little over last value.", argc, argv);
 }

@@ -6,7 +6,7 @@
 #include "category_figure.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     return vp::bench::runCategoryFigure(
             7, vp::isa::Category::Shift,
@@ -14,5 +14,5 @@ main()
             "correctly; the stride\noperation does not match the "
             "shift functionality, so stride sits close to\nlast "
             "value (Section 4.1 suggests per-type computational "
-            "predictors).");
+            "predictors).", argc, argv);
 }

@@ -25,12 +25,16 @@ const char *bucketNames[8] = {"np", "l", "s", "ls", "f", "lf", "sf",
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto args = exp::BenchArgs::parse(argc, argv);
+    if (!args.ok)
+        return 2;
     exp::SuiteOptions options;
     options.predictors = {"l", "s2", "fcm3"};
     options.overlap = 3;
 
+    args.apply(options);
     const auto runs = exp::runSuite(options);
 
     core::OverlapTracker all(3);

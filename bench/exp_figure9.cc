@@ -36,13 +36,17 @@ curveValueAt(const std::vector<core::ImprovementTracker::CurvePoint>
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto args = exp::BenchArgs::parse(argc, argv);
+    if (!args.ok)
+        return 2;
     exp::SuiteOptions options;
     options.predictors = {"s2", "fcm3"};
     options.improvementA = 1;       // fcm3 ...
     options.improvementB = 0;       // ... over s2
 
+    args.apply(options);
     const auto runs = exp::runSuite(options);
 
     // Merge the per-benchmark improvement profiles by sampling each

@@ -17,12 +17,16 @@
 using namespace vp;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto args = exp::BenchArgs::parse(argc, argv);
+    if (!args.ok)
+        return 2;
     exp::SuiteOptions options;
     options.predictors = {"s2", "fcm3", "hybrid"};
     options.overlap = 2;            // s2 | fcm3 union = oracle
 
+    args.apply(options);
     const auto runs = exp::runSuite(options);
 
     std::printf("Extension (Section 4.2): hybrid stride+fcm with a "

@@ -17,6 +17,7 @@
 #include "core/last_value.hh"
 #include "core/learning.hh"
 #include "core/stride.hh"
+#include "exp/suite.hh"
 #include "sim/table.hh"
 #include "synth/sequences.hh"
 
@@ -66,8 +67,12 @@ fmtLd(int64_t lt, double ld)
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    // Synthetic sequences are already instant; --dry-run is accepted
+    // for uniformity with the other bench smoke targets.
+    if (!exp::BenchArgs::parse(argc, argv).ok)
+        return 2;
     std::printf("Table 1: Behavior of Prediction Models for Different "
                 "Value Sequences\n");
     std::printf("(last value; two-delta stride; pure order-%d fcm; "

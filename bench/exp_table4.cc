@@ -17,11 +17,15 @@
 using namespace vp;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto args = exp::BenchArgs::parse(argc, argv);
+    if (!args.ok)
+        return 2;
     exp::SuiteOptions options;
     options.predictors = {"l"};
 
+    args.apply(options);
     const auto runs = exp::runSuite(options);
 
     std::printf("Table 4: Predicted Instructions - Static Count\n\n");

@@ -17,8 +17,11 @@
 using namespace vp;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto args = exp::BenchArgs::parse(argc, argv);
+    if (!args.ok)
+        return 2;
     const char *inputs[] = {"jump.i", "emit-rtl.i", "gcc.i", "recog.i",
                             "stmt.i"};
 
@@ -35,6 +38,7 @@ main()
         options.predictors = {"fcm2"};
         options.benchmarks = {"gcc"};
         options.config.input = input;
+        args.apply(options);
         const auto runs = exp::runSuite(options);
         const auto &run = runs.front();
         accuracies.push_back(run.accuracyPct(0));

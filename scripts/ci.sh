@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# CI entry point: the tier-1 verify line from a clean checkout, once
+# with default flags and once with -DVP_SANITIZE=ON. Any failure
+# fails the script.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)"
+
+run_config() {
+    local dir="$1"; shift
+    rm -rf "$dir"
+    cmake -B "$dir" -S . "$@"
+    cmake --build "$dir" -j "$jobs"
+    (cd "$dir" && ctest --output-on-failure -j "$jobs")
+}
+
+echo "==> default configuration"
+run_config build
+
+echo "==> sanitized configuration (ASan + UBSan)"
+run_config build-asan -DVP_SANITIZE=ON
+
+echo "==> CI passed"

@@ -1,6 +1,11 @@
 #include "exp/suite.hh"
 
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <future>
 #include <stdexcept>
+#include <thread>
 
 #include "core/fcm.hh"
 #include "core/hybrid.hh"
@@ -117,6 +122,22 @@ runBenchmark(const std::string &name, const SuiteOptions &options)
     return run;
 }
 
+namespace {
+
+size_t
+suiteWorkerCount(const SuiteOptions &options, size_t jobs)
+{
+    size_t workers = options.parallelism;
+    if (workers == 0) {
+        workers = std::thread::hardware_concurrency();
+        if (workers == 0)
+            workers = 1;
+    }
+    return std::min(workers, jobs);
+}
+
+} // anonymous namespace
+
 std::vector<BenchmarkRun>
 runSuite(const SuiteOptions &options)
 {
@@ -126,11 +147,67 @@ runSuite(const SuiteOptions &options)
             names.push_back(info.name);
     }
 
-    std::vector<BenchmarkRun> runs;
-    runs.reserve(names.size());
-    for (const auto &name : names)
-        runs.push_back(runBenchmark(name, options));
+    std::vector<BenchmarkRun> runs(names.size());
+    const size_t workers = suiteWorkerCount(options, names.size());
+    if (workers <= 1) {
+        for (size_t i = 0; i < names.size(); ++i)
+            runs[i] = runBenchmark(names[i], options);
+        return runs;
+    }
+
+    // Every benchmark is independent (fresh PredictorBank + VM), so
+    // workers pull the next index and write their own slot: results
+    // land in request order with no synchronization on the data.
+    std::atomic<size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::vector<std::exception_ptr> errors(names.size());
+    auto worker = [&] {
+        for (size_t i = next.fetch_add(1);
+             i < names.size() && !failed.load();
+             i = next.fetch_add(1)) {
+            try {
+                runs[i] = runBenchmark(names[i], options);
+            } catch (...) {
+                errors[i] = std::current_exception();
+                failed.store(true);     // fail fast, as in serial mode
+            }
+        }
+    };
+    std::vector<std::future<void>> pool;
+    pool.reserve(workers);
+    for (size_t t = 0; t < workers; ++t)
+        pool.push_back(std::async(std::launch::async, worker));
+    for (auto &f : pool)
+        f.get();
+    // Rethrow the first failure in request order so the error does
+    // not depend on thread scheduling.
+    for (const auto &error : errors) {
+        if (error)
+            std::rethrow_exception(error);
+    }
     return runs;
+}
+
+BenchArgs
+BenchArgs::parse(int argc, char **argv)
+{
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--dry-run") == 0) {
+            args.dryRun = true;
+        } else {
+            std::fprintf(stderr, "usage: %s [--dry-run]\n", argv[0]);
+            args.ok = false;
+        }
+    }
+    return args;
+}
+
+void
+BenchArgs::apply(SuiteOptions &options) const
+{
+    if (dryRun)
+        options.config.scale = 5;   // smoke scale, as in smoke_test
 }
 
 double

@@ -62,6 +62,38 @@ struct SuiteOptions
 
     /** Track unique values per static instruction (Figure 10). */
     bool values = false;
+
+    /**
+     * Worker threads for runSuite. 0 = auto (one per benchmark, up
+     * to the hardware concurrency); 1 = serial reference behavior.
+     * Each benchmark gets a fresh VM and predictor bank, so results
+     * are identical to a serial run and always returned in request
+     * (paper) order regardless of this setting.
+     */
+    unsigned parallelism = 0;
+};
+
+/**
+ * CLI flags shared by the bench binaries.
+ *
+ * The only flag is --dry-run: shrink every workload to smoke scale so
+ * the binary exercises its full code path in milliseconds. The ctest
+ * bench smoke targets use it to keep the bench translation units
+ * from rotting without paying for full experiment runs.
+ */
+struct BenchArgs
+{
+    bool dryRun = false;
+    bool ok = true;
+
+    /**
+     * Parse @p argv. Unknown arguments print usage to stderr and set
+     * @c ok to false; callers exit non-zero.
+     */
+    static BenchArgs parse(int argc, char **argv);
+
+    /** Shrink @p options to smoke scale when --dry-run was given. */
+    void apply(SuiteOptions &options) const;
 };
 
 /** Results for one benchmark. */

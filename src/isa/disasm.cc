@@ -9,7 +9,12 @@ namespace {
 std::string
 reg(int r)
 {
-    return "r" + std::to_string(r);
+    // Built up in place: `"r" + std::to_string(r)` trips a GCC 12
+    // -Wrestrict false positive (PR105651) at -O2/-O3, and src/ is
+    // compiled with -Werror.
+    std::string name = "r";
+    name += std::to_string(r);
+    return name;
 }
 
 } // anonymous namespace

@@ -250,11 +250,11 @@ class FcmLearningSweep
 TEST_P(FcmLearningSweep, LearnTimeIsPeriodPlusOrder)
 {
     const auto [order, period] = GetParam();
-    if (order >= period) {
-        // Contexts spanning whole periods repeat immediately; the
-        // formula applies to the usual case order < period.
-        GTEST_SKIP();
-    }
+    // The formula holds for order >= period too (these cases used to
+    // be skipped): the sequence's p values are distinct, so an
+    // order-o context is determined by the phase alone — even when it
+    // spans whole periods — and the first repeated context appears at
+    // index p+o exactly as in the order < period case.
     auto pred = makeFcm(order, FcmBlending::None);
     const auto seq = repeatedNonStrideSeq(
             uint64_t(order) * 31 + period, period,
@@ -267,7 +267,7 @@ TEST_P(FcmLearningSweep, LearnTimeIsPeriodPlusOrder)
 INSTANTIATE_TEST_SUITE_P(
         OrderPeriod, FcmLearningSweep,
         ::testing::Combine(::testing::Values(1, 2, 3, 4),
-                           ::testing::Values(3, 4, 5, 8, 13)));
+                           ::testing::Values(2, 3, 4, 5, 8, 13)));
 
 /** Composed sequences: phase changes are re-learned. */
 TEST(Fcm, RelearnsAfterPhaseChange)
