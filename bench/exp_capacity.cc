@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Capacity sweep: accuracy of the bounded (finite-table) predictors
+ * as the entry budget grows from 256 entries to the unbounded
+ * idealisation of the paper.
+ *
+ * The paper (Section 5) deliberately leaves finite-resource
+ * implementations as future work; this experiment measures how fast
+ * the realistic set-associative tables converge to the idealised
+ * numbers. Expected shape: accuracy increases monotonically-ish with
+ * capacity and the largest budget matches the unbounded predictor to
+ * within 0.1 percentage points (asserted in
+ * tests/bounded_equivalence_test.cc).
+ */
+
+#include <cstdio>
+
+#include "exp/capacity.hh"
+#include "sim/table.hh"
+
+using namespace vp;
+
+int
+main(int argc, char **argv)
+{
+    const auto args = exp::BenchArgs::parse(argc, argv);
+    if (!args.ok)
+        return 2;
+    exp::SuiteOptions options;
+    args.apply(options);
+
+    const auto sweep = exp::runCapacitySweep(options);
+    const auto &families = exp::capacityFamilies();
+    const auto &points = exp::capacitySweepPoints();
+
+    std::printf("Capacity sweep: bounded predictor accuracy (%%) per "
+                "total entry budget\n"
+                "(16-way LRU; fcm splits its budget 1:3 between VHT "
+                "and VPT, 4 followers per entry)\n\n");
+
+    for (const auto &run : sweep.runs) {
+        std::printf("%s\n", run.name.c_str());
+        sim::TextTable table;
+        auto &header = table.row().cell("entries");
+        for (const auto &family : families)
+            header.cell(family);
+        table.rule();
+        for (size_t p = 0; p < points.size(); ++p) {
+            auto &row = table.row().cell(
+                    static_cast<uint64_t>(points[p]));
+            for (size_t f = 0; f < families.size(); ++f)
+                row.cell(run.accuracyPct(
+                                 exp::CapacitySweep::specIndex(f, p)),
+                         2);
+        }
+        auto &last = table.row().cell("unbounded");
+        for (size_t f = 0; f < families.size(); ++f)
+            last.cell(run.accuracyPct(
+                              exp::CapacitySweep::unboundedIndex(f)),
+                      2);
+        std::printf("%s\n", table.render().c_str());
+    }
+
+    std::printf("Suite mean (paper averaging rule)\n");
+    sim::TextTable mean;
+    auto &header = mean.row().cell("entries");
+    for (const auto &family : families)
+        header.cell(family);
+    mean.rule();
+    for (size_t p = 0; p < points.size(); ++p) {
+        auto &row = mean.row().cell(static_cast<uint64_t>(points[p]));
+        for (size_t f = 0; f < families.size(); ++f)
+            row.cell(exp::meanAccuracyPct(
+                             sweep.runs,
+                             exp::CapacitySweep::specIndex(f, p)),
+                     2);
+    }
+    auto &last = mean.row().cell("unbounded");
+    for (size_t f = 0; f < families.size(); ++f)
+        last.cell(exp::meanAccuracyPct(
+                          sweep.runs,
+                          exp::CapacitySweep::unboundedIndex(f)),
+                  2);
+    std::printf("%s\n", mean.render().c_str());
+
+    std::printf("shape check: largest budget within 0.1pp of "
+                "unbounded per workload\n");
+    bool converged = true;
+    for (const auto &run : sweep.runs) {
+        for (size_t f = 0; f < families.size(); ++f) {
+            const double bounded = run.accuracyPct(
+                    exp::CapacitySweep::specIndex(f,
+                                                  points.size() - 1));
+            const double unbounded = run.accuracyPct(
+                    exp::CapacitySweep::unboundedIndex(f));
+            const double gap = unbounded - bounded;
+            if (gap > 0.1 || gap < -0.1) {
+                std::printf("  WARNING: %s/%s gap %.3fpp at %zu "
+                            "entries\n",
+                            run.name.c_str(), families[f].c_str(), gap,
+                            points.back());
+                converged = false;
+            }
+        }
+    }
+    if (converged)
+        std::printf("  all families converged\n");
+    return 0;
+}

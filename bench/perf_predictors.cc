@@ -10,10 +10,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include "core/bounded.hh"
 #include "core/fcm.hh"
 #include "core/hybrid.hh"
 #include "core/last_value.hh"
 #include "core/stride.hh"
+#include "exp/suite.hh"
 #include "synth/sequences.hh"
 
 using namespace vp;
@@ -93,6 +95,97 @@ BM_Hybrid(benchmark::State &state)
                  [] { return std::make_unique<HybridPredictor>(); });
 }
 
+/**
+ * Stream spread over many static PCs (per-PC stride sequences), the
+ * regime where table organisation dominates: the unbounded predictors
+ * chase unordered_map nodes, the bounded ones probe a flat
+ * set-associative array.
+ */
+std::vector<std::pair<uint64_t, uint64_t>>
+manyPcStream(size_t events, size_t pcs)
+{
+    std::vector<std::pair<uint64_t, uint64_t>> stream;
+    stream.reserve(events);
+    std::vector<uint64_t> occurrences(pcs, 0);
+    for (size_t i = 0; i < events; ++i) {
+        const uint64_t pc = (i * 17) % pcs;
+        const uint64_t stride = pc % 7 + 1;
+        stream.emplace_back(pc, pc * 1000 + occurrences[pc]++ * stride);
+    }
+    return stream;
+}
+
+template <typename MakePred>
+void
+runPredictorManyPc(benchmark::State &state, MakePred make)
+{
+    const auto stream = manyPcStream(1 << 16, 4096);
+    auto pred = make();
+    size_t i = 0;
+    for (auto _ : state) {
+        const auto &[pc, value] = stream[i];
+        benchmark::DoNotOptimize(pred->predict(pc));
+        pred->update(pc, value);
+        i = (i + 1) % stream.size();
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.counters["table_entries"] =
+            static_cast<double>(pred->tableEntries());
+}
+
+/**
+ * Bounded vs unbounded hot path, same stream: the per-event cost
+ * comparison backing the "flat arrays beat node-based maps" claim in
+ * the README's capacity-sweep section.
+ */
+void
+BM_LastValueManyPc(benchmark::State &state)
+{
+    runPredictorManyPc(
+            state, [] { return std::make_unique<LastValuePredictor>(); });
+}
+
+void
+BM_BoundedLastValueManyPc(benchmark::State &state)
+{
+    runPredictorManyPc(state, [] {
+        return vp::exp::makePredictor("l@8192x4");
+    });
+}
+
+void
+BM_StrideManyPc(benchmark::State &state)
+{
+    runPredictorManyPc(
+            state, [] { return std::make_unique<StridePredictor>(); });
+}
+
+void
+BM_BoundedStrideManyPc(benchmark::State &state)
+{
+    runPredictorManyPc(state, [] {
+        return vp::exp::makePredictor("s2@8192x4");
+    });
+}
+
+void
+BM_FcmManyPc(benchmark::State &state)
+{
+    runPredictorManyPc(state, [] {
+        FcmConfig config;
+        config.order = 3;
+        return std::make_unique<FcmPredictor>(config);
+    });
+}
+
+void
+BM_BoundedFcmManyPc(benchmark::State &state)
+{
+    runPredictorManyPc(state, [] {
+        return vp::exp::makePredictor("fcm3@8192/65536x4");
+    });
+}
+
 /** Table growth: unique-context footprint on a non-repeating stream. */
 void
 BM_FcmTableGrowth(benchmark::State &state)
@@ -112,6 +205,12 @@ BENCHMARK(BM_LastValue);
 BENCHMARK(BM_StrideTwoDelta);
 BENCHMARK(BM_Fcm)->Arg(1)->Arg(2)->Arg(3)->Arg(8);
 BENCHMARK(BM_Hybrid);
+BENCHMARK(BM_LastValueManyPc);
+BENCHMARK(BM_BoundedLastValueManyPc);
+BENCHMARK(BM_StrideManyPc);
+BENCHMARK(BM_BoundedStrideManyPc);
+BENCHMARK(BM_FcmManyPc);
+BENCHMARK(BM_BoundedFcmManyPc);
 BENCHMARK(BM_FcmTableGrowth)->Unit(benchmark::kMillisecond);
 
 } // anonymous namespace

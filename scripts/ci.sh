@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # CI entry point: the tier-1 verify line from a clean checkout, once
-# with default flags and once with -DVP_SANITIZE=ON. Any failure
-# fails the script.
+# with default flags, once with -DVP_SANITIZE=ON, and once
+# instrumented with -DVP_COVERAGE=ON followed by the per-directory
+# line-coverage summary. Any failure fails the script.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -20,5 +21,9 @@ run_config build
 
 echo "==> sanitized configuration (ASan + UBSan)"
 run_config build-asan -DVP_SANITIZE=ON
+
+echo "==> coverage configuration (gcov instrumentation)"
+run_config build-cov -DVP_COVERAGE=ON -DCMAKE_BUILD_TYPE=Debug
+./scripts/coverage_summary.sh build-cov
 
 echo "==> CI passed"

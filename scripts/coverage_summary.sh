@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Per-directory line-coverage summary for a -DVP_COVERAGE=ON build
+# tree that has already run ctest.
+#
+# Usage: scripts/coverage_summary.sh <build-dir>
+#
+# Prefers gcovr (nicer per-file report) when installed; the
+# per-directory aggregation below runs either way so CI always prints
+# comparable numbers. Only src/**/*.cc implementation files are
+# aggregated: each belongs to exactly one translation unit, so the
+# counts are exact (headers instantiate per-TU and gcov's per-object
+# .gcov files would double-count them).
+set -euo pipefail
+
+build="${1:?usage: coverage_summary.sh <build-dir>}"
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo"
+
+if ! find "$build" -name '*.gcda' -print -quit | grep -q .; then
+    echo "no .gcda files under $build (build with -DVP_COVERAGE=ON and run ctest first)" >&2
+    exit 1
+fi
+
+if command -v gcovr >/dev/null 2>&1; then
+    echo "== gcovr (per file, src/ only) =="
+    gcovr --root "$repo" --object-directory "$build" --filter 'src/' || true
+    echo
+fi
+
+echo "== line coverage per directory (src/**/*.cc) =="
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+# One gcov run per vp-library object keeps each source's .gcov file
+# intact (a single batched run would overwrite shared names).
+find "$build/CMakeFiles/vp.dir" -name '*.gcda' | while read -r gcda; do
+    gcov -p -o "$(dirname "$gcda")" "$gcda" >/dev/null 2>&1 || true
+    mv -f ./*.gcov "$tmp"/ 2>/dev/null || true
+done
+
+awk '
+FNR == 1 { path = "" }
+/^ *-: *0:Source:/ {
+    split($0, parts, "Source:")
+    path = parts[2]
+    # Keep repo-relative src/ implementation files only.
+    if (path !~ /\.cc$/ || path !~ /src\//) { path = ""; nextfile }
+    sub(/^.*src\//, "src/", path)
+    n = split(path, seg, "/")
+    dir = seg[1] "/" seg[2]
+    next
+}
+path != "" && /^ *[0-9]+\*?: *[0-9]+:/ { covered[dir]++; total[dir]++ }
+path != "" && /^ *#####: *[0-9]+:/     { total[dir]++ }
+END {
+    printf "%-18s %10s %10s %8s\n", "directory", "covered", "lines", "pct"
+    gt = gc = 0
+    for (dir in total) {
+        printf "%-18s %10d %10d %7.1f%%\n", dir, covered[dir], total[dir],
+               100.0 * covered[dir] / total[dir]
+        gt += total[dir]; gc += covered[dir]
+    }
+    printf "%-18s %10d %10d %7.1f%%\n", "total", gc, gt,
+           gt ? 100.0 * gc / gt : 0
+}' "$tmp"/*.gcov | sort

@@ -1,0 +1,249 @@
+#include "core/bounded.hh"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace vp::core {
+
+std::string
+boundedSuffix(const BoundedTableConfig &config)
+{
+    // Built with += (GCC 12's -Wrestrict misfires on the
+    // char* + std::string&& operator chain).
+    std::string s = "@";
+    s += std::to_string(config.entries);
+    s += "x";
+    s += config.ways == 0 ? "fa" : std::to_string(config.ways);
+    if (config.replacement == Replacement::Random)
+        s += "r";
+    return s;
+}
+
+// ------------------------------------------------------ last value
+
+BoundedLastValuePredictor::BoundedLastValuePredictor(
+        LvConfig config, BoundedTableConfig table)
+    : config_(config), table_(table)
+{
+}
+
+Prediction
+BoundedLastValuePredictor::predict(uint64_t pc) const
+{
+    const LvEntry *entry = table_.peek(pc);
+    if (entry == nullptr)
+        return Prediction::none();
+    return Prediction::of(entry->value);
+}
+
+void
+BoundedLastValuePredictor::update(uint64_t pc, uint64_t actual)
+{
+    bool inserted = false;
+    LvEntry &entry = table_.touch(pc, inserted);
+    if (inserted)
+        lvInitEntry(entry, actual, config_);
+    else
+        lvTrainEntry(entry, actual, config_);
+}
+
+std::string
+BoundedLastValuePredictor::name() const
+{
+    return lvPolicyName(config_.policy) + boundedSuffix(table_.config());
+}
+
+void
+BoundedLastValuePredictor::reset()
+{
+    table_.clear();
+}
+
+// ---------------------------------------------------------- stride
+
+BoundedStridePredictor::BoundedStridePredictor(StrideConfig config,
+                                               BoundedTableConfig table)
+    : config_(config), table_(table)
+{
+}
+
+Prediction
+BoundedStridePredictor::predict(uint64_t pc) const
+{
+    const StrideEntry *entry = table_.peek(pc);
+    if (entry == nullptr)
+        return Prediction::none();
+    return Prediction::of(stridePredictValue(*entry));
+}
+
+void
+BoundedStridePredictor::update(uint64_t pc, uint64_t actual)
+{
+    bool inserted = false;
+    StrideEntry &entry = table_.touch(pc, inserted);
+    if (inserted)
+        strideInitEntry(entry, actual, config_);
+    else
+        strideTrainEntry(entry, actual, config_);
+}
+
+std::string
+BoundedStridePredictor::name() const
+{
+    return stridePolicyName(config_.policy) +
+           boundedSuffix(table_.config());
+}
+
+void
+BoundedStridePredictor::reset()
+{
+    table_.clear();
+}
+
+// ------------------------------------------------------------- fcm
+
+BoundedFcmPredictor::BoundedFcmPredictor(BoundedFcmConfig config)
+    : config_(config), vht_(config.vht), vpt_(config.vpt)
+{
+    if (config_.fcm.order < 0 || config_.fcm.order > maxOrder) {
+        throw std::invalid_argument(
+                "bounded fcm order must be in [0, " +
+                std::to_string(maxOrder) + "]");
+    }
+}
+
+uint64_t
+BoundedFcmPredictor::contextKey(uint64_t pc, int j, const VhtEntry &entry)
+{
+    // FNV-1a style mix over (pc, order, the j newest history values);
+    // the same whole-value mixing as the unbounded predictor's
+    // KeyHash, with pc and j folded in because the VPT is shared
+    // across PCs and orders.
+    uint64_t hash = 1469598103934665603ull;
+    const auto fold = [&hash](uint64_t v) {
+        hash ^= v;
+        hash *= 1099511628211ull;
+        hash ^= hash >> 29;
+    };
+    fold(pc);
+    fold(static_cast<uint64_t>(j) + 1);
+    for (int i = entry.len - j; i < entry.len; ++i)
+        fold(entry.history[static_cast<size_t>(i)]);
+    return hash;
+}
+
+int
+BoundedFcmPredictor::longestMatch(uint64_t pc, const VhtEntry &entry) const
+{
+    const int max_order =
+            std::min<int>(config_.fcm.order, entry.len);
+    const int min_order = config_.fcm.blending == FcmBlending::None
+                                  ? config_.fcm.order
+                                  : 0;
+    for (int j = max_order; j >= min_order; --j) {
+        const FcmFollowers *followers =
+                vpt_.peek(contextKey(pc, j, entry));
+        if (followers != nullptr && !followers->cells.empty())
+            return j;
+    }
+    return -1;
+}
+
+Prediction
+BoundedFcmPredictor::predict(uint64_t pc) const
+{
+    const VhtEntry *entry = vht_.peek(pc);
+    if (entry == nullptr)
+        return Prediction::none();
+
+    if (config_.fcm.blending == FcmBlending::None &&
+        entry->len < config_.fcm.order) {
+        return Prediction::none();
+    }
+
+    const int match = longestMatch(pc, *entry);
+    if (match < 0)
+        return Prediction::none();
+
+    const FcmFollowers *followers =
+            vpt_.peek(contextKey(pc, match, *entry));
+    const auto *best = followers->best();
+    if (best == nullptr)
+        return Prediction::none();
+    return Prediction::of(best->value);
+}
+
+void
+BoundedFcmPredictor::update(uint64_t pc, uint64_t actual)
+{
+    bool inserted = false;
+    VhtEntry &entry = vht_.touch(pc, inserted);
+
+    // Which orders to train (mirrors FcmPredictor::update).
+    int lowest = 0;
+    switch (config_.fcm.blending) {
+      case FcmBlending::None:
+        lowest = config_.fcm.order;
+        break;
+      case FcmBlending::Full:
+        lowest = 0;
+        break;
+      case FcmBlending::LazyExclusion: {
+        const int match = longestMatch(pc, entry);
+        lowest = match < 0 ? 0 : match;
+        break;
+      }
+    }
+
+    ++seq_;
+    const int max_order = std::min<int>(config_.fcm.order, entry.len);
+    for (int j = max_order; j >= lowest; --j) {
+        bool vpt_inserted = false;
+        FcmFollowers &followers =
+                vpt_.touch(contextKey(pc, j, entry), vpt_inserted);
+        followers.bump(actual, seq_, config_.fcm.counterMax,
+                       config_.maxFollowers);
+    }
+
+    // Slide the history window.
+    if (entry.len == config_.fcm.order) {
+        if (entry.len > 0) {
+            std::copy(entry.history.begin() + 1,
+                      entry.history.begin() + entry.len,
+                      entry.history.begin());
+            entry.history[static_cast<size_t>(entry.len - 1)] = actual;
+        }
+    } else {
+        entry.history[entry.len] = actual;
+        ++entry.len;
+    }
+}
+
+std::string
+BoundedFcmPredictor::name() const
+{
+    std::string base = "fcm" + std::to_string(config_.fcm.order);
+    switch (config_.fcm.blending) {
+      case FcmBlending::None: base += "-pure"; break;
+      case FcmBlending::Full: base += "-full"; break;
+      case FcmBlending::LazyExclusion: break;
+    }
+    std::string s = base + "@" + std::to_string(vht_.capacity()) + "/" +
+                    std::to_string(vpt_.capacity()) + "x";
+    const auto &vpt = vpt_.config();
+    s += vpt.ways == 0 ? "fa" : std::to_string(vpt.ways);
+    if (vpt.replacement == Replacement::Random)
+        s += "r";
+    return s;
+}
+
+void
+BoundedFcmPredictor::reset()
+{
+    vht_.clear();
+    vpt_.clear();
+    seq_ = 0;
+}
+
+} // namespace vp::core

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Finite-budget variants of the three predictor families.
+ *
+ * The paper's predictors are idealised: every static instruction gets
+ * its own alias-free entry (Section 3), which answers "how predictable
+ * are values" but not "what accuracy does a 64KB table buy". These
+ * classes answer the second question: the same prediction algorithms
+ * (shared entry/follower logic, so the bounded and unbounded variants
+ * are identical whenever nothing is evicted) running on fixed-capacity
+ * set-associative tables (core/bounded_table.hh).
+ *
+ * The FCM variant follows the classic two-level organisation the
+ * paper's Section 4.3 cost discussion sketches: a VHT (value history
+ * table, PC -> the last k values) feeding a VPT (value prediction
+ * table, hashed context -> follower frequencies). Context keys hash
+ * the PC, the order and the history values into 64 bits, so distinct
+ * contexts alias only through table-capacity pressure.
+ */
+
+#ifndef VP_CORE_BOUNDED_HH
+#define VP_CORE_BOUNDED_HH
+
+#include <array>
+#include <cstdint>
+
+#include "core/bounded_table.hh"
+#include "core/fcm.hh"
+#include "core/last_value.hh"
+#include "core/predictor.hh"
+#include "core/stride.hh"
+
+namespace vp::core {
+
+/** Render "@entriesxways[r]" (ways 0 prints as "fa"). */
+std::string boundedSuffix(const BoundedTableConfig &config);
+
+/** Bounded last-value predictor: LvEntry logic on a BoundedTable. */
+class BoundedLastValuePredictor : public ValuePredictor
+{
+  public:
+    explicit BoundedLastValuePredictor(LvConfig config = {},
+                                       BoundedTableConfig table = {});
+
+    Prediction predict(uint64_t pc) const override;
+    void update(uint64_t pc, uint64_t actual) override;
+    std::string name() const override;
+    void reset() override;
+    size_t tableEntries() const override { return table_.size(); }
+
+    uint64_t evictions() const { return table_.evictions(); }
+
+  private:
+    LvConfig config_;
+    BoundedTable<LvEntry> table_;
+};
+
+/** Bounded stride predictor: StrideEntry logic on a BoundedTable. */
+class BoundedStridePredictor : public ValuePredictor
+{
+  public:
+    explicit BoundedStridePredictor(StrideConfig config = {},
+                                    BoundedTableConfig table = {});
+
+    Prediction predict(uint64_t pc) const override;
+    void update(uint64_t pc, uint64_t actual) override;
+    std::string name() const override;
+    void reset() override;
+    size_t tableEntries() const override { return table_.size(); }
+
+    uint64_t evictions() const { return table_.evictions(); }
+
+  private:
+    StrideConfig config_;
+    BoundedTable<StrideEntry> table_;
+};
+
+/** Bounded two-level FCM configuration. */
+struct BoundedFcmConfig
+{
+    /** Prediction algorithm (order, blending, counter ceiling). */
+    FcmConfig fcm;
+
+    /** VHT geometry: PC -> the last `order` values. */
+    BoundedTableConfig vht = {.entries = 1024, .ways = 4,
+                              .replacement = Replacement::Lru,
+                              .seed = 0x9e3779b97f4a7c15ull};
+
+    /** VPT geometry: hashed (PC, order, context) -> followers. */
+    BoundedTableConfig vpt = {.entries = 4096, .ways = 4,
+                              .replacement = Replacement::Lru,
+                              .seed = 0x9e3779b97f4a7c15ull};
+
+    /**
+     * Distinct follower values kept per VPT entry (0 = unbounded,
+     * the configuration that is exactly equivalent to the idealised
+     * predictor when the tables are large enough; the capacity sweep
+     * uses a small value as a real implementation would).
+     */
+    uint32_t maxFollowers = 0;
+};
+
+/**
+ * Bounded order-k FCM: split VHT/VPT, both finite.
+ *
+ * Prediction and training mirror FcmPredictor (longest matching
+ * context of orders k..0, lazy-exclusion/full/no blending, shared
+ * FcmFollowers counting), so with fully associative tables that are
+ * never full the per-event behaviour is identical to the unbounded
+ * predictor — the property bounded_equivalence_test pins. Under
+ * pressure, VHT evictions lose a PC's history and VPT evictions lose
+ * learned contexts, which is precisely the finite-resource cost the
+ * capacity sweep measures.
+ */
+class BoundedFcmPredictor : public ValuePredictor
+{
+  public:
+    /** Histories are inline arrays; orders above this are rejected. */
+    static constexpr int maxOrder = 8;
+
+    explicit BoundedFcmPredictor(BoundedFcmConfig config = {});
+
+    Prediction predict(uint64_t pc) const override;
+    void update(uint64_t pc, uint64_t actual) override;
+    std::string name() const override;
+    void reset() override;
+    size_t tableEntries() const override
+    {
+        return vht_.size() + vpt_.size();
+    }
+
+    uint64_t vhtEvictions() const { return vht_.evictions(); }
+    uint64_t vptEvictions() const { return vpt_.evictions(); }
+
+  private:
+    /** Most recent values, oldest first. */
+    struct VhtEntry
+    {
+        std::array<uint64_t, maxOrder> history{};
+        uint8_t len = 0;
+    };
+
+    /** 64-bit key for the order-j context of @p pc. */
+    static uint64_t contextKey(uint64_t pc, int j, const VhtEntry &entry);
+
+    /** Longest order whose context is present in the VPT; -1 none. */
+    int longestMatch(uint64_t pc, const VhtEntry &entry) const;
+
+    BoundedFcmConfig config_;
+    BoundedTable<VhtEntry> vht_;
+    BoundedTable<FcmFollowers> vpt_;
+    uint64_t seq_ = 0;
+};
+
+} // namespace vp::core
+
+#endif // VP_CORE_BOUNDED_HH

@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Finite-capacity, set-associative prediction table.
+ *
+ * The paper deliberately simulates unbounded tables to expose inherent
+ * value predictability (Section 3) and leaves "realistic
+ * implementations with finite resources" as future work (Section 5).
+ * This template is that finite resource: a fixed entry budget organised
+ * as hash-indexed sets with LRU or random replacement, used by the
+ * bounded variants of every predictor family (core/bounded.hh).
+ *
+ * Keys are 64-bit (a PC, or a precomputed context hash) and are stored
+ * in full, so there are no false tag matches — capacity pressure shows
+ * up purely as conflict/capacity evictions, which is the effect the
+ * capacity sweep experiment measures.
+ */
+
+#ifndef VP_CORE_BOUNDED_TABLE_HH
+#define VP_CORE_BOUNDED_TABLE_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+namespace vp::core {
+
+/** Victim selection within a full set. */
+enum class Replacement {
+    Lru,        ///< evict the least recently touched entry
+    Random      ///< evict a deterministic pseudo-random way
+};
+
+/** Geometry and policy of one bounded table. */
+struct BoundedTableConfig
+{
+    /** Total entry budget. Must be a positive multiple of @c ways. */
+    size_t entries = 1024;
+
+    /**
+     * Set associativity. 0 selects a fully associative organisation
+     * (the idealised configuration the equivalence tests use: with
+     * enough entries it never evicts and is exactly the unbounded
+     * table). Otherwise must divide @c entries.
+     */
+    size_t ways = 4;
+
+    Replacement replacement = Replacement::Lru;
+
+    /** Seed for the Random replacement stream (deterministic). */
+    uint64_t seed = 0x9e3779b97f4a7c15ull;
+};
+
+/**
+ * Fixed-capacity key -> Entry map organised as sets x ways.
+ *
+ * The set-associative mode stores slots in one flat array indexed by
+ * a mixed hash of the key — the bounded predictors' hot path touches
+ * no node-based containers at all. The fully associative mode (ways
+ * == 0) keeps an exact key -> slot index on the side so lookups stay
+ * O(1) even with large entry counts; it exists for verification and
+ * idealised sweeps, not as a hardware proposal.
+ *
+ * The access protocol mirrors the predictor interface: predict() uses
+ * the const @c peek() (no LRU motion, so prediction never mutates
+ * observable state), update() uses @c touch() which inserts, evicts
+ * and refreshes recency.
+ */
+template <typename Entry>
+class BoundedTable
+{
+  public:
+    explicit BoundedTable(BoundedTableConfig config = {})
+        : config_(config), rng_(config.seed | 1)
+    {
+        if (config_.entries == 0)
+            throw std::invalid_argument("bounded table needs entries > 0");
+        if (config_.ways != 0 &&
+            (config_.ways > config_.entries ||
+             config_.entries % config_.ways != 0)) {
+            throw std::invalid_argument(
+                    "bounded table ways must divide entries");
+        }
+        slots_.resize(config_.entries);
+        if (fullyAssociative()) {
+            index_.reserve(config_.entries);
+        } else {
+            sets_ = config_.entries / config_.ways;
+            setMask_ = (sets_ & (sets_ - 1)) == 0 ? sets_ - 1 : 0;
+        }
+    }
+
+    bool fullyAssociative() const { return config_.ways == 0; }
+    size_t capacity() const { return config_.entries; }
+    size_t size() const { return live_; }
+    uint64_t evictions() const { return evictions_; }
+    const BoundedTableConfig &config() const { return config_; }
+
+    /** Look up @p key without touching recency; nullptr on miss. */
+    const Entry *
+    peek(uint64_t key) const
+    {
+        if (fullyAssociative()) {
+            const auto it = index_.find(key);
+            return it == index_.end() ? nullptr
+                                      : &slots_[it->second].entry;
+        }
+        const size_t base = setBase(key);
+        for (size_t w = 0; w < config_.ways; ++w) {
+            const Slot &slot = slots_[base + w];
+            if (slot.valid && slot.key == key)
+                return &slot.entry;
+        }
+        return nullptr;
+    }
+
+    /**
+     * Find-or-allocate @p key, evicting if its set is full, and mark
+     * it most recently used. @p inserted reports whether the entry is
+     * freshly (re)initialised — the caller must then treat it as cold.
+     */
+    Entry &
+    touch(uint64_t key, bool &inserted)
+    {
+        ++tick_;
+        Slot *slot = fullyAssociative() ? touchFa(key, inserted)
+                                        : touchSet(key, inserted);
+        slot->stamp = tick_;
+        if (inserted) {
+            slot->entry = Entry{};
+            slot->key = key;
+            slot->valid = true;
+        }
+        return slot->entry;
+    }
+
+    /** Discard all entries (the budget itself is immutable). */
+    void
+    clear()
+    {
+        for (auto &slot : slots_)
+            slot = Slot{};
+        index_.clear();
+        live_ = 0;
+        evictions_ = 0;
+        tick_ = 0;
+        rng_ = config_.seed | 1;
+    }
+
+  private:
+    struct Slot
+    {
+        uint64_t key = 0;
+        uint64_t stamp = 0;
+        bool valid = false;
+        Entry entry{};
+    };
+
+    size_t
+    setBase(uint64_t key) const
+    {
+        // Hardware-style indexing: fold the high key bits into the
+        // low ones and take the low bits. Small sequential keys (PCs)
+        // land in adjacent sets — the locality a real PC-indexed
+        // table has — while already-hashed context keys stay spread.
+        // A power-of-two set count (the common case) masks instead
+        // of dividing.
+        const uint64_t folded = key ^ (key >> 32) ^ (key >> 16);
+        const size_t set = setMask_ != 0
+                ? static_cast<size_t>(folded & setMask_)
+                : static_cast<size_t>(folded % sets_);
+        return set * config_.ways;
+    }
+
+    uint64_t
+    nextRandom()
+    {
+        // xorshift64: deterministic across runs and platforms.
+        rng_ ^= rng_ << 13;
+        rng_ ^= rng_ >> 7;
+        rng_ ^= rng_ << 17;
+        return rng_;
+    }
+
+    Slot *
+    touchSet(uint64_t key, bool &inserted)
+    {
+        const size_t base = setBase(key);
+        Slot *invalid = nullptr;
+        Slot *lru = &slots_[base];
+        for (size_t w = 0; w < config_.ways; ++w) {
+            Slot &slot = slots_[base + w];
+            if (slot.valid && slot.key == key) {
+                inserted = false;
+                return &slot;
+            }
+            if (!slot.valid && invalid == nullptr)
+                invalid = &slot;
+            if (slot.stamp < lru->stamp)
+                lru = &slots_[base + w];
+        }
+        inserted = true;
+        if (invalid != nullptr) {
+            ++live_;
+            return invalid;
+        }
+        ++evictions_;
+        if (config_.replacement == Replacement::Random)
+            return &slots_[base + nextRandom() % config_.ways];
+        return lru;
+    }
+
+    Slot *
+    touchFa(uint64_t key, bool &inserted)
+    {
+        const auto it = index_.find(key);
+        if (it != index_.end()) {
+            inserted = false;
+            return &slots_[it->second];
+        }
+        inserted = true;
+        size_t victim;
+        if (live_ < config_.entries) {
+            victim = live_++;
+        } else {
+            ++evictions_;
+            if (config_.replacement == Replacement::Random) {
+                victim = nextRandom() % config_.entries;
+            } else {
+                victim = 0;
+                for (size_t i = 1; i < config_.entries; ++i) {
+                    if (slots_[i].stamp < slots_[victim].stamp)
+                        victim = i;
+                }
+            }
+            index_.erase(slots_[victim].key);
+        }
+        index_.emplace(key, victim);
+        return &slots_[victim];
+    }
+
+    BoundedTableConfig config_;
+    std::vector<Slot> slots_;
+    std::unordered_map<uint64_t, size_t> index_;    // fa mode only
+    size_t sets_ = 0;                               // set-assoc mode
+    size_t setMask_ = 0;                            // sets_ - 1 if pow2
+    size_t live_ = 0;
+    uint64_t evictions_ = 0;
+    uint64_t tick_ = 0;
+    uint64_t rng_;
+};
+
+} // namespace vp::core
+
+#endif // VP_CORE_BOUNDED_TABLE_HH

@@ -12,14 +12,19 @@ FcmPredictor::FcmPredictor(FcmConfig config) : config_(config)
 }
 
 void
-FcmPredictor::Followers::bump(uint64_t value, uint64_t seq,
-                              uint32_t counter_max)
+FcmFollowers::bump(uint64_t value, uint64_t seq, uint32_t counter_max,
+                   uint32_t max_followers)
 {
     for (auto &cell : cells) {
         if (cell.value == value) {
             ++cell.count;
             cell.seq = seq;
-            if (counter_max != 0 && cell.count >= counter_max) {
+            // Halve when a count would exceed (not reach) the
+            // ceiling: counts can then saturate at counter_max
+            // exactly, as a counter_max-wide hardware counter would,
+            // and the just-bumped cell (now >= 2) always survives
+            // the pruning — even with counter_max == 1.
+            if (counter_max != 0 && cell.count > counter_max) {
                 // Text-compression style rescaling: halve everything,
                 // weighting recent behaviour more heavily.
                 for (auto &c : cells)
@@ -30,11 +35,24 @@ FcmPredictor::Followers::bump(uint64_t value, uint64_t seq,
             return;
         }
     }
+    if (max_followers != 0 && cells.size() >= max_followers) {
+        // Follower list is at its capacity budget: replace the
+        // weakest cell (lowest count, ties to the least recent).
+        auto victim = cells.begin();
+        for (auto it = cells.begin() + 1; it != cells.end(); ++it) {
+            if (it->count < victim->count ||
+                (it->count == victim->count && it->seq < victim->seq)) {
+                victim = it;
+            }
+        }
+        *victim = Cell{value, 1, seq};
+        return;
+    }
     cells.push_back(Cell{value, 1, seq});
 }
 
-const FcmPredictor::Followers::Cell *
-FcmPredictor::Followers::best() const
+const FcmFollowers::Cell *
+FcmFollowers::best() const
 {
     const Cell *best = nullptr;
     for (const auto &cell : cells) {
@@ -132,7 +150,7 @@ FcmPredictor::update(uint64_t pc, uint64_t actual)
         if (it == table.end()) {
             it = table.emplace(std::vector<uint64_t>(key.begin(),
                                                      key.end()),
-                               Followers{}).first;
+                               FcmFollowers{}).first;
         }
         it->second.bump(actual, seq_, config_.counterMax);
     }

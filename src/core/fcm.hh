@@ -46,11 +46,47 @@ struct FcmConfig
     /**
      * Counter ceiling. 0 means exact (unbounded) counts, the paper's
      * idealized configuration. A small positive value (say 15) enables
-     * the text-compression trick: when any count saturates, all
-     * counters of that context are halved, weighting recent history
-     * more heavily.
+     * the text-compression trick: counts are allowed to reach the
+     * ceiling, and when one would exceed it all counters of that
+     * context are halved, weighting recent history more heavily.
      */
     uint32_t counterMax = 0;
+};
+
+/**
+ * Follower frequencies for one context.
+ *
+ * Shared between the unbounded predictor below and the bounded
+ * two-level variant so the counting/halving/tie-break behaviour is
+ * identical by construction.
+ */
+struct FcmFollowers
+{
+    struct Cell
+    {
+        uint64_t value;
+        uint32_t count;
+        uint64_t seq;       ///< recency stamp for tie-breaking
+    };
+
+    /** Typically 1-2 distinct followers; linear scan is right. */
+    std::vector<Cell> cells;
+
+    /**
+     * Record one occurrence of @p value following this context.
+     *
+     * @p counter_max is the FcmConfig ceiling (0 = exact counts):
+     * when a count would exceed it, every counter is halved (zeros
+     * pruned, except the cell just bumped, which stays at >= 1).
+     * @p max_followers bounds the number of distinct follower cells
+     * kept (0 = unbounded); when full, a new follower replaces the
+     * lowest-count (ties: least recent) cell.
+     */
+    void bump(uint64_t value, uint64_t seq, uint32_t counter_max,
+              uint32_t max_followers = 0);
+
+    /** Best follower: max count, ties to the most recent. */
+    const Cell *best() const;
 };
 
 /**
@@ -79,26 +115,6 @@ class FcmPredictor : public ValuePredictor
     size_t tableEntries() const override;
 
   private:
-    /** Follower frequencies for one context. */
-    struct Followers
-    {
-        struct Cell
-        {
-            uint64_t value;
-            uint32_t count;
-            uint64_t seq;       ///< recency stamp for tie-breaking
-        };
-
-        /** Typically 1-2 distinct followers; linear scan is right. */
-        std::vector<Cell> cells;
-
-        /** Record one occurrence of @p value following this context. */
-        void bump(uint64_t value, uint64_t seq, uint32_t counter_max);
-
-        /** Best follower: max count, ties to the most recent. */
-        const Cell *best() const;
-    };
-
     /**
      * Hash for a concatenated value context. Transparent so lookups
      * can use a std::span view of the history without allocating.
@@ -164,7 +180,7 @@ class FcmPredictor : public ValuePredictor
     };
 
     using ContextTable = std::unordered_map<std::vector<uint64_t>,
-                                            Followers, KeyHash, KeyEqual>;
+                                            FcmFollowers, KeyHash, KeyEqual>;
 
     /** All prediction state for one static instruction. */
     struct PcState

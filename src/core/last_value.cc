@@ -4,6 +4,60 @@
 
 namespace vp::core {
 
+void
+lvInitEntry(LvEntry &entry, uint64_t actual, const LvConfig &config)
+{
+    entry.value = actual;
+    entry.counter = config.counterThreshold;
+    entry.candidate = actual;
+    entry.candidateRun = 1;
+}
+
+void
+lvTrainEntry(LvEntry &entry, uint64_t actual, const LvConfig &config)
+{
+    switch (config.policy) {
+      case LvPolicy::AlwaysUpdate:
+        entry.value = actual;
+        break;
+
+      case LvPolicy::SaturatingCounter:
+        if (actual == entry.value) {
+            entry.counter = std::min(entry.counter + 1, config.counterMax);
+        } else {
+            entry.counter = std::max(entry.counter - 1, 0);
+            if (entry.counter < config.counterThreshold)
+                entry.value = actual;
+        }
+        break;
+
+      case LvPolicy::Consecutive:
+        if (actual == entry.value) {
+            entry.candidateRun = 0;
+        } else if (actual == entry.candidate) {
+            if (++entry.candidateRun >= config.consecutiveRequired) {
+                entry.value = actual;
+                entry.candidateRun = 0;
+            }
+        } else {
+            entry.candidate = actual;
+            entry.candidateRun = 1;
+        }
+        break;
+    }
+}
+
+const char *
+lvPolicyName(LvPolicy policy)
+{
+    switch (policy) {
+      case LvPolicy::AlwaysUpdate: return "l";
+      case LvPolicy::SaturatingCounter: return "l-sat";
+      case LvPolicy::Consecutive: return "l-consec";
+    }
+    return "l";
+}
+
 LastValuePredictor::LastValuePredictor(LvConfig config) : config_(config)
 {
 }
@@ -21,56 +75,16 @@ void
 LastValuePredictor::update(uint64_t pc, uint64_t actual)
 {
     auto [it, inserted] = table_.try_emplace(pc);
-    Entry &entry = it->second;
-
-    if (inserted) {
-        entry.value = actual;
-        entry.counter = config_.counterThreshold;
-        entry.candidate = actual;
-        entry.candidateRun = 1;
-        return;
-    }
-
-    switch (config_.policy) {
-      case LvPolicy::AlwaysUpdate:
-        entry.value = actual;
-        break;
-
-      case LvPolicy::SaturatingCounter:
-        if (actual == entry.value) {
-            entry.counter = std::min(entry.counter + 1, config_.counterMax);
-        } else {
-            entry.counter = std::max(entry.counter - 1, 0);
-            if (entry.counter < config_.counterThreshold)
-                entry.value = actual;
-        }
-        break;
-
-      case LvPolicy::Consecutive:
-        if (actual == entry.value) {
-            entry.candidateRun = 0;
-        } else if (actual == entry.candidate) {
-            if (++entry.candidateRun >= config_.consecutiveRequired) {
-                entry.value = actual;
-                entry.candidateRun = 0;
-            }
-        } else {
-            entry.candidate = actual;
-            entry.candidateRun = 1;
-        }
-        break;
-    }
+    if (inserted)
+        lvInitEntry(it->second, actual, config_);
+    else
+        lvTrainEntry(it->second, actual, config_);
 }
 
 std::string
 LastValuePredictor::name() const
 {
-    switch (config_.policy) {
-      case LvPolicy::AlwaysUpdate: return "l";
-      case LvPolicy::SaturatingCounter: return "l-sat";
-      case LvPolicy::Consecutive: return "l-consec";
-    }
-    return "l";
+    return lvPolicyName(config_.policy);
 }
 
 void

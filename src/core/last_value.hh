@@ -54,6 +54,30 @@ struct LvConfig
 };
 
 /**
+ * One last-value table entry.
+ *
+ * Shared between the unbounded predictor below and the bounded
+ * (set-associative) variant so that, absent capacity evictions, the
+ * two are identical by construction.
+ */
+struct LvEntry
+{
+    uint64_t value = 0;
+    int counter = 0;            ///< SaturatingCounter state
+    uint64_t candidate = 0;     ///< Consecutive state
+    int candidateRun = 0;
+};
+
+/** Initialize a freshly allocated entry from the first observed value. */
+void lvInitEntry(LvEntry &entry, uint64_t actual, const LvConfig &config);
+
+/** Train an existing entry with the value actually produced. */
+void lvTrainEntry(LvEntry &entry, uint64_t actual, const LvConfig &config);
+
+/** Spec name ("l", "l-sat", "l-consec") for a policy. */
+const char *lvPolicyName(LvPolicy policy);
+
+/**
  * Last-value predictor: the trivial identity computation on the
  * previous value. Useful only for constant sequences (Table 1).
  */
@@ -69,16 +93,8 @@ class LastValuePredictor : public ValuePredictor
     size_t tableEntries() const override { return table_.size(); }
 
   private:
-    struct Entry
-    {
-        uint64_t value = 0;
-        int counter = 0;            // SaturatingCounter state
-        uint64_t candidate = 0;     // Consecutive state
-        int candidateRun = 0;
-    };
-
     LvConfig config_;
-    std::unordered_map<uint64_t, Entry> table_;
+    std::unordered_map<uint64_t, LvEntry> table_;
 };
 
 } // namespace vp::core

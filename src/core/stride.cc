@@ -4,48 +4,33 @@
 
 namespace vp::core {
 
-StridePredictor::StridePredictor(StrideConfig config) : config_(config)
+void
+strideInitEntry(StrideEntry &entry, uint64_t actual,
+                const StrideConfig &config)
 {
-}
-
-Prediction
-StridePredictor::predict(uint64_t pc) const
-{
-    auto it = table_.find(pc);
-    if (it == table_.end())
-        return Prediction::none();
-    const Entry &entry = it->second;
-    return Prediction::of(entry.last + static_cast<uint64_t>(entry.s2));
+    entry.last = actual;
+    entry.counter = config.counterThreshold;
 }
 
 void
-StridePredictor::update(uint64_t pc, uint64_t actual)
+strideTrainEntry(StrideEntry &entry, uint64_t actual,
+                 const StrideConfig &config)
 {
-    auto [it, inserted] = table_.try_emplace(pc);
-    Entry &entry = it->second;
-
-    if (inserted) {
-        entry.last = actual;
-        entry.counter = config_.counterThreshold;
-        return;
-    }
-
     const int64_t delta = static_cast<int64_t>(actual - entry.last);
 
-    switch (config_.policy) {
+    switch (config.policy) {
       case StridePolicy::Simple:
         entry.s1 = entry.s2 = delta;
         entry.haveDelta = true;
         break;
 
       case StridePolicy::SaturatingCounter: {
-        const bool correct =
-                entry.last + static_cast<uint64_t>(entry.s2) == actual;
+        const bool correct = stridePredictValue(entry) == actual;
         if (correct) {
-            entry.counter = std::min(entry.counter + 1, config_.counterMax);
+            entry.counter = std::min(entry.counter + 1, config.counterMax);
         } else {
             entry.counter = std::max(entry.counter - 1, 0);
-            if (entry.counter < config_.counterThreshold)
+            if (entry.counter < config.counterThreshold)
                 entry.s2 = delta;
         }
         entry.s1 = delta;
@@ -69,15 +54,44 @@ StridePredictor::update(uint64_t pc, uint64_t actual)
     entry.last = actual;
 }
 
-std::string
-StridePredictor::name() const
+const char *
+stridePolicyName(StridePolicy policy)
 {
-    switch (config_.policy) {
+    switch (policy) {
       case StridePolicy::Simple: return "s";
       case StridePolicy::SaturatingCounter: return "s-sat";
       case StridePolicy::TwoDelta: return "s2";
     }
     return "s2";
+}
+
+StridePredictor::StridePredictor(StrideConfig config) : config_(config)
+{
+}
+
+Prediction
+StridePredictor::predict(uint64_t pc) const
+{
+    auto it = table_.find(pc);
+    if (it == table_.end())
+        return Prediction::none();
+    return Prediction::of(stridePredictValue(it->second));
+}
+
+void
+StridePredictor::update(uint64_t pc, uint64_t actual)
+{
+    auto [it, inserted] = table_.try_emplace(pc);
+    if (inserted)
+        strideInitEntry(it->second, actual, config_);
+    else
+        strideTrainEntry(it->second, actual, config_);
+}
+
+std::string
+StridePredictor::name() const
+{
+    return stridePolicyName(config_.policy);
 }
 
 void

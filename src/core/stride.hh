@@ -46,6 +46,40 @@ struct StrideConfig
 };
 
 /**
+ * One stride table entry.
+ *
+ * Shared between the unbounded predictor below and the bounded
+ * (set-associative) variant so that, absent capacity evictions, the
+ * two are identical by construction.
+ */
+struct StrideEntry
+{
+    uint64_t last = 0;
+    int64_t s1 = 0;         ///< most recent delta
+    int64_t s2 = 0;         ///< prediction delta
+    bool haveDelta = false;
+    int counter = 0;        ///< SaturatingCounter state
+};
+
+/** The value an entry predicts: last + prediction stride. */
+inline uint64_t
+stridePredictValue(const StrideEntry &entry)
+{
+    return entry.last + static_cast<uint64_t>(entry.s2);
+}
+
+/** Initialize a freshly allocated entry from the first observed value. */
+void strideInitEntry(StrideEntry &entry, uint64_t actual,
+                     const StrideConfig &config);
+
+/** Train an existing entry with the value actually produced. */
+void strideTrainEntry(StrideEntry &entry, uint64_t actual,
+                      const StrideConfig &config);
+
+/** Spec name ("s", "s-sat", "s2") for a policy. */
+const char *stridePolicyName(StridePolicy policy);
+
+/**
  * Stride predictor: predicts last value + stride.
  *
  * After a single observed value the stride is still zero, so the
@@ -66,17 +100,8 @@ class StridePredictor : public ValuePredictor
     size_t tableEntries() const override { return table_.size(); }
 
   private:
-    struct Entry
-    {
-        uint64_t last = 0;
-        int64_t s1 = 0;         ///< most recent delta
-        int64_t s2 = 0;         ///< prediction delta
-        bool haveDelta = false;
-        int counter = 0;        ///< SaturatingCounter state
-    };
-
     StrideConfig config_;
-    std::unordered_map<uint64_t, Entry> table_;
+    std::unordered_map<uint64_t, StrideEntry> table_;
 };
 
 } // namespace vp::core

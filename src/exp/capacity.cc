@@ -1,0 +1,77 @@
+#include "exp/capacity.hh"
+
+namespace vp::exp {
+
+const std::vector<std::string> &
+capacityFamilies()
+{
+    static const std::vector<std::string> families = {"l", "s2", "fcm3"};
+    return families;
+}
+
+const std::vector<size_t> &
+capacitySweepPoints()
+{
+    // 256 entries (a few KB of state) up to 1M entries, the point
+    // where every workload's full-scale working set fits (compress
+    // allocates ~460k fcm3 contexts) and the bounded predictors match
+    // the unbounded ones to within measurement noise.
+    static const std::vector<size_t> points = {
+        256, 1024, 4096, 16384, 65536, 262144, 1048576,
+    };
+    return points;
+}
+
+std::string
+boundedSpecFor(const std::string &base, size_t entries)
+{
+    if (base.rfind("fcm", 0) == 0) {
+        const size_t vht = entries / 4;
+        const size_t vpt = entries - vht;
+        return base + "@" + std::to_string(vht) + "/" +
+               std::to_string(vpt) + "x16";
+    }
+    return base + "@" + std::to_string(entries) + "x16";
+}
+
+std::vector<std::string>
+capacitySweepSpecs()
+{
+    std::vector<std::string> specs;
+    for (const auto &family : capacityFamilies()) {
+        specs.push_back(family);
+        for (const size_t entries : capacitySweepPoints())
+            specs.push_back(boundedSpecFor(family, entries));
+    }
+    return specs;
+}
+
+size_t
+CapacitySweep::specIndex(size_t family_index, size_t budget_index)
+{
+    const size_t stride = 1 + capacitySweepPoints().size();
+    return family_index * stride + 1 + budget_index;
+}
+
+size_t
+CapacitySweep::unboundedIndex(size_t family_index)
+{
+    const size_t stride = 1 + capacitySweepPoints().size();
+    return family_index * stride;
+}
+
+CapacitySweep
+runCapacitySweep(const SuiteOptions &base_options)
+{
+    SuiteOptions options = base_options;
+    options.predictors = capacitySweepSpecs();
+    options.overlap = 0;
+    options.improvementA = options.improvementB = 0;
+    options.values = false;
+
+    CapacitySweep sweep;
+    sweep.runs = runSuite(options);
+    return sweep;
+}
+
+} // namespace vp::exp

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Capacity sweep: bounded predictors from tiny tables up to (nearly)
+ * the paper's unbounded idealisation.
+ *
+ * Section 5 of the paper leaves "realistic implementations" with
+ * finite resources as future work; this experiment quantifies the gap.
+ * Every family (last value, stride, fcm) runs at several total entry
+ * budgets side by side with its unbounded counterpart, in a single
+ * trace pass per workload, and the report shows accuracy converging
+ * toward the idealised numbers as capacity grows.
+ *
+ * Shared between bench/exp_capacity.cc (the report) and the
+ * convergence assertions in tests/bounded_equivalence_test.cc.
+ */
+
+#ifndef VP_EXP_CAPACITY_HH
+#define VP_EXP_CAPACITY_HH
+
+#include <string>
+#include <vector>
+
+#include "exp/suite.hh"
+
+namespace vp::exp {
+
+/** Predictor families swept: "l", "s2", "fcm3". */
+const std::vector<std::string> &capacityFamilies();
+
+/** Total-entry budgets swept, smallest first. */
+const std::vector<size_t> &capacitySweepPoints();
+
+/**
+ * Bounded spec string giving @p base a total budget of @p entries
+ * (16-way LRU: high enough associativity that capacity, not set
+ * conflicts, is the limiting factor the sweep measures — at 4 ways
+ * conflict evictions alone cost compress ~0.3pp even at 1M entries).
+ * Last value and stride spend the whole budget on their one table;
+ * fcm splits it 1:3 between the VHT and the VPT (contexts far
+ * outnumber static instructions).
+ */
+std::string boundedSpecFor(const std::string &base, size_t entries);
+
+/** The sweep's predictor bank: per family, unbounded + every budget. */
+std::vector<std::string> capacitySweepSpecs();
+
+/**
+ * Accuracy surface from one suite run over capacitySweepSpecs().
+ *
+ * Index predictors as runs[w].predictors[specIndex(...)]: specs are
+ * laid out family-major, unbounded first, then the budgets in
+ * capacitySweepPoints() order.
+ */
+struct CapacitySweep
+{
+    std::vector<BenchmarkRun> runs;
+
+    /** Index of @p family at budget capacitySweepPoints()[budget]. */
+    static size_t specIndex(size_t family_index, size_t budget_index);
+    static size_t unboundedIndex(size_t family_index);
+};
+
+/** Run the whole sweep (one pass per workload, all specs banked). */
+CapacitySweep runCapacitySweep(const SuiteOptions &base_options);
+
+} // namespace vp::exp
+
+#endif // VP_EXP_CAPACITY_HH

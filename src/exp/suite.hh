@@ -33,6 +33,20 @@ namespace vp::exp {
  *   "fcmK-sat"                       fcm of order K (e.g. "fcm3")
  *   "hybrid"                         chooser hybrid of s2 + fcm3
  *
+ * Appending a capacity budget turns a last-value/stride/fcm spec into
+ * its finite-table (bounded) variant — the tables become
+ * set-associative with a fixed entry count (core/bounded.hh):
+ *
+ *   "<lv-or-stride>@<E>[x<W>][r]"    e.g. "l@1024x4", "s2@256x2r"
+ *   "fcmK[-var]@<V>/<P>[x<W>][r]"    e.g. "fcm3@256/1024x4"
+ *
+ * E/V/P are entry counts (V = VHT, P = VPT), W the associativity
+ * (default 4; "fa" = fully associative), and a trailing "r" selects
+ * random instead of LRU replacement. Spec-built bounded fcm keeps at
+ * most 4 distinct follower values per VPT entry, as a real
+ * implementation would (construct core::BoundedFcmPredictor directly
+ * for the idealised unbounded-followers configuration).
+ *
  * @throws std::invalid_argument for unknown specs.
  */
 core::PredictorPtr makePredictor(const std::string &spec);

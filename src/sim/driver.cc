@@ -79,6 +79,14 @@ PredictorBank::indexOf(const std::string &name) const
     return -1;
 }
 
+void
+replayTrace(const std::vector<vm::TraceEvent> &events,
+            PredictorBank &bank)
+{
+    for (const auto &event : events)
+        bank.onValue(event);
+}
+
 RunOutcome
 runProgram(const isa::Program &prog, PredictorBank &bank,
            vm::MachineConfig config)

@@ -106,6 +106,15 @@ struct RunOutcome
 RunOutcome runProgram(const isa::Program &prog, PredictorBank &bank,
                       vm::MachineConfig config = {});
 
+/**
+ * Replay a recorded value trace into @p bank — the paper's original
+ * trace-driven methodology: run the VM once, evaluate many predictor
+ * banks against the same stream (see also vm::TraceReader::replay
+ * for streaming straight from a trace file).
+ */
+void replayTrace(const std::vector<vm::TraceEvent> &events,
+                 PredictorBank &bank);
+
 } // namespace vp::sim
 
 #endif // VP_SIM_DRIVER_HH

@@ -113,8 +113,10 @@ void
 TraceWriter::onValue(const TraceEvent &event)
 {
     out_.put(static_cast<char>(event.op));
-    writeVarint(out_, zigZag(static_cast<int64_t>(event.pc) -
-                             static_cast<int64_t>(lastPc_)));
+    // Subtract as uint64 (well-defined wraparound), then reinterpret
+    // as the signed delta: identical encoding, but no signed overflow
+    // for PCs on opposite ends of the 64-bit range.
+    writeVarint(out_, zigZag(static_cast<int64_t>(event.pc - lastPc_)));
     writeVarint(out_, event.value);
     lastPc_ = event.pc;
     ++count_;
@@ -158,8 +160,7 @@ TraceReader::next(TraceEvent &event)
     if (!isa::isPredictedCategory(event.cat))
         throw TraceFileError("non-predicted opcode in trace");
     const int64_t delta = unZigZag(readVarint(in_));
-    event.pc = static_cast<uint64_t>(
-            static_cast<int64_t>(lastPc_) + delta);
+    event.pc = lastPc_ + static_cast<uint64_t>(delta);
     event.value = readVarint(in_);
     lastPc_ = event.pc;
     ++seen_;

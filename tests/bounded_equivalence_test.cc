@@ -1,0 +1,302 @@
+/**
+ * @file
+ * Bounded-vs-unbounded equivalence properties over every workload
+ * trace:
+ *
+ *  - a bounded predictor whose tables are fully associative and large
+ *    enough to never evict produces *identical* per-category stats to
+ *    its unbounded counterpart (the bounded machinery adds capacity
+ *    pressure and nothing else);
+ *  - starved configurations (tiny tables, every associativity and
+ *    replacement policy) never crash and never beat the unbounded
+ *    idealisation overall;
+ *  - the capacity sweep's largest budget matches the unbounded
+ *    accuracy within 0.1 percentage points per workload and family
+ *    (the exp_capacity acceptance bar);
+ *  - the bounded spec grammar round-trips through predictor names.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/bounded.hh"
+#include "core/fcm.hh"
+#include "core/last_value.hh"
+#include "core/stride.hh"
+#include "exp/capacity.hh"
+#include "exp/suite.hh"
+#include "sim/driver.hh"
+#include "vm/machine.hh"
+#include "workloads/workload.hh"
+
+namespace {
+
+using namespace vp;
+using namespace vp::core;
+
+struct WorkloadTrace
+{
+    std::string name;
+    std::vector<vm::TraceEvent> events;
+    size_t staticCount = 0;
+};
+
+/** Smoke-scale traces, recorded once and replayed into every config. */
+const std::vector<WorkloadTrace> &
+traces()
+{
+    static const std::vector<WorkloadTrace> cached = [] {
+        workloads::WorkloadConfig config;
+        config.scale = 5;
+        std::vector<WorkloadTrace> out;
+        for (const auto &info : workloads::allWorkloads()) {
+            WorkloadTrace trace;
+            trace.name = info.name;
+            const auto prog = info.build(config);
+            trace.staticCount = prog.countPredictedStatic();
+            vm::RecordingSink sink;
+            vm::Machine machine;
+            machine.setSink(&sink);
+            EXPECT_TRUE(machine.run(prog).ok()) << info.name;
+            trace.events = std::move(sink.events);
+            out.push_back(std::move(trace));
+        }
+        return out;
+    }();
+    return cached;
+}
+
+/**
+ * The paper's predict-then-update protocol over a recorded trace,
+ * through the same PredictorBank path the experiment suite uses.
+ */
+PredictionStats
+runOver(PredictorPtr pred, const std::vector<vm::TraceEvent> &events)
+{
+    sim::PredictorBank bank;
+    bank.add(std::move(pred));
+    sim::replayTrace(events, bank);
+    return bank.member(0).stats;
+}
+
+/** Every counter the stats object holds, not just the accuracy. */
+void
+expectIdenticalStats(const PredictionStats &bounded,
+                     const PredictionStats &unbounded)
+{
+    EXPECT_EQ(bounded.total(), unbounded.total());
+    EXPECT_EQ(bounded.correct(), unbounded.correct());
+    for (int c = 0; c < isa::numCategories; ++c) {
+        const auto cat = static_cast<isa::Category>(c);
+        EXPECT_EQ(bounded.total(cat), unbounded.total(cat))
+                << "category " << c;
+        EXPECT_EQ(bounded.correct(cat), unbounded.correct(cat))
+                << "category " << c;
+    }
+}
+
+/** Fully associative, never evicts: the idealised geometry. */
+BoundedTableConfig
+ampleTable(size_t entries)
+{
+    BoundedTableConfig config;
+    config.entries = entries;
+    config.ways = 0;
+    return config;
+}
+
+TEST(BoundedEquivalence, LastValueMatchesUnboundedExactly)
+{
+    for (const auto &trace : traces()) {
+        SCOPED_TRACE(trace.name);
+        for (const LvPolicy policy :
+             {LvPolicy::AlwaysUpdate, LvPolicy::SaturatingCounter,
+              LvPolicy::Consecutive}) {
+            LvConfig config;
+            config.policy = policy;
+            const auto a = runOver(
+                    std::make_unique<LastValuePredictor>(config),
+                    trace.events);
+            const auto b = runOver(
+                    std::make_unique<BoundedLastValuePredictor>(
+                            config, ampleTable(trace.staticCount)),
+                    trace.events);
+            expectIdenticalStats(b, a);
+        }
+    }
+}
+
+TEST(BoundedEquivalence, StrideMatchesUnboundedExactly)
+{
+    for (const auto &trace : traces()) {
+        SCOPED_TRACE(trace.name);
+        for (const StridePolicy policy :
+             {StridePolicy::Simple, StridePolicy::SaturatingCounter,
+              StridePolicy::TwoDelta}) {
+            StrideConfig config;
+            config.policy = policy;
+            const auto a = runOver(
+                    std::make_unique<StridePredictor>(config),
+                    trace.events);
+            const auto b = runOver(
+                    std::make_unique<BoundedStridePredictor>(
+                            config, ampleTable(trace.staticCount)),
+                    trace.events);
+            expectIdenticalStats(b, a);
+        }
+    }
+}
+
+TEST(BoundedEquivalence, FcmMatchesUnboundedExactly)
+{
+    for (const auto &trace : traces()) {
+        SCOPED_TRACE(trace.name);
+        for (const FcmBlending blending :
+             {FcmBlending::LazyExclusion, FcmBlending::Full,
+              FcmBlending::None}) {
+            FcmConfig fcm;
+            fcm.order = 3;
+            fcm.blending = blending;
+
+            // Size the VPT off the unbounded context footprint: its
+            // tableEntries() is exactly the number of distinct
+            // (pc, order, context) tuples the bounded VPT will key.
+            sim::PredictorBank bank;
+            bank.add(std::make_unique<FcmPredictor>(fcm));
+            sim::replayTrace(trace.events, bank);
+            const auto a = bank.member(0).stats;
+            const size_t contexts =
+                    bank.member(0).predictor->tableEntries();
+
+            BoundedFcmConfig config;
+            config.fcm = fcm;
+            config.vht = ampleTable(trace.staticCount);
+            config.vpt = ampleTable(contexts + 1);
+            config.maxFollowers = 0;
+            const auto b = runOver(
+                    std::make_unique<BoundedFcmPredictor>(config),
+                    trace.events);
+            expectIdenticalStats(b, a);
+        }
+    }
+}
+
+TEST(BoundedEquivalence, StarvedTablesNeverCrashAndNeverWin)
+{
+    struct Geometry
+    {
+        size_t entries;
+        size_t ways;
+        Replacement replacement;
+    };
+    const Geometry geometries[] = {
+        {16, 1, Replacement::Lru},
+        {16, 16, Replacement::Lru},
+        {64, 4, Replacement::Lru},
+        {64, 4, Replacement::Random},
+        {32, 0, Replacement::Lru},
+    };
+
+    for (const auto &trace : traces()) {
+        SCOPED_TRACE(trace.name);
+
+        FcmConfig fcm3;
+        fcm3.order = 3;
+        const double lv_acc =
+                runOver(std::make_unique<LastValuePredictor>(),
+                        trace.events)
+                        .accuracy();
+        const double stride_acc =
+                runOver(std::make_unique<StridePredictor>(),
+                        trace.events)
+                        .accuracy();
+        const double fcm_acc =
+                runOver(std::make_unique<FcmPredictor>(fcm3),
+                        trace.events)
+                        .accuracy();
+
+        for (const auto &geometry : geometries) {
+            SCOPED_TRACE(std::to_string(geometry.entries) + "x" +
+                         std::to_string(geometry.ways));
+            BoundedTableConfig table;
+            table.entries = geometry.entries;
+            table.ways = geometry.ways;
+            table.replacement = geometry.replacement;
+
+            const auto lv_stats = runOver(
+                    std::make_unique<BoundedLastValuePredictor>(
+                            LvConfig{}, table),
+                    trace.events);
+            EXPECT_EQ(lv_stats.total(), trace.events.size());
+            EXPECT_LE(lv_stats.accuracy(), lv_acc);
+
+            const auto stride_stats = runOver(
+                    std::make_unique<BoundedStridePredictor>(
+                            StrideConfig{}, table),
+                    trace.events);
+            EXPECT_LE(stride_stats.accuracy(), stride_acc);
+
+            BoundedFcmConfig bounded_fcm;
+            bounded_fcm.fcm = fcm3;
+            bounded_fcm.vht = table;
+            bounded_fcm.vpt = table;
+            bounded_fcm.maxFollowers = 4;
+            const auto fcm_stats = runOver(
+                    std::make_unique<BoundedFcmPredictor>(bounded_fcm),
+                    trace.events);
+            EXPECT_LE(fcm_stats.accuracy(), fcm_acc);
+        }
+    }
+}
+
+/** The exp_capacity acceptance bar, asserted rather than printed. */
+TEST(CapacitySweep, LargestBudgetConvergesToUnbounded)
+{
+    exp::SuiteOptions options;
+    options.config.scale = 5;
+    const auto sweep = exp::runCapacitySweep(options);
+    const auto &families = exp::capacityFamilies();
+    const size_t largest = exp::capacitySweepPoints().size() - 1;
+
+    ASSERT_EQ(sweep.runs.size(), workloads::allWorkloads().size());
+    for (const auto &run : sweep.runs) {
+        SCOPED_TRACE(run.name);
+        for (size_t f = 0; f < families.size(); ++f) {
+            SCOPED_TRACE(families[f]);
+            const double bounded = run.accuracyPct(
+                    exp::CapacitySweep::specIndex(f, largest));
+            const double unbounded = run.accuracyPct(
+                    exp::CapacitySweep::unboundedIndex(f));
+            EXPECT_NEAR(bounded, unbounded, 0.1);
+        }
+    }
+}
+
+TEST(BoundedSpecs, NamesRoundTripThroughTheGrammar)
+{
+    for (const char *spec :
+         {"l@1024x4", "l-sat@1024x4", "l-consec@256x2", "s@512x4",
+          "s2@256x2r", "s2@64xfa", "fcm3@256/1024x4",
+          "fcm2-pure@64/256x4", "fcm1-full@64/256x2r"}) {
+        EXPECT_EQ(exp::makePredictor(spec)->name(), spec);
+    }
+
+    // The -sat suffix canonicalises away, matching the unbounded
+    // convention ("counter width is not a model"): fcmK-sat and fcmK
+    // share a name, bounded or not.
+    EXPECT_EQ(exp::makePredictor("fcm2-sat@64/256x4")->name(),
+              "fcm2@64/256x4");
+}
+
+TEST(BoundedSpecs, RejectsMalformedBudgets)
+{
+    for (const char *spec :
+         {"l@", "l@abc", "l@256/1024x4", "s2@0x4", "s2@256x3",
+          "fcm3@256x4", "fcm3@256/0x4", "hybrid@256x4", "l@256x4q",
+          "l@256x0", "l@99999999999999999999x4", "fcm99999999999999",
+          "fcm99999999999999@64/256x4"}) {
+        EXPECT_THROW(exp::makePredictor(spec), std::invalid_argument)
+                << spec;
+    }
+}
+
+} // anonymous namespace

@@ -204,6 +204,59 @@ TEST(Fcm, SmallCountersHalveAndFavorRecency)
     EXPECT_EQ(small.predict(0).value, 2u);  // rescaled away
 }
 
+TEST(Fcm, CounterCeilingSaturatesAtTheCeilingExactly)
+{
+    // End-to-end through update()/predict(): with counterMax = 4 a
+    // count must be able to sit AT 4 (the way a saturating hardware
+    // counter of ceiling 4 would); halving happens only when a count
+    // would exceed the ceiling. The pre-fix code halved on *reaching*
+    // it, so counts never passed counterMax/2 - an off-by-one that
+    // made challengers overtake the established value twice as fast.
+    auto pred = makeFcm(0, FcmBlending::LazyExclusion, 4);
+    for (int i = 0; i < 4; ++i)
+        pred.update(0, 7);          // count(7) saturates at 4
+    for (int i = 0; i < 3; ++i)
+        pred.update(0, 9);          // count(9) = 3: not yet enough
+    EXPECT_EQ(pred.predict(0).value, 7u);
+    pred.update(0, 9);              // count(9) = 4: tie, 9 more recent
+    EXPECT_EQ(pred.predict(0).value, 9u);
+}
+
+TEST(Fcm, CounterCeilingRescalesWhenExceeded)
+{
+    // Push count(7) past the ceiling: 5th sighting bumps to 5 > 4,
+    // everything halves (7 -> 2, the lone 9 -> 0 and is pruned), so
+    // two fresh sightings of 9 suffice to take over afterwards.
+    auto pred = makeFcm(0, FcmBlending::LazyExclusion, 4);
+    for (int i = 0; i < 4; ++i)
+        pred.update(0, 7);
+    pred.update(0, 9);              // count(9) = 1
+    pred.update(0, 7);              // 5 > 4: halve -> 7:2, 9 pruned
+    pred.update(0, 9);
+    EXPECT_EQ(pred.predict(0).value, 7u);   // 2 vs 1
+    pred.update(0, 9);
+    EXPECT_EQ(pred.predict(0).value, 9u);   // 2 vs 2, 9 more recent
+}
+
+TEST(Fcm, CounterCeilingOfOneKeepsPredicting)
+{
+    // The degenerate 1-bit ceiling: every second sighting rescales,
+    // but the just-bumped follower always survives the pruning, so
+    // the predictor degrades to most-recent-follower instead of
+    // going permanently silent (which the pre-fix halving did: the
+    // bumped cell itself halved to zero and was erased).
+    auto pred = makeFcm(0, FcmBlending::LazyExclusion, 1);
+    pred.update(0, 5);
+    ASSERT_TRUE(pred.predict(0).valid);
+    EXPECT_EQ(pred.predict(0).value, 5u);
+    pred.update(0, 5);              // bump to 2 > 1: halves back to 1
+    ASSERT_TRUE(pred.predict(0).valid);
+    EXPECT_EQ(pred.predict(0).value, 5u);
+    pred.update(0, 8);
+    ASSERT_TRUE(pred.predict(0).valid);
+    EXPECT_EQ(pred.predict(0).value, 8u);   // tie at 1, 8 more recent
+}
+
 TEST(Fcm, LazyExclusionTrainsOnlyMatchedOrderAndAbove)
 {
     // After 1,2,3,1,2 the order-2 context (1,2) matched for the

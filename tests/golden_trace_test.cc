@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Golden-trace regression pins: a checksum (event count + FNV-1a over
+ * every TraceEvent tuple) per workload at smoke scale.
+ *
+ * Every paper table and figure in bench/ is a function of these seven
+ * value traces. Any VM, workload or ISA change that perturbs them —
+ * intentionally or not — must fail here loudly instead of silently
+ * shifting every reproduced number.
+ *
+ * Regenerating after an INTENTIONAL trace change:
+ *
+ *   VP_PRINT_GOLDEN=1 ./tests/golden_trace_test
+ *
+ * prints the replacement rows for the table below (the test then
+ * reports itself as skipped); paste them in and re-run. Mention the
+ * perturbation in the commit message — it moves every experiment.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "vm/machine.hh"
+#include "vm/trace.hh"
+#include "workloads/workload.hh"
+
+namespace {
+
+using namespace vp;
+
+/** FNV-1a over the little-endian bytes of each (pc, op, value). */
+uint64_t
+traceChecksum(const std::vector<vm::TraceEvent> &events)
+{
+    uint64_t hash = 1469598103934665603ull;
+    const auto fold_byte = [&hash](uint8_t byte) {
+        hash ^= byte;
+        hash *= 1099511628211ull;
+    };
+    const auto fold_u64 = [&fold_byte](uint64_t v) {
+        for (int i = 0; i < 8; ++i)
+            fold_byte(static_cast<uint8_t>(v >> (8 * i)));
+    };
+    for (const auto &event : events) {
+        fold_u64(event.pc);
+        fold_byte(static_cast<uint8_t>(event.op));
+        fold_u64(event.value);
+    }
+    return hash;
+}
+
+struct Golden
+{
+    const char *name;
+    uint64_t count;
+    uint64_t checksum;
+};
+
+/** Pinned at workload scale 5 (the smoke/test scale). */
+constexpr Golden golden[] = {
+    {"compress", 86383ull, 0x165d886e7918bc76ull},
+    {"gcc", 27887ull, 0x04a6885fcd2b8643ull},
+    {"go", 20748ull, 0x14af3569a8c849bcull},
+    {"ijpeg", 23953ull, 0xf2ec23bb5fba7b0aull},
+    {"m88ksim", 36184ull, 0xee6cf1297065e242ull},
+    {"perl", 62028ull, 0x1a88f21cfebcc5a7ull},
+    {"xlisp", 183852ull, 0x4b07126817a21e78ull},
+};
+
+TEST(GoldenTrace, WorkloadTracesAreBitStable)
+{
+    const bool print =
+            std::getenv("VP_PRINT_GOLDEN") != nullptr;
+
+    workloads::WorkloadConfig config;
+    config.scale = 5;
+
+    ASSERT_EQ(std::size(golden), workloads::allWorkloads().size());
+    for (const auto &info : workloads::allWorkloads()) {
+        SCOPED_TRACE(info.name);
+        vm::RecordingSink sink;
+        vm::Machine machine;
+        machine.setSink(&sink);
+        ASSERT_TRUE(machine.run(info.build(config)).ok());
+        const uint64_t checksum = traceChecksum(sink.events);
+
+        if (print) {
+            std::printf("    {\"%s\", %zuull, 0x%016llxull},\n",
+                        info.name.c_str(), sink.events.size(),
+                        static_cast<unsigned long long>(checksum));
+            continue;
+        }
+
+        const Golden *pin = nullptr;
+        for (const auto &row : golden) {
+            if (info.name == row.name)
+                pin = &row;
+        }
+        ASSERT_NE(pin, nullptr);
+        EXPECT_EQ(sink.events.size(), pin->count)
+                << "trace length changed: every bench table shifts";
+        EXPECT_EQ(checksum, pin->checksum)
+                << "trace content changed: every bench table shifts";
+    }
+    if (print)
+        GTEST_SKIP() << "printed fresh golden rows, nothing asserted";
+}
+
+} // anonymous namespace

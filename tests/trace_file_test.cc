@@ -178,4 +178,138 @@ TEST(TraceFile, MissingFileThrows)
                  vm::TraceFileError);
 }
 
+// ------------------------------------------- fuzz-ish round trips
+
+/** Serialize events into an in-memory trace stream. */
+std::string
+serialize(const std::vector<TraceEvent> &events)
+{
+    std::stringstream buf(std::ios::in | std::ios::out |
+                          std::ios::binary);
+    vm::TraceWriter writer(buf);
+    for (const auto &event : events)
+        writer.onValue(event);
+    writer.finish();
+    return buf.str();
+}
+
+std::vector<TraceEvent>
+deserialize(const std::string &data)
+{
+    std::stringstream buf(data, std::ios::in | std::ios::binary);
+    vm::TraceReader reader(buf);
+    std::vector<TraceEvent> events;
+    TraceEvent event{};
+    while (reader.next(event))
+        events.push_back(event);
+    return events;
+}
+
+TEST(TraceFileFuzz, BoundaryValuesRoundTrip)
+{
+    // The extremes the varint/zig-zag coding has to survive: value 0
+    // and UINT64_MAX (the 10-byte LEB128 case), and PC deltas that
+    // swing across the whole 64-bit range in both directions.
+    std::vector<TraceEvent> events;
+    const uint64_t pcs[] = {0, UINT64_MAX, 0, 1, UINT64_MAX - 1, 2,
+                            0x8000000000000000ull, 0x7fffffffffffffffull};
+    const uint64_t values[] = {0, UINT64_MAX, 1, UINT64_MAX - 1,
+                               0x8000000000000000ull, 0, UINT64_MAX, 42};
+    for (size_t i = 0; i < std::size(pcs); ++i) {
+        TraceEvent event{};
+        event.op = isa::Opcode::Add;
+        event.cat = isa::opcodeCategory(event.op);
+        event.pc = pcs[i];
+        event.value = values[i];
+        events.push_back(event);
+    }
+
+    const auto back = deserialize(serialize(events));
+    ASSERT_EQ(back.size(), events.size());
+    for (size_t i = 0; i < events.size(); ++i) {
+        EXPECT_EQ(back[i].pc, events[i].pc) << i;
+        EXPECT_EQ(back[i].value, events[i].value) << i;
+    }
+}
+
+TEST(TraceFileFuzz, RandomizedStreamsRoundTrip)
+{
+    // Seeded (deterministic) random streams: full-range PCs and
+    // values of every magnitude, occasionally forced to the 0 and
+    // UINT64_MAX boundaries.
+    for (const uint64_t seed : {1u, 7u, 42u, 1234u, 99999u}) {
+        SCOPED_TRACE(seed);
+        synth::Rng rng(seed);
+        std::vector<TraceEvent> events;
+        const size_t n = 200 + rng.range(800);
+        for (size_t i = 0; i < n; ++i) {
+            TraceEvent event{};
+            event.op = (i % 2 == 0) ? isa::Opcode::Add
+                                    : isa::Opcode::Ld;
+            event.cat = isa::opcodeCategory(event.op);
+            event.pc = rng.next() >> rng.range(64);
+            event.value = rng.next() >> rng.range(64);
+            switch (rng.range(16)) {
+              case 0: event.pc = 0; break;
+              case 1: event.pc = UINT64_MAX; break;
+              case 2: event.value = 0; break;
+              case 3: event.value = UINT64_MAX; break;
+              default: break;
+            }
+            events.push_back(event);
+        }
+
+        const auto back = deserialize(serialize(events));
+        ASSERT_EQ(back.size(), events.size());
+        for (size_t i = 0; i < events.size(); ++i) {
+            EXPECT_EQ(back[i].pc, events[i].pc) << i;
+            EXPECT_EQ(back[i].value, events[i].value) << i;
+            EXPECT_EQ(back[i].op, events[i].op) << i;
+        }
+    }
+}
+
+TEST(TraceFileFuzz, TruncationAtEveryByteYieldsAPrefixThenThrows)
+{
+    // Chop a stream at every possible byte boundary: the reader must
+    // never crash, never fabricate events, and always end in a
+    // TraceFileError (a complete stream is the only clean exit).
+    synth::Rng rng(2026);
+    std::vector<TraceEvent> events;
+    for (size_t i = 0; i < 40; ++i) {
+        TraceEvent event{};
+        event.op = isa::Opcode::Sub;
+        event.cat = isa::opcodeCategory(event.op);
+        event.pc = rng.next() >> rng.range(64);
+        event.value = rng.next() >> rng.range(64);
+        events.push_back(event);
+    }
+    const std::string data = serialize(events);
+
+    for (size_t cut = 0; cut < data.size(); ++cut) {
+        SCOPED_TRACE(cut);
+        std::stringstream buf(data.substr(0, cut),
+                              std::ios::in | std::ios::binary);
+        std::vector<TraceEvent> seen;
+        bool threw = false;
+        try {
+            vm::TraceReader reader(buf);
+            TraceEvent event{};
+            while (reader.next(event))
+                seen.push_back(event);
+        } catch (const vm::TraceFileError &) {
+            threw = true;
+        }
+        EXPECT_TRUE(threw);
+        ASSERT_LE(seen.size(), events.size());
+        for (size_t i = 0; i < seen.size(); ++i) {
+            EXPECT_EQ(seen[i].pc, events[i].pc);
+            EXPECT_EQ(seen[i].value, events[i].value);
+        }
+    }
+
+    // The untruncated stream round-trips cleanly.
+    EXPECT_EQ(deserialize(data).size(), events.size());
+}
+
 } // anonymous namespace
