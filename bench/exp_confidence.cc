@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Confidence sweep: what a saturating-counter gate buys each predictor
+ * family once mispredictions cost recovery (the Section 4 speculation
+ * question the paper leaves open).
+ *
+ * For every family (l, s2, fcm1-3, hybrid) and every counter width x
+ * threshold grid point the report shows the gated triple — coverage,
+ * accuracy when predicted, and the speculation-profit proxy
+ * correct - cost x incorrect per eligible event — against the ungated
+ * baseline. Expected shape: within one width, raising the threshold
+ * trades coverage down for accuracy-when-predicted up (asserted in
+ * tests/confidence_test.cc), and at cost >= 1 some gated fcm3 point
+ * beats ungated fcm3 on profit.
+ */
+
+#include <cstdio>
+
+#include "exp/confidence.hh"
+#include "sim/table.hh"
+
+using namespace vp;
+
+namespace {
+
+std::string
+pointLabel(const exp::ConfidencePoint &point)
+{
+    return "c" + std::to_string(point.width) + "t" +
+           std::to_string(point.threshold);
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto args = exp::BenchArgs::parse(argc, argv);
+    if (!args.ok)
+        return 2;
+    exp::SuiteOptions options;
+    args.apply(options);
+
+    const auto sweep = exp::runConfidenceSweep(options);
+    const auto &families = exp::confidenceFamilies();
+    const auto &points = exp::confidenceSweepPoints();
+
+    std::printf("Confidence sweep: gating predictions on per-PC "
+                "saturating counters\n"
+                "(cWtT = width W bits, predict at counter >= T, reset "
+                "on miss; cov = %%\n"
+                "of eligible events predicted, acc = %% correct of "
+                "those)\n\n");
+
+    for (const auto &run : sweep.runs) {
+        std::printf("%s\n", run.name.c_str());
+        sim::TextTable table;
+        auto &header = table.row().cell("gate");
+        for (const auto &family : families) {
+            header.cell(family + " cov");
+            header.cell("acc");
+        }
+        table.rule();
+        auto &ungated = table.row().cell("none");
+        for (size_t f = 0; f < families.size(); ++f) {
+            const auto &stats =
+                    run.predictors
+                            .at(exp::ConfidenceSweep::ungatedIndex(f))
+                            .second;
+            ungated.cell(100.0 * stats.coverage(), 1);
+            ungated.cell(100.0 * stats.accuracyWhenPredicted(), 1);
+        }
+        for (size_t p = 0; p < points.size(); ++p) {
+            auto &row = table.row().cell(pointLabel(points[p]));
+            for (size_t f = 0; f < families.size(); ++f) {
+                const auto &stats =
+                        run.predictors
+                                .at(exp::ConfidenceSweep::specIndex(f, p))
+                                .second;
+                row.cell(100.0 * stats.coverage(), 1);
+                row.cell(100.0 * stats.accuracyWhenPredicted(), 1);
+            }
+        }
+        std::printf("%s\n", table.render().c_str());
+    }
+
+    std::printf("Suite mean (paper averaging rule)\n");
+    sim::TextTable mean;
+    auto &header = mean.row().cell("gate");
+    for (const auto &family : families) {
+        header.cell(family + " cov");
+        header.cell("acc");
+    }
+    mean.rule();
+    auto &ungated = mean.row().cell("none");
+    for (size_t f = 0; f < families.size(); ++f) {
+        const size_t index = exp::ConfidenceSweep::ungatedIndex(f);
+        ungated.cell(exp::meanCoveragePct(sweep.runs, index), 1);
+        ungated.cell(exp::meanAccuracyWhenPredictedPct(sweep.runs,
+                                                       index),
+                     1);
+    }
+    for (size_t p = 0; p < points.size(); ++p) {
+        auto &row = mean.row().cell(pointLabel(points[p]));
+        for (size_t f = 0; f < families.size(); ++f) {
+            const size_t index = exp::ConfidenceSweep::specIndex(f, p);
+            row.cell(exp::meanCoveragePct(sweep.runs, index), 1);
+            row.cell(exp::meanAccuracyWhenPredictedPct(sweep.runs,
+                                                       index),
+                     1);
+        }
+    }
+    std::printf("%s\n", mean.render().c_str());
+
+    for (const double cost : exp::speculationCosts()) {
+        std::printf("Suite-mean profit per eligible event at "
+                    "misprediction cost %.0f\n",
+                    cost);
+        sim::TextTable profit;
+        auto &phead = profit.row().cell("gate");
+        for (const auto &family : families)
+            phead.cell(family);
+        profit.rule();
+        auto &pu = profit.row().cell("none");
+        for (size_t f = 0; f < families.size(); ++f) {
+            pu.cell(exp::meanProfit(
+                            sweep.runs,
+                            exp::ConfidenceSweep::ungatedIndex(f), cost),
+                    3);
+        }
+        for (size_t p = 0; p < points.size(); ++p) {
+            auto &row = profit.row().cell(pointLabel(points[p]));
+            for (size_t f = 0; f < families.size(); ++f) {
+                row.cell(exp::meanProfit(
+                                 sweep.runs,
+                                 exp::ConfidenceSweep::specIndex(f, p),
+                                 cost),
+                         3);
+            }
+        }
+        std::printf("%s\n", profit.render().c_str());
+    }
+
+    std::printf("shape check: a gated fcm3 point beats ungated fcm3 "
+                "on profit at every cost >= 1\n");
+    size_t fcm3 = 0;
+    for (size_t f = 0; f < families.size(); ++f) {
+        if (families[f] == "fcm3")
+            fcm3 = f;
+    }
+    bool all_beat = true;
+    for (const double cost : exp::speculationCosts()) {
+        const double base = exp::meanProfit(
+                sweep.runs, exp::ConfidenceSweep::ungatedIndex(fcm3),
+                cost);
+        double best = base;
+        std::string best_label = "none";
+        for (size_t p = 0; p < points.size(); ++p) {
+            const double gated = exp::meanProfit(
+                    sweep.runs,
+                    exp::ConfidenceSweep::specIndex(fcm3, p), cost);
+            if (gated > best) {
+                best = gated;
+                best_label = pointLabel(points[p]);
+            }
+        }
+        std::printf("  cost %.0f: ungated %.3f, best %s %.3f\n", cost,
+                    base, best_label.c_str(), best);
+        if (best_label == "none")
+            all_beat = false;
+    }
+    std::printf(all_beat ? "  gating pays at every cost\n"
+                         : "  WARNING: gating never beat ungated fcm3\n");
+    return 0;
+}

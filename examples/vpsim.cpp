@@ -157,7 +157,11 @@ cmdList()
         std::printf("  %-9s %s\n", info.name.c_str(),
                     info.description.c_str());
     std::printf("\npredictor specs: l l-sat l-consec s s-sat s2 "
-                "fcmK fcmK-full fcmK-pure fcmK-sat hybrid\n");
+                "fcmK fcmK-full fcmK-pure fcmK-sat hybrid\n"
+                "  capacity suffix:   <spec>@<E>[x<W|fa>][r|f]  "
+                "(fcm: @<VHT>/<VPT>...)\n"
+                "  confidence suffix: <spec>:c<W>t<T>[r|d]  "
+                "e.g. fcm3@256/1024x4:c3t6\n");
     return 0;
 }
 

@@ -3,17 +3,28 @@
 # with default flags, once with -DVP_SANITIZE=ON, and once
 # instrumented with -DVP_COVERAGE=ON followed by the per-directory
 # line-coverage summary. Any failure fails the script.
+#
+# Every registered test carries exactly one ctest label (unit |
+# golden | smoke); set VP_CTEST_LABEL to restrict each ctest run to
+# one label so CI can shard the suite across parallel jobs, e.g.
+#   VP_CTEST_LABEL=unit ./scripts/ci.sh
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)"
+
+ctest_args=()
+if [[ -n "${VP_CTEST_LABEL:-}" ]]; then
+    ctest_args+=(-L "$VP_CTEST_LABEL")
+fi
 
 run_config() {
     local dir="$1"; shift
     rm -rf "$dir"
     cmake -B "$dir" -S . "$@"
     cmake --build "$dir" -j "$jobs"
-    (cd "$dir" && ctest --output-on-failure -j "$jobs")
+    (cd "$dir" && ctest --output-on-failure -j "$jobs" \
+                        ${ctest_args[@]+"${ctest_args[@]}"})
 }
 
 echo "==> default configuration"

@@ -17,6 +17,8 @@ boundedSuffix(const BoundedTableConfig &config)
     s += config.ways == 0 ? "fa" : std::to_string(config.ways);
     if (config.replacement == Replacement::Random)
         s += "r";
+    else if (config.replacement == Replacement::Fifo)
+        s += "f";
     return s;
 }
 
@@ -235,6 +237,8 @@ BoundedFcmPredictor::name() const
     s += vpt.ways == 0 ? "fa" : std::to_string(vpt.ways);
     if (vpt.replacement == Replacement::Random)
         s += "r";
+    else if (vpt.replacement == Replacement::Fifo)
+        s += "f";
     return s;
 }
 

@@ -32,7 +32,7 @@
 
 namespace vp::core {
 
-/** Render "@entriesxways[r]" (ways 0 prints as "fa"). */
+/** Render "@entriesxways[r|f]" (ways 0 prints as "fa"). */
 std::string boundedSuffix(const BoundedTableConfig &config);
 
 /** Bounded last-value predictor: LvEntry logic on a BoundedTable. */

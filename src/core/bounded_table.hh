@@ -6,8 +6,8 @@
  * value predictability (Section 3) and leaves "realistic
  * implementations with finite resources" as future work (Section 5).
  * This template is that finite resource: a fixed entry budget organised
- * as hash-indexed sets with LRU or random replacement, used by the
- * bounded variants of every predictor family (core/bounded.hh).
+ * as hash-indexed sets with LRU, FIFO or random replacement, used by
+ * the bounded variants of every predictor family (core/bounded.hh).
  *
  * Keys are 64-bit (a PC, or a precomputed context hash) and are stored
  * in full, so there are no false tag matches — capacity pressure shows
@@ -28,7 +28,8 @@ namespace vp::core {
 /** Victim selection within a full set. */
 enum class Replacement {
     Lru,        ///< evict the least recently touched entry
-    Random      ///< evict a deterministic pseudo-random way
+    Random,     ///< evict a deterministic pseudo-random way
+    Fifo        ///< evict the least recently *inserted* entry
 };
 
 /** Geometry and policy of one bounded table. */
@@ -130,6 +131,7 @@ class BoundedTable
             slot->entry = Entry{};
             slot->key = key;
             slot->valid = true;
+            slot->insertStamp = tick_;
         }
         return slot->entry;
     }
@@ -151,10 +153,20 @@ class BoundedTable
     struct Slot
     {
         uint64_t key = 0;
-        uint64_t stamp = 0;
+        uint64_t stamp = 0;         ///< last touch (LRU victim order)
+        uint64_t insertStamp = 0;   ///< allocation (FIFO victim order)
         bool valid = false;
         Entry entry{};
     };
+
+    /** The age a full set's victim scan minimises for this policy. */
+    uint64_t
+    victimStamp(const Slot &slot) const
+    {
+        return config_.replacement == Replacement::Fifo
+                       ? slot.insertStamp
+                       : slot.stamp;
+    }
 
     size_t
     setBase(uint64_t key) const
@@ -187,7 +199,7 @@ class BoundedTable
     {
         const size_t base = setBase(key);
         Slot *invalid = nullptr;
-        Slot *lru = &slots_[base];
+        Slot *oldest = &slots_[base];
         for (size_t w = 0; w < config_.ways; ++w) {
             Slot &slot = slots_[base + w];
             if (slot.valid && slot.key == key) {
@@ -196,8 +208,8 @@ class BoundedTable
             }
             if (!slot.valid && invalid == nullptr)
                 invalid = &slot;
-            if (slot.stamp < lru->stamp)
-                lru = &slots_[base + w];
+            if (victimStamp(slot) < victimStamp(*oldest))
+                oldest = &slots_[base + w];
         }
         inserted = true;
         if (invalid != nullptr) {
@@ -207,7 +219,7 @@ class BoundedTable
         ++evictions_;
         if (config_.replacement == Replacement::Random)
             return &slots_[base + nextRandom() % config_.ways];
-        return lru;
+        return oldest;
     }
 
     Slot *
@@ -229,8 +241,10 @@ class BoundedTable
             } else {
                 victim = 0;
                 for (size_t i = 1; i < config_.entries; ++i) {
-                    if (slots_[i].stamp < slots_[victim].stamp)
+                    if (victimStamp(slots_[i]) <
+                        victimStamp(slots_[victim])) {
                         victim = i;
+                    }
                 }
             }
             index_.erase(slots_[victim].key);

@@ -2,17 +2,26 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <future>
+#include <map>
+#include <mutex>
 #include <stdexcept>
 #include <thread>
 
+#include <unistd.h>
+
 #include "core/bounded.hh"
+#include "core/confidence.hh"
 #include "core/fcm.hh"
 #include "core/hybrid.hh"
 #include "core/last_value.hh"
 #include "core/stride.hh"
 #include "sim/driver.hh"
+#include "vm/trace_file.hh"
 
 namespace vp::exp {
 
@@ -105,7 +114,7 @@ parseEntryCount(const std::string &text, const std::string &spec)
     }
 }
 
-/** Parsed "<E>[/<P>][x<W|fa>][r]" capacity suffix. */
+/** Parsed "<E>[/<P>][x<W|fa>][r|f]" capacity suffix. */
 struct ParsedBudget
 {
     size_t entries = 0;
@@ -118,8 +127,10 @@ ParsedBudget
 parseBudget(std::string text, const std::string &spec)
 {
     ParsedBudget budget;
-    if (!text.empty() && text.back() == 'r') {
-        budget.replacement = core::Replacement::Random;
+    if (!text.empty() && (text.back() == 'r' || text.back() == 'f')) {
+        budget.replacement = text.back() == 'r'
+                                     ? core::Replacement::Random
+                                     : core::Replacement::Fifo;
         text.pop_back();
     }
     if (const auto x = text.find('x'); x != std::string::npos) {
@@ -188,12 +199,65 @@ makeBoundedPredictor(const std::string &base, const ParsedBudget &budget,
     throw std::invalid_argument("unknown predictor spec: " + spec);
 }
 
+int
+parseConfidenceInt(const std::string &text, const std::string &spec)
+{
+    if (text.empty() ||
+        text.find_first_not_of("0123456789") != std::string::npos) {
+        throw std::invalid_argument("bad confidence suffix in spec: " +
+                                    spec);
+    }
+    try {
+        const int value = std::stoi(text);
+        return value;
+    } catch (const std::out_of_range &) {
+        // Keep makePredictor's invalid_argument-only contract.
+        throw std::invalid_argument(
+                "confidence parameter overflows in spec: " + spec);
+    }
+}
+
+/** Parse "c<W>t<T>[r|d]" (the part after the ':'). */
+core::ConfidenceConfig
+parseConfidence(std::string text, const std::string &spec)
+{
+    using namespace core;
+    ConfidenceConfig config;
+    if (!text.empty() && (text.back() == 'r' || text.back() == 'd')) {
+        config.penalty = text.back() == 'd' ? ConfidencePenalty::Decrement
+                                            : ConfidencePenalty::Reset;
+        text.pop_back();
+    }
+    if (text.empty() || text.front() != 'c') {
+        throw std::invalid_argument("bad confidence suffix in spec: " +
+                                    spec);
+    }
+    const auto t = text.find('t');
+    if (t == std::string::npos) {
+        throw std::invalid_argument("bad confidence suffix in spec: " +
+                                    spec);
+    }
+    config.width = parseConfidenceInt(text.substr(1, t - 1), spec);
+    config.threshold = parseConfidenceInt(text.substr(t + 1), spec);
+    if (config.width < 1 || config.width > 16) {
+        throw std::invalid_argument(
+                "confidence width must be in [1, 16]: " + spec);
+    }
+    return config;
+}
+
 } // anonymous namespace
 
 core::PredictorPtr
 makePredictor(const std::string &spec)
 {
     using namespace core;
+
+    if (const auto colon = spec.find(':'); colon != std::string::npos) {
+        return std::make_unique<ConfidencePredictor>(
+                makePredictor(spec.substr(0, colon)),
+                parseConfidence(spec.substr(colon + 1), spec));
+    }
 
     if (const auto at = spec.find('@'); at != std::string::npos) {
         return makeBoundedPredictor(spec.substr(0, at),
@@ -226,6 +290,186 @@ BenchmarkRun::accuracyPct(size_t index, isa::Category cat) const
     return 100.0 * predictors.at(index).second.accuracy(cat);
 }
 
+namespace {
+
+namespace fs = std::filesystem;
+
+/**
+ * The default trace cache: a mkdtemp-unique directory (PID reuse must
+ * not resurrect a previous binary's recordings) removed when the
+ * process exits, so the temp dir does not accumulate one cache per
+ * run.
+ */
+const fs::path &
+processTraceCacheDir()
+{
+    static const struct ProcessDir
+    {
+        fs::path path;
+
+        ProcessDir()
+        {
+            std::string templ =
+                    (fs::temp_directory_path() / "vp-traces-XXXXXX")
+                            .string();
+            if (::mkdtemp(templ.data()) == nullptr) {
+                throw std::runtime_error(
+                        "cannot create trace cache directory: " + templ);
+            }
+            path = templ;
+        }
+
+        ~ProcessDir()
+        {
+            std::error_code ec;       // best effort; never throw here
+            fs::remove_all(path, ec);
+        }
+    } dir;
+    return dir.path;
+}
+
+/**
+ * Trace-cache layout: one <workload>-<input>-<flags>-s<scale>.vpt
+ * trace plus a .meta sidecar holding the dynamic ExecStats the replay
+ * path cannot recompute without executing the VM.
+ */
+fs::path
+traceCacheBase(const std::string &name, const SuiteOptions &options)
+{
+    const fs::path dir = options.traceCacheDir.empty()
+                                 ? processTraceCacheDir()
+                                 : fs::path(options.traceCacheDir);
+    fs::create_directories(dir);
+    return dir / (name + "-" + options.config.input + "-" +
+                  options.config.flags + "-s" +
+                  std::to_string(options.config.scale));
+}
+
+/** One mutex per cache entry so parallel suite workers record
+ *  different workloads concurrently but never the same one twice. */
+std::mutex &
+traceCacheMutex(const fs::path &base)
+{
+    static std::mutex table_mutex;
+    static std::map<std::string, std::mutex> table;
+    const std::lock_guard<std::mutex> lock(table_mutex);
+    return table[base.string()];
+}
+
+bool
+readTraceMeta(const fs::path &path, vm::ExecStats &stats)
+{
+    std::ifstream in(path);
+    std::string magic;
+    if (!(in >> magic) || magic != "VPMETA1")
+        return false;
+    if (!(in >> stats.retired >> stats.predicted))
+        return false;
+    for (int c = 0; c < isa::numCategories; ++c) {
+        if (!(in >> stats.byCategory[c]))
+            return false;
+    }
+    return true;
+}
+
+/** Run the VM once, stream the trace to disk, write the sidecar.
+ *  Both files land via rename so readers never see partial writes;
+ *  the tmp names carry the PID so two processes cold-starting a
+ *  *shared* cache dir never interleave writes — each renames a
+ *  complete recording and last-writer-wins. */
+void
+recordTrace(const isa::Program &prog, const fs::path &base)
+{
+    const std::string pid = std::to_string(::getpid());
+    const fs::path vpt_tmp = base.string() + ".vpt.tmp." + pid;
+    const fs::path meta_tmp = base.string() + ".meta.tmp." + pid;
+
+    vm::RunResult result;
+    {
+        std::ofstream out(vpt_tmp, std::ios::binary | std::ios::trunc);
+        if (!out) {
+            throw std::runtime_error("cannot write trace cache file: " +
+                                     vpt_tmp.string());
+        }
+        vm::TraceWriter writer(out);
+        vm::Machine machine;
+        machine.setSink(&writer);
+        result = machine.run(prog);
+        if (!result.ok()) {
+            throw std::runtime_error(
+                    "workload '" + prog.name +
+                    "' did not halt cleanly: " +
+                    vm::exitReasonName(result.reason) +
+                    (result.diagnostic.empty()
+                             ? "" : " (" + result.diagnostic + ")"));
+        }
+        writer.finish();
+        if (!out) {
+            throw std::runtime_error("failed writing trace cache file: " +
+                                     vpt_tmp.string());
+        }
+    }
+    {
+        std::ofstream meta(meta_tmp, std::ios::trunc);
+        meta << "VPMETA1\n"
+             << result.stats.retired << " " << result.stats.predicted
+             << "\n";
+        for (int c = 0; c < isa::numCategories; ++c)
+            meta << result.stats.byCategory[c] << "\n";
+        if (!meta) {
+            throw std::runtime_error("cannot write trace cache meta: " +
+                                     meta_tmp.string());
+        }
+    }
+    fs::rename(vpt_tmp, fs::path(base.string() + ".vpt"));
+    fs::rename(meta_tmp, fs::path(base.string() + ".meta"));
+}
+
+/**
+ * The record-once/replay-many path of runBenchmark: ensure the
+ * workload's trace is on disk (executing the VM only if it is not,
+ * or if the cache is unreadable), then replay the file into @p bank.
+ */
+sim::RunOutcome
+replayedOutcome(const isa::Program &prog, const std::string &name,
+                const SuiteOptions &options, sim::PredictorBank &bank)
+{
+    const fs::path base = traceCacheBase(name, options);
+    const fs::path vpt = base.string() + ".vpt";
+    const fs::path meta = base.string() + ".meta";
+
+    sim::RunOutcome outcome;
+    outcome.workload = prog.name;
+    {
+        const std::lock_guard<std::mutex> lock(traceCacheMutex(base));
+        if (!fs::exists(vpt) ||
+            !readTraceMeta(meta, outcome.vmResult.stats)) {
+            recordTrace(prog, base);
+            if (!readTraceMeta(meta, outcome.vmResult.stats)) {
+                throw std::runtime_error(
+                        "unreadable trace cache meta: " + meta.string());
+            }
+        }
+    }
+
+    std::ifstream in(vpt, std::ios::binary);
+    if (!in) {
+        throw std::runtime_error("cannot open trace cache file: " +
+                                 vpt.string());
+    }
+    vm::TraceReader reader(in);
+    reader.replay(bank);
+
+    outcome.staticPredicted = prog.countPredictedStatic();
+    for (int c = 0; c < isa::numCategories; ++c) {
+        outcome.staticByCategory[c] =
+                prog.countPredictedStatic(static_cast<isa::Category>(c));
+    }
+    return outcome;
+}
+
+} // anonymous namespace
+
 BenchmarkRun
 runBenchmark(const std::string &name, const SuiteOptions &options)
 {
@@ -242,7 +486,10 @@ runBenchmark(const std::string &name, const SuiteOptions &options)
     if (options.values)
         bank.trackValues();
 
-    const auto outcome = sim::runProgram(prog, bank);
+    const auto outcome =
+            options.traceReplay
+                    ? replayedOutcome(prog, name, options, bank)
+                    : sim::runProgram(prog, bank);
 
     BenchmarkRun run;
     run.name = name;

@@ -42,10 +42,22 @@ namespace vp::exp {
  *
  * E/V/P are entry counts (V = VHT, P = VPT), W the associativity
  * (default 4; "fa" = fully associative), and a trailing "r" selects
- * random instead of LRU replacement. Spec-built bounded fcm keeps at
- * most 4 distinct follower values per VPT entry, as a real
- * implementation would (construct core::BoundedFcmPredictor directly
- * for the idealised unbounded-followers configuration).
+ * random, "f" FIFO, instead of LRU replacement. Spec-built bounded
+ * fcm keeps at most 4 distinct follower values per VPT entry, as a
+ * real implementation would (construct core::BoundedFcmPredictor
+ * directly for the idealised unbounded-followers configuration).
+ *
+ * Appending a confidence suffix to *any* spec (bounded or not,
+ * including the hybrid) gates its predictions on a per-PC saturating
+ * confidence counter (core/confidence.hh):
+ *
+ *   "<spec>:c<W>t<T>[r|d]"           e.g. "fcm3@256/1024x4:c3t6r"
+ *
+ * W is the counter width in bits, T the predict-only-at-or-above
+ * threshold, and the optional letter picks the miss penalty: "r"
+ * reset (the default, tacit in names) or "d" decrement. Threshold 0
+ * gates nothing — the decorated predictor behaves exactly like the
+ * plain one.
  *
  * @throws std::invalid_argument for unknown specs.
  */
@@ -85,6 +97,27 @@ struct SuiteOptions
      * (paper) order regardless of this setting.
      */
     unsigned parallelism = 0;
+
+    /**
+     * Record-once / replay-many: on the first run of a workload
+     * configuration, execute the VM once and record its value trace
+     * (vm::TraceWriter) plus an exec-stats sidecar to the cache
+     * directory; every run — including that first one — then feeds
+     * the predictor bank by replaying the file (vm::TraceReader), so
+     * results are byte-identical to live execution (pinned by
+     * suite_test) while repeated sweeps over the same workloads pay
+     * for VM execution only once per process.
+     */
+    bool traceReplay = false;
+
+    /**
+     * Cache directory for traceReplay. Empty = a unique per-process
+     * directory under the system temp dir, removed at process exit,
+     * so a stale trace from an older binary is never replayed; set
+     * it explicitly to share recordings across processes (then *you*
+     * own invalidating it when workloads change).
+     */
+    std::string traceCacheDir;
 };
 
 /**

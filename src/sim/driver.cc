@@ -45,7 +45,7 @@ PredictorBank::onValue(const vm::TraceEvent &event)
         auto &member = members_[i];
         const auto pred = member.predictor->predict(event.pc);
         const bool correct = pred.valid && pred.value == event.value;
-        member.stats.record(event.cat, correct);
+        member.stats.record(event.cat, pred.valid, correct);
         scratchCorrect_[i] = correct;
         member.predictor->update(event.pc, event.value);
     }

@@ -193,7 +193,9 @@ TEST(BoundedEquivalence, StarvedTablesNeverCrashAndNeverWin)
         {16, 16, Replacement::Lru},
         {64, 4, Replacement::Lru},
         {64, 4, Replacement::Random},
+        {64, 4, Replacement::Fifo},
         {32, 0, Replacement::Lru},
+        {32, 0, Replacement::Fifo},
     };
 
     for (const auto &trace : traces()) {
@@ -248,6 +250,40 @@ TEST(BoundedEquivalence, StarvedTablesNeverCrashAndNeverWin)
     }
 }
 
+/**
+ * FIFO evicts by insertion order, not recency: re-touching an entry
+ * saves it from LRU but not from FIFO.
+ */
+TEST(BoundedEquivalence, FifoEvictsOldestInsertionNotLeastRecent)
+{
+    for (const Replacement policy :
+         {Replacement::Lru, Replacement::Fifo}) {
+        SCOPED_TRACE(policy == Replacement::Lru ? "lru" : "fifo");
+        BoundedTableConfig table;
+        table.entries = 2;
+        table.ways = 2;             // one set: pure victim-choice test
+        table.replacement = policy;
+        BoundedLastValuePredictor pred(LvConfig{}, table);
+
+        pred.update(1, 10);         // insert A
+        pred.update(2, 20);         // insert B
+        pred.update(1, 11);         // touch A: most recent, oldest
+        pred.update(3, 30);         // full set: LRU evicts B, FIFO A
+
+        if (policy == Replacement::Lru) {
+            EXPECT_TRUE(pred.predict(1).valid);
+            EXPECT_EQ(pred.predict(1).value, 11u);
+            EXPECT_FALSE(pred.predict(2).valid);
+        } else {
+            EXPECT_FALSE(pred.predict(1).valid);
+            EXPECT_TRUE(pred.predict(2).valid);
+            EXPECT_EQ(pred.predict(2).value, 20u);
+        }
+        EXPECT_TRUE(pred.predict(3).valid);
+        EXPECT_EQ(pred.evictions(), 1u);
+    }
+}
+
 /** The exp_capacity acceptance bar, asserted rather than printed. */
 TEST(CapacitySweep, LargestBudgetConvergesToUnbounded)
 {
@@ -275,8 +311,9 @@ TEST(BoundedSpecs, NamesRoundTripThroughTheGrammar)
 {
     for (const char *spec :
          {"l@1024x4", "l-sat@1024x4", "l-consec@256x2", "s@512x4",
-          "s2@256x2r", "s2@64xfa", "fcm3@256/1024x4",
-          "fcm2-pure@64/256x4", "fcm1-full@64/256x2r"}) {
+          "s2@256x2r", "s2@256x2f", "s2@64xfa", "fcm3@256/1024x4",
+          "fcm2-pure@64/256x4", "fcm1-full@64/256x2r",
+          "fcm3@256/1024x4f"}) {
         EXPECT_EQ(exp::makePredictor(spec)->name(), spec);
     }
 

@@ -23,9 +23,9 @@ using isa::Category;
 TEST(PredictionStats, OverallAndPerCategory)
 {
     PredictionStats stats;
-    stats.record(Category::AddSub, true);
-    stats.record(Category::AddSub, false);
-    stats.record(Category::Loads, true);
+    stats.record(Category::AddSub, true, true);
+    stats.record(Category::AddSub, true, false);
+    stats.record(Category::Loads, true, true);
     EXPECT_EQ(stats.total(), 3u);
     EXPECT_EQ(stats.correct(), 2u);
     EXPECT_DOUBLE_EQ(stats.accuracy(), 2.0 / 3.0);
@@ -37,9 +37,9 @@ TEST(PredictionStats, OverallAndPerCategory)
 TEST(PredictionStats, MergeAddsCounts)
 {
     PredictionStats a, b;
-    a.record(Category::Set, true);
-    b.record(Category::Set, false);
-    b.record(Category::Lui, true);
+    a.record(Category::Set, true, true);
+    b.record(Category::Set, true, false);
+    b.record(Category::Lui, true, true);
     a.merge(b);
     EXPECT_EQ(a.total(), 3u);
     EXPECT_EQ(a.correct(), 2u);
@@ -50,6 +50,48 @@ TEST(PredictionStats, EmptyAccuracyIsZeroNotNan)
 {
     PredictionStats stats;
     EXPECT_DOUBLE_EQ(stats.accuracy(), 0.0);
+    EXPECT_DOUBLE_EQ(stats.coverage(), 0.0);
+    EXPECT_DOUBLE_EQ(stats.accuracyWhenPredicted(), 0.0);
+    EXPECT_DOUBLE_EQ(stats.profit(4.0), 0.0);
+}
+
+TEST(PredictionStats, GatedTripleSeparatesDeclinesFromMisses)
+{
+    // 4 eligible events: correct, acted-on miss, decline, correct.
+    PredictionStats stats;
+    stats.record(Category::AddSub, true, true);
+    stats.record(Category::AddSub, true, false);
+    stats.record(Category::Loads, false, false);
+    stats.record(Category::Loads, true, true);
+
+    EXPECT_EQ(stats.total(), 4u);
+    EXPECT_EQ(stats.predicted(), 3u);
+    EXPECT_EQ(stats.correct(), 2u);
+    EXPECT_DOUBLE_EQ(stats.coverage(), 3.0 / 4.0);
+    EXPECT_DOUBLE_EQ(stats.accuracyWhenPredicted(), 2.0 / 3.0);
+    EXPECT_DOUBLE_EQ(stats.accuracy(), 2.0 / 4.0);
+
+    // Per category: Loads declined once, predicted once, both right
+    // when acted on.
+    EXPECT_EQ(stats.predicted(Category::Loads), 1u);
+    EXPECT_DOUBLE_EQ(stats.coverage(Category::Loads), 0.5);
+    EXPECT_DOUBLE_EQ(stats.accuracyWhenPredicted(Category::Loads), 1.0);
+
+    // Profit: 2 correct - cost x 1 acted-on miss, per eligible event.
+    EXPECT_DOUBLE_EQ(stats.profit(0.0), 2.0 / 4.0);
+    EXPECT_DOUBLE_EQ(stats.profit(1.0), 1.0 / 4.0);
+    EXPECT_DOUBLE_EQ(stats.profit(4.0), -2.0 / 4.0);
+}
+
+TEST(PredictionStats, MergeAddsPredictedCounts)
+{
+    PredictionStats a, b;
+    a.record(Category::Set, true, false);
+    b.record(Category::Set, false, false);
+    a.merge(b);
+    EXPECT_EQ(a.total(), 2u);
+    EXPECT_EQ(a.predicted(), 1u);
+    EXPECT_EQ(a.predicted(Category::Set), 1u);
 }
 
 // -------------------------------------------------------- overlap
