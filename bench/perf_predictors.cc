@@ -8,6 +8,9 @@
  * Section 4.2 on an engineering footing for this implementation.
  */
 
+#include <string_view>
+#include <vector>
+
 #include <benchmark/benchmark.h>
 
 #include "core/bounded.hh"
@@ -215,4 +218,28 @@ BENCHMARK(BM_FcmTableGrowth)->Unit(benchmark::kMillisecond);
 
 } // anonymous namespace
 
-BENCHMARK_MAIN();
+/**
+ * BENCHMARK_MAIN plus a `--json` alias for
+ * `--benchmark_format=json`, so the perf trajectory has a
+ * machine-readable mode to match `vpexp --format json`:
+ *   perf_predictors --json > perf.json
+ */
+int
+main(int argc, char **argv)
+{
+    std::vector<char *> args;
+    static char json_flag[] = "--benchmark_format=json";
+    for (int i = 0; i < argc; ++i) {
+        if (i > 0 && std::string_view(argv[i]) == "--json")
+            args.push_back(json_flag);
+        else
+            args.push_back(argv[i]);
+    }
+    int count = static_cast<int>(args.size());
+    benchmark::Initialize(&count, args.data());
+    if (benchmark::ReportUnrecognizedArguments(count, args.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

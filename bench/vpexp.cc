@@ -1,0 +1,14 @@
+/**
+ * @file
+ * The one experiment driver: every table, figure and extension study
+ * of the reproduction runs through the registry in src/exp/experiments
+ * (`vpexp --list` enumerates them). See exp/vpexp.hh for the CLI.
+ */
+
+#include "exp/vpexp.hh"
+
+int
+main(int argc, char **argv)
+{
+    return vp::exp::vpexpMain(argc, argv);
+}

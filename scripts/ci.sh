@@ -8,6 +8,9 @@
 # golden | smoke); set VP_CTEST_LABEL to restrict each ctest run to
 # one label so CI can shard the suite across parallel jobs, e.g.
 #   VP_CTEST_LABEL=unit ./scripts/ci.sh
+# The smoke label covers smoke_test plus the sharded vpexp registry
+# invocations (bench_smoke.vpexp_*), which exercise every registered
+# experiment under --dry-run including the CSV/JSON writers.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."

@@ -77,7 +77,7 @@ std::string confidenceSuffix(const ConfidenceConfig &config);
  * table contents, so two decorators differing only in threshold see
  * identical counter streams — which is why raising the threshold can
  * only shrink the predicted set (the coverage/accuracy monotonicity
- * exp_confidence demonstrates).
+ * the vpexp confidence experiment demonstrates).
  */
 class ConfidencePredictor : public ValuePredictor
 {

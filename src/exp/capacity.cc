@@ -25,13 +25,25 @@ capacitySweepPoints()
 std::string
 boundedSpecFor(const std::string &base, size_t entries)
 {
+    return boundedSpecFor(base, entries, core::Replacement::Lru);
+}
+
+std::string
+boundedSpecFor(const std::string &base, size_t entries,
+               core::Replacement policy)
+{
+    std::string suffix;
+    if (policy == core::Replacement::Random)
+        suffix = "r";
+    else if (policy == core::Replacement::Fifo)
+        suffix = "f";
     if (base.rfind("fcm", 0) == 0) {
         const size_t vht = entries / 4;
         const size_t vpt = entries - vht;
         return base + "@" + std::to_string(vht) + "/" +
-               std::to_string(vpt) + "x16";
+               std::to_string(vpt) + "x16" + suffix;
     }
-    return base + "@" + std::to_string(entries) + "x16";
+    return base + "@" + std::to_string(entries) + "x16" + suffix;
 }
 
 std::vector<std::string>
@@ -60,17 +72,21 @@ CapacitySweep::unboundedIndex(size_t family_index)
     return family_index * stride;
 }
 
+SuiteOptions
+capacitySweepOptions(SuiteOptions base_options)
+{
+    base_options.predictors = capacitySweepSpecs();
+    base_options.overlap = 0;
+    base_options.improvementA = base_options.improvementB = 0;
+    base_options.values = false;
+    return base_options;
+}
+
 CapacitySweep
 runCapacitySweep(const SuiteOptions &base_options)
 {
-    SuiteOptions options = base_options;
-    options.predictors = capacitySweepSpecs();
-    options.overlap = 0;
-    options.improvementA = options.improvementB = 0;
-    options.values = false;
-
     CapacitySweep sweep;
-    sweep.runs = runSuite(options);
+    sweep.runs = runSuite(capacitySweepOptions(base_options));
     return sweep;
 }
 

@@ -10,8 +10,9 @@
  * trace pass per workload, and the report shows accuracy converging
  * toward the idealised numbers as capacity grows.
  *
- * Shared between bench/exp_capacity.cc (the report) and the
- * convergence assertions in tests/bounded_equivalence_test.cc.
+ * Shared between the registered `capacity` experiment (the vpexp
+ * report) and the convergence assertions in
+ * tests/bounded_equivalence_test.cc.
  */
 
 #ifndef VP_EXP_CAPACITY_HH
@@ -20,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "core/bounded_table.hh"
 #include "exp/suite.hh"
 
 namespace vp::exp {
@@ -41,6 +43,14 @@ const std::vector<size_t> &capacitySweepPoints();
  */
 std::string boundedSpecFor(const std::string &base, size_t entries);
 
+/**
+ * boundedSpecFor with an explicit victim policy — the replacement-
+ * policy study sweeps LRU vs FIFO vs deterministic-random over the
+ * same capacity grid.
+ */
+std::string boundedSpecFor(const std::string &base, size_t entries,
+                           core::Replacement policy);
+
 /** The sweep's predictor bank: per family, unbounded + every budget. */
 std::vector<std::string> capacitySweepSpecs();
 
@@ -59,6 +69,11 @@ struct CapacitySweep
     static size_t specIndex(size_t family_index, size_t budget_index);
     static size_t unboundedIndex(size_t family_index);
 };
+
+/** The suite options the sweep feeds to runSuite: every spec from
+ *  capacitySweepSpecs() banked, trackers off. Shared between
+ *  runCapacitySweep and the registry's cell-scheduled experiments. */
+SuiteOptions capacitySweepOptions(SuiteOptions base_options);
 
 /** Run the whole sweep (one pass per workload, all specs banked). */
 CapacitySweep runCapacitySweep(const SuiteOptions &base_options);

@@ -74,17 +74,21 @@ ConfidenceSweep::ungatedIndex(size_t family_index)
     return family_index * stride;
 }
 
+SuiteOptions
+confidenceSweepOptions(SuiteOptions base_options)
+{
+    base_options.predictors = confidenceSweepSpecs();
+    base_options.overlap = 0;
+    base_options.improvementA = base_options.improvementB = 0;
+    base_options.values = false;
+    return base_options;
+}
+
 ConfidenceSweep
 runConfidenceSweep(const SuiteOptions &base_options)
 {
-    SuiteOptions options = base_options;
-    options.predictors = confidenceSweepSpecs();
-    options.overlap = 0;
-    options.improvementA = options.improvementB = 0;
-    options.values = false;
-
     ConfidenceSweep sweep;
-    sweep.runs = runSuite(options);
+    sweep.runs = runSuite(confidenceSweepOptions(base_options));
     return sweep;
 }
 

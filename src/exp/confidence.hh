@@ -10,8 +10,9 @@
  * width x threshold grid, and scores each point with the
  * speculation-profit proxy at several misprediction costs.
  *
- * Shared between bench/exp_confidence.cc (the report) and the
- * monotone-trade-off / profit assertions in tests/confidence_test.cc.
+ * Shared between the registered `confidence` experiment (the vpexp
+ * report) and the monotone-trade-off / profit assertions in
+ * tests/confidence_test.cc.
  */
 
 #ifndef VP_EXP_CONFIDENCE_HH
@@ -64,6 +65,11 @@ struct ConfidenceSweep
     static size_t specIndex(size_t family_index, size_t point_index);
     static size_t ungatedIndex(size_t family_index);
 };
+
+/** The suite options the sweep feeds to runSuite: every spec from
+ *  confidenceSweepSpecs() banked, trackers off. Shared between
+ *  runConfidenceSweep and the registry's cell-scheduled experiments. */
+SuiteOptions confidenceSweepOptions(SuiteOptions base_options);
 
 /** Run the whole sweep (one pass per workload, all specs banked). */
 ConfidenceSweep runConfidenceSweep(const SuiteOptions &base_options);

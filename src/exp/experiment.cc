@@ -1,0 +1,249 @@
+#include "exp/experiment.hh"
+
+#include <chrono>
+#include <sstream>
+#include <stdexcept>
+
+#include "workloads/workload.hh"
+
+namespace vp::exp {
+
+SuiteOptions
+normalizeCellOptions(SuiteOptions options, const ExperimentConfig &config)
+{
+    if (config.dryRun)
+        options.config.scale = dryRunScale;
+    options.traceReplay = true;
+    options.traceCacheDir = config.traceCacheDir;
+    options.parallelism = 0;        // cells never fan out internally
+    if (options.improvementA == options.improvementB) {
+        // Equal indices mean "off" (runBenchmark ignores the values);
+        // canonicalise so off-requests always share a dedup key.
+        options.improvementA = options.improvementB = 0;
+    }
+    return options;
+}
+
+namespace {
+
+/**
+ * Dedup key of one cell: every normalized-options field that can
+ * change a BenchmarkRun, plus the workload. The benchmarks list is
+ * deliberately absent — a cell is one workload.
+ */
+std::string
+cellKey(const std::string &workload, const SuiteOptions &options)
+{
+    std::ostringstream key;
+    key << workload << '\x1f' << options.config.input << '\x1f'
+        << options.config.flags << '\x1f' << options.config.scale
+        << '\x1f' << options.overlap << '\x1f' << options.improvementA
+        << '\x1f' << options.improvementB << '\x1f' << options.values
+        << '\x1f' << options.traceReplay << '\x1f'
+        << options.traceCacheDir << '\x1f';
+    for (const auto &spec : options.predictors)
+        key << spec << '\x1e';
+    return key.str();
+}
+
+std::vector<std::string>
+cellWorkloads(const SuiteOptions &options)
+{
+    if (!options.benchmarks.empty())
+        return options.benchmarks;
+    std::vector<std::string> names;
+    for (const auto &info : workloads::allWorkloads())
+        names.push_back(info.name);
+    return names;
+}
+
+} // anonymous namespace
+
+CellScheduler::CellScheduler(const ExperimentConfig &config, unsigned jobs)
+    : config_(config)
+{
+    workers_ = jobs;
+    if (workers_ == 0) {
+        workers_ = std::thread::hardware_concurrency();
+        if (workers_ == 0)
+            workers_ = 1;
+    }
+    threads_.reserve(workers_);
+    for (unsigned t = 0; t < workers_; ++t)
+        threads_.emplace_back([this] { workerLoop(); });
+}
+
+CellScheduler::~CellScheduler()
+{
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+        // Abandon cells nobody will ever read (a failed run tears the
+        // scheduler down with work still queued); their futures get
+        // broken promises, but no waiter can exist at destruction.
+        queue_.clear();
+    }
+    available_.notify_all();
+    for (auto &thread : threads_)
+        thread.join();
+}
+
+void
+CellScheduler::workerLoop()
+{
+    for (;;) {
+        std::packaged_task<BenchmarkRun()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            available_.wait(lock,
+                            [this] { return stop_ || !queue_.empty(); });
+            if (queue_.empty())
+                return;     // stop requested and queue drained
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();
+    }
+}
+
+std::shared_future<BenchmarkRun>
+CellScheduler::submit(const std::string &workload,
+                      const SuiteOptions &options, size_t *id)
+{
+    const std::string key = cellKey(workload, options);
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++requested_;
+    if (const auto it = cells_.find(key); it != cells_.end()) {
+        if (id)
+            *id = it->second.first;
+        return it->second.second;
+    }
+
+    const size_t cell_id = records_.size();
+    CellRecord record;
+    record.workload = workload;
+    record.config = options.config;
+    records_.push_back(std::move(record));
+
+    std::packaged_task<BenchmarkRun()> task(
+            [this, cell_id, workload, options] {
+                using Clock = std::chrono::steady_clock;
+                const auto start = Clock::now();
+                BenchmarkRun run = runBenchmark(workload, options);
+                const double ms =
+                        std::chrono::duration<double, std::milli>(
+                                Clock::now() - start)
+                                .count();
+                {
+                    const std::lock_guard<std::mutex> lock(mutex_);
+                    records_[cell_id].wallMs = ms;
+                    records_[cell_id].predictors = run.predictors;
+                    records_[cell_id].done = true;
+                }
+                return run;
+            });
+    auto future = task.get_future().share();
+    cells_.emplace(key, std::make_pair(cell_id, future));
+    queue_.push_back(std::move(task));
+    available_.notify_one();
+    if (id)
+        *id = cell_id;
+    return future;
+}
+
+void
+CellScheduler::prefetch(const SuiteOptions &options)
+{
+    const SuiteOptions cell = normalizeCellOptions(options, config_);
+    for (const auto &workload : cellWorkloads(cell))
+        submit(workload, cell, nullptr);
+}
+
+std::vector<BenchmarkRun>
+CellScheduler::suite(const SuiteOptions &options,
+                     std::vector<size_t> *cell_ids)
+{
+    const SuiteOptions cell = normalizeCellOptions(options, config_);
+    const auto names = cellWorkloads(cell);
+
+    std::vector<std::shared_future<BenchmarkRun>> futures;
+    futures.reserve(names.size());
+    for (const auto &workload : names) {
+        size_t id = 0;
+        futures.push_back(submit(workload, cell, &id));
+        if (cell_ids)
+            cell_ids->push_back(id);
+    }
+
+    std::vector<BenchmarkRun> runs;
+    runs.reserve(futures.size());
+    for (auto &future : futures)
+        runs.push_back(future.get());
+    return runs;
+}
+
+size_t
+CellScheduler::requestedCells() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return requested_;
+}
+
+size_t
+CellScheduler::uniqueCells() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return records_.size();
+}
+
+std::vector<CellScheduler::CellRecord>
+CellScheduler::records() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return records_;
+}
+
+std::vector<BenchmarkRun>
+ExperimentContext::suite(const SuiteOptions &options)
+{
+    std::vector<size_t> ids;
+    auto runs = scheduler_.suite(options, &ids);
+    for (const size_t id : ids) {
+        bool seen = false;
+        for (const size_t used : cellsUsed_)
+            seen = seen || used == id;
+        if (!seen)
+            cellsUsed_.push_back(id);
+    }
+    return runs;
+}
+
+void
+ExperimentRegistry::add(Experiment experiment)
+{
+    if (experiment.name.empty()) {
+        throw std::invalid_argument(
+                "experiment registration without a name");
+    }
+    if (!experiment.run) {
+        throw std::invalid_argument(
+                "experiment '" + experiment.name + "' has no run hook");
+    }
+    if (find(experiment.name) != nullptr) {
+        throw std::invalid_argument("duplicate experiment name: " +
+                                    experiment.name);
+    }
+    experiments_.push_back(std::move(experiment));
+}
+
+const Experiment *
+ExperimentRegistry::find(const std::string &name) const
+{
+    for (const auto &experiment : experiments_) {
+        if (experiment.name == name)
+            return &experiment;
+    }
+    return nullptr;
+}
+
+} // namespace vp::exp

@@ -1,0 +1,19 @@
+#include "exp/experiments/modules.hh"
+
+namespace vp::exp {
+
+ExperimentRegistry &
+registry()
+{
+    static ExperimentRegistry registry = [] {
+        ExperimentRegistry r;
+        experiments::registerLearning(r);
+        experiments::registerFigures(r);
+        experiments::registerTables(r);
+        experiments::registerStudies(r);
+        return r;
+    }();
+    return registry;
+}
+
+} // namespace vp::exp

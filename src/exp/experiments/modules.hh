@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Internal wiring of the experiment modules: each translation unit in
+ * src/exp/experiments/ registers its experiments through one of these
+ * hooks, and experiments/all.cc assembles them into the process-wide
+ * registry (exp::experiments()). Explicit registration — rather than
+ * static-initializer self-registration — keeps the set deterministic
+ * and safe against static libraries dropping unreferenced objects.
+ */
+
+#ifndef VP_EXP_EXPERIMENTS_MODULES_HH
+#define VP_EXP_EXPERIMENTS_MODULES_HH
+
+#include "exp/experiment.hh"
+
+namespace vp::exp::experiments {
+
+/** Synthetic-sequence studies: table1, figure2. */
+void registerLearning(ExperimentRegistry &registry);
+
+/** Suite figures: figure3 through figure11. */
+void registerFigures(ExperimentRegistry &registry);
+
+/** Suite tables: table2 (with table 3), table4 through table7. */
+void registerTables(ExperimentRegistry &registry);
+
+/** Extension studies: hybrid, ablations, capacity, confidence, and
+ *  the replacement-policy sweep. */
+void registerStudies(ExperimentRegistry &registry);
+
+} // namespace vp::exp::experiments
+
+#endif // VP_EXP_EXPERIMENTS_MODULES_HH

@@ -1,0 +1,236 @@
+#include "exp/report.hh"
+
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <sstream>
+
+#include "sim/table.hh"
+
+namespace vp::exp {
+
+ReportTable &
+ReportTable::row()
+{
+    rows_.emplace_back();
+    return *this;
+}
+
+ReportTable &
+ReportTable::cell(const std::string &text)
+{
+    if (rows_.empty())
+        row();
+    rows_.back().push_back(Cell{text, false, 0.0});
+    return *this;
+}
+
+ReportTable &
+ReportTable::cell(double value, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+    if (rows_.empty())
+        row();
+    rows_.back().push_back(Cell{buf, true, value});
+    return *this;
+}
+
+ReportTable &
+ReportTable::cell(uint64_t value)
+{
+    if (rows_.empty())
+        row();
+    rows_.back().push_back(
+            Cell{std::to_string(value), true, static_cast<double>(value)});
+    return *this;
+}
+
+ReportTable &
+ReportTable::cell(int64_t value)
+{
+    if (rows_.empty())
+        row();
+    rows_.back().push_back(
+            Cell{std::to_string(value), true, static_cast<double>(value)});
+    return *this;
+}
+
+ReportTable &
+ReportTable::rule()
+{
+    if (!rows_.empty())
+        rules_.push_back(rows_.size() - 1);
+    return *this;
+}
+
+void
+Report::text(const std::string &line)
+{
+    size_t start = 0;
+    for (;;) {
+        const auto nl = line.find('\n', start);
+        blocks_.push_back(
+                Block{false, line.substr(start, nl - start), 0});
+        if (nl == std::string::npos)
+            break;
+        start = nl + 1;
+    }
+}
+
+void
+Report::textf(const char *format, ...)
+{
+    va_list args;
+    va_start(args, format);
+    va_list probe;
+    va_copy(probe, args);
+    const int needed = std::vsnprintf(nullptr, 0, format, probe);
+    va_end(probe);
+    std::string line(needed > 0 ? needed : 0, '\0');
+    if (needed > 0)
+        std::vsnprintf(line.data(), line.size() + 1, format, args);
+    va_end(args);
+    text(line);
+}
+
+ReportTable &
+Report::table(const std::string &id)
+{
+    blocks_.push_back(Block{true, "", tables_.size()});
+    tables_.emplace_back(id);
+    return tables_.back();
+}
+
+namespace report_writer {
+
+std::string
+renderText(const Report &report)
+{
+    std::ostringstream out;
+    for (const auto &block : report.blocks()) {
+        if (!block.isTable) {
+            out << block.text << '\n';
+            continue;
+        }
+        const auto &table = report.tables()[block.tableIndex];
+        sim::TextTable text;
+        for (size_t r = 0; r < table.rows().size(); ++r) {
+            text.row();
+            for (const auto &cell : table.rows()[r])
+                text.cell(cell.text, cell.numeric);
+            for (const size_t rule : table.rules()) {
+                if (rule == r)
+                    text.rule();
+            }
+        }
+        out << text.render() << '\n';
+    }
+    return out.str();
+}
+
+std::string
+renderCsv(const ReportTable &table)
+{
+    std::ostringstream out;
+    for (const auto &row : table.rows()) {
+        for (size_t i = 0; i < row.size(); ++i) {
+            if (i)
+                out << ',';
+            const auto &text = row[i].text;
+            if (text.find_first_of(",\"\n") != std::string::npos) {
+                out << '"';
+                for (const char c : text) {
+                    if (c == '"')
+                        out << '"';
+                    out << c;
+                }
+                out << '"';
+            } else {
+                out << text;
+            }
+        }
+        out << '\n';
+    }
+    return out.str();
+}
+
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (const unsigned char c : text) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        case '\r': out += "\\r"; break;
+        default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonNumber(double value)
+{
+    if (!std::isfinite(value))
+        return "null";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.10g", value);
+    return buf;
+}
+
+std::string
+renderJson(const Report &report)
+{
+    std::ostringstream out;
+    out << "{\"notes\": [";
+    bool first = true;
+    for (const auto &block : report.blocks()) {
+        if (block.isTable)
+            continue;
+        if (!first)
+            out << ", ";
+        first = false;
+        out << '"' << jsonEscape(block.text) << '"';
+    }
+    out << "], \"tables\": {";
+    for (size_t t = 0; t < report.tables().size(); ++t) {
+        const auto &table = report.tables()[t];
+        if (t)
+            out << ", ";
+        out << '"' << jsonEscape(table.id()) << "\": [";
+        for (size_t r = 0; r < table.rows().size(); ++r) {
+            if (r)
+                out << ", ";
+            out << '[';
+            const auto &row = table.rows()[r];
+            for (size_t i = 0; i < row.size(); ++i) {
+                if (i)
+                    out << ", ";
+                if (row[i].numeric)
+                    out << jsonNumber(row[i].value);
+                else
+                    out << '"' << jsonEscape(row[i].text) << '"';
+            }
+            out << ']';
+        }
+        out << ']';
+    }
+    out << "}}";
+    return out.str();
+}
+
+} // namespace report_writer
+
+} // namespace vp::exp

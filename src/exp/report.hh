@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Structured experiment reports and the writers that render them.
+ *
+ * Every experiment in the registry (exp/experiment.hh) produces a
+ * Report instead of printing: an ordered sequence of text lines and
+ * named tables. The ReportWriter renders the same Report three ways —
+ * the human text tables the legacy bench binaries printed (via
+ * sim::TextTable, whose formatting this layer hoists from the old
+ * bench/category_figure.hh), CSV (one file per table), and JSON — so
+ * the numbers exist exactly once and every output format agrees by
+ * construction.
+ */
+
+#ifndef VP_EXP_REPORT_HH
+#define VP_EXP_REPORT_HH
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+namespace vp::exp {
+
+/**
+ * One table of an experiment report.
+ *
+ * Builder API mirrors sim::TextTable (row/cell/rule) so converting a
+ * legacy bench binary is mechanical; numeric cells remember the value
+ * alongside the rendered text so the JSON writer can emit real
+ * numbers while text and CSV stay digit-identical to the legacy
+ * output.
+ */
+class ReportTable
+{
+  public:
+    struct Cell
+    {
+        std::string text;       ///< rendered exactly as text/CSV show it
+        bool numeric = false;   ///< right-align in text; raw in JSON
+        double value = 0.0;     ///< numeric payload when numeric
+    };
+
+    explicit ReportTable(std::string id) : id_(std::move(id)) {}
+
+    /** Machine name ("accuracy", "profit_cost4"); CSV file suffix. */
+    const std::string &id() const { return id_; }
+
+    ReportTable &row();
+    ReportTable &cell(const std::string &text);
+    ReportTable &cell(const char *text) { return cell(std::string(text)); }
+    ReportTable &cell(double value, int decimals = 1);
+    ReportTable &cell(uint64_t value);
+    ReportTable &cell(int64_t value);
+    ReportTable &cell(int value) { return cell(static_cast<int64_t>(value)); }
+
+    /** Horizontal rule after the current row (text rendering only). */
+    ReportTable &rule();
+
+    const std::vector<std::vector<Cell>> &rows() const { return rows_; }
+    const std::vector<size_t> &rules() const { return rules_; }
+
+  private:
+    std::string id_;
+    std::vector<std::vector<Cell>> rows_;
+    std::vector<size_t> rules_;
+};
+
+/**
+ * An experiment's complete output: text lines and tables, in the
+ * order they should read.
+ */
+class Report
+{
+  public:
+    struct Block
+    {
+        bool isTable = false;
+        std::string text;       ///< one line, no trailing newline
+        size_t tableIndex = 0;  ///< into tables() when isTable
+    };
+
+    /** Append one text line ('\n'-separated input splits to lines). */
+    void text(const std::string &line);
+
+    /** printf-style convenience for the legacy printf-heavy reports. */
+    void textf(const char *format, ...)
+            __attribute__((format(printf, 2, 3)));
+
+    /** Append a table block; the returned reference stays valid for
+     *  the Report's lifetime (deque-backed), so hooks may hold
+     *  several tables open and fill them row by row. */
+    ReportTable &table(const std::string &id);
+
+    const std::vector<Block> &blocks() const { return blocks_; }
+    const std::deque<ReportTable> &tables() const { return tables_; }
+    bool empty() const { return blocks_.empty(); }
+
+  private:
+    std::vector<Block> blocks_;
+    std::deque<ReportTable> tables_;
+};
+
+/** Renderers; all pure functions of the Report. */
+namespace report_writer {
+
+/** The human output: text lines verbatim, tables via sim::TextTable. */
+std::string renderText(const Report &report);
+
+/** One table as RFC-4180-ish CSV (rules skipped, cells quoted as
+ *  needed); numbers appear digit-identical to the text rendering. */
+std::string renderCsv(const ReportTable &table);
+
+/** One report as a JSON object {"tables": {...}, "notes": [...]};
+ *  numeric cells emit as JSON numbers. */
+std::string renderJson(const Report &report);
+
+/** Escape @p text as the inside of a JSON string literal. */
+std::string jsonEscape(const std::string &text);
+
+/** Format @p value the way JSON output should carry doubles. */
+std::string jsonNumber(double value);
+
+} // namespace report_writer
+
+} // namespace vp::exp
+
+#endif // VP_EXP_REPORT_HH

@@ -1,9 +1,7 @@
 #include "exp/suite.hh"
 
 #include <atomic>
-#include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <future>
@@ -573,28 +571,6 @@ runSuite(const SuiteOptions &options)
             std::rethrow_exception(error);
     }
     return runs;
-}
-
-BenchArgs
-BenchArgs::parse(int argc, char **argv)
-{
-    BenchArgs args;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--dry-run") == 0) {
-            args.dryRun = true;
-        } else {
-            std::fprintf(stderr, "usage: %s [--dry-run]\n", argv[0]);
-            args.ok = false;
-        }
-    }
-    return args;
-}
-
-void
-BenchArgs::apply(SuiteOptions &options) const
-{
-    if (dryRun)
-        options.config.scale = 5;   // smoke scale, as in smoke_test
 }
 
 double

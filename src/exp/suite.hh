@@ -1,11 +1,12 @@
 /**
  * @file
- * Experiment harness shared by every bench binary.
+ * Suite harness shared by every experiment.
  *
  * Runs the canonical benchmark suite (the seven SPEC95int proxies)
  * against a configurable set of predictors in one trace pass per
- * benchmark, and returns plain-value results that the per-table and
- * per-figure binaries format.
+ * benchmark, and returns plain-value results that the registered
+ * experiments (src/exp/experiments/, via exp/experiment.hh) reduce
+ * into reports.
  */
 
 #ifndef VP_EXP_SUITE_HH
@@ -118,29 +119,6 @@ struct SuiteOptions
      * own invalidating it when workloads change).
      */
     std::string traceCacheDir;
-};
-
-/**
- * CLI flags shared by the bench binaries.
- *
- * The only flag is --dry-run: shrink every workload to smoke scale so
- * the binary exercises its full code path in milliseconds. The ctest
- * bench smoke targets use it to keep the bench translation units
- * from rotting without paying for full experiment runs.
- */
-struct BenchArgs
-{
-    bool dryRun = false;
-    bool ok = true;
-
-    /**
-     * Parse @p argv. Unknown arguments print usage to stderr and set
-     * @c ok to false; callers exit non-zero.
-     */
-    static BenchArgs parse(int argc, char **argv);
-
-    /** Shrink @p options to smoke scale when --dry-run was given. */
-    void apply(SuiteOptions &options) const;
 };
 
 /** Results for one benchmark. */

@@ -1,0 +1,439 @@
+#include "exp/vpexp.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exp/confidence.hh"
+#include "exp/experiment.hh"
+#include "exp/report.hh"
+#include "sim/table.hh"
+
+namespace vp::exp {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+const char *const usageText =
+        "usage: vpexp [--list] [--all] [experiment ...]\n"
+        "             [--dry-run] [--jobs N] [--out DIR]\n"
+        "             [--format table,csv,json] [--trace-cache DIR]\n"
+        "\n"
+        "  --list         list registered experiments and exit\n"
+        "  --all          run every registered experiment\n"
+        "  --dry-run      shrink workloads to smoke scale\n"
+        "  --jobs N       cell worker threads (default: hardware)\n"
+        "  --out DIR      write <exp>.txt, <exp>.<table>.csv and\n"
+        "                 BENCH_results.json under DIR\n"
+        "  --format LIST  comma list of table,csv,json\n"
+        "                 (default: table; all three with --out)\n"
+        "  --trace-cache DIR\n"
+        "                 share recorded workload traces across runs\n"
+        "                 (you own invalidating it)\n";
+
+struct DriverOptions
+{
+    std::vector<std::string> names;
+    bool all = false;
+    bool list = false;
+    bool dryRun = false;
+    bool help = false;
+    unsigned jobs = 0;
+    std::string out;
+    std::string formatList;     // raw --format value; empty = default
+    std::string traceCacheDir;
+    bool ok = true;
+    std::string error;
+};
+
+/** Accept "--flag value" and "--flag=value". */
+bool
+takeValue(const std::string &arg, const char *flag, int argc,
+          const char *const *argv, int &i, std::string &value,
+          DriverOptions &options)
+{
+    const std::string name(flag);
+    if (arg == name) {
+        if (i + 1 >= argc) {
+            options.ok = false;
+            options.error = name + " needs a value";
+            return true;
+        }
+        value = argv[++i];
+        return true;
+    }
+    if (arg.rfind(name + "=", 0) == 0) {
+        value = arg.substr(name.size() + 1);
+        return true;
+    }
+    return false;
+}
+
+DriverOptions
+parseArgs(int argc, const char *const *argv)
+{
+    DriverOptions options;
+    for (int i = 1; i < argc && options.ok; ++i) {
+        const std::string arg = argv[i];
+        std::string value;
+        if (arg == "--list") {
+            options.list = true;
+        } else if (arg == "--all") {
+            options.all = true;
+        } else if (arg == "--dry-run") {
+            options.dryRun = true;
+        } else if (arg == "--help" || arg == "-h") {
+            options.help = true;
+        } else if (takeValue(arg, "--jobs", argc, argv, i, value,
+                             options)) {
+            if (!options.ok)
+                break;
+            try {
+                size_t consumed = 0;
+                const int jobs = std::stoi(value, &consumed);
+                if (jobs < 0 || consumed != value.size())
+                    throw std::invalid_argument(value);
+                options.jobs = static_cast<unsigned>(jobs);
+            } catch (const std::exception &) {
+                options.ok = false;
+                options.error = "bad --jobs value: " + value;
+            }
+        } else if (takeValue(arg, "--out", argc, argv, i, value,
+                             options)) {
+            options.out = value;
+        } else if (takeValue(arg, "--format", argc, argv, i, value,
+                             options)) {
+            options.formatList = value;
+        } else if (takeValue(arg, "--trace-cache", argc, argv, i,
+                             value, options)) {
+            options.traceCacheDir = value;
+        } else if (!arg.empty() && arg[0] == '-') {
+            options.ok = false;
+            options.error = "unknown option: " + arg;
+        } else {
+            options.names.push_back(arg);
+        }
+    }
+    return options;
+}
+
+std::set<std::string>
+parseFormats(const DriverOptions &options, bool &ok, std::string &error)
+{
+    std::set<std::string> formats;
+    if (options.formatList.empty()) {
+        formats.insert("table");
+        if (!options.out.empty()) {
+            formats.insert("csv");
+            formats.insert("json");
+        }
+        return formats;
+    }
+    std::istringstream in(options.formatList);
+    std::string format;
+    while (std::getline(in, format, ',')) {
+        if (format != "table" && format != "csv" && format != "json") {
+            ok = false;
+            error = "unknown --format: " + format +
+                    " (expected table, csv or json)";
+            return formats;
+        }
+        formats.insert(format);
+    }
+    if (formats.empty()) {
+        ok = false;
+        error = "empty --format list";
+    }
+    if (formats.count("csv") && options.out.empty()) {
+        ok = false;
+        error = "--format csv requires --out DIR";
+    }
+    return formats;
+}
+
+int
+listExperiments(const ExperimentRegistry &registry)
+{
+    sim::TextTable table;
+    table.row().cell("experiment").cell("description").rule();
+    for (const auto &experiment : registry.all())
+        table.row().cell(experiment.name).cell(experiment.description);
+    std::printf("%s\n%zu experiments; run `vpexp <name> ...`, or "
+                "`vpexp --all`.\n",
+                table.render().c_str(), registry.size());
+    return 0;
+}
+
+/** Everything the writers need about one finished experiment. */
+struct ExperimentOutcome
+{
+    const Experiment *experiment = nullptr;
+    Report report;
+    std::vector<size_t> cells;
+    double wallMs = 0.0;
+    bool ok = true;
+    std::string error;
+};
+
+std::string
+resultsJson(const std::vector<ExperimentOutcome> &outcomes,
+            const CellScheduler &scheduler, const DriverOptions &options,
+            double total_ms)
+{
+    using report_writer::jsonEscape;
+    using report_writer::jsonNumber;
+
+    std::ostringstream out;
+    out << "{\n\"schema\": \"vpexp-results-v1\",\n";
+    out << "\"dryRun\": " << (options.dryRun ? "true" : "false")
+        << ",\n";
+    out << "\"jobs\": " << scheduler.workers() << ",\n";
+    out << "\"wallMs\": " << jsonNumber(total_ms) << ",\n";
+    out << "\"uniqueCells\": " << scheduler.uniqueCells() << ",\n";
+    out << "\"requestedCells\": " << scheduler.requestedCells()
+        << ",\n";
+
+    out << "\"experiments\": [\n";
+    for (size_t e = 0; e < outcomes.size(); ++e) {
+        const auto &outcome = outcomes[e];
+        out << "  {\"name\": \""
+            << jsonEscape(outcome.experiment->name) << "\", \"title\": \""
+            << jsonEscape(outcome.experiment->title) << "\", \"ok\": "
+            << (outcome.ok ? "true" : "false") << ", \"wallMs\": "
+            << jsonNumber(outcome.wallMs) << ", \"cells\": [";
+        for (size_t i = 0; i < outcome.cells.size(); ++i)
+            out << (i ? ", " : "") << outcome.cells[i];
+        out << "], \"report\": "
+            << (outcome.ok ? report_writer::renderJson(outcome.report)
+                           : "null");
+        if (!outcome.ok)
+            out << ", \"error\": \"" << jsonEscape(outcome.error)
+                << '"';
+        out << '}' << (e + 1 < outcomes.size() ? "," : "") << '\n';
+    }
+    out << "],\n";
+
+    out << "\"cells\": [\n";
+    const auto records = scheduler.records();
+    for (size_t c = 0; c < records.size(); ++c) {
+        const auto &record = records[c];
+        out << "  {\"id\": " << c << ", \"workload\": \""
+            << jsonEscape(record.workload) << "\", \"input\": \""
+            << jsonEscape(record.config.input) << "\", \"flags\": \""
+            << jsonEscape(record.config.flags) << "\", \"scale\": "
+            << record.config.scale << ", \"done\": "
+            << (record.done ? "true" : "false") << ", \"wallMs\": "
+            << jsonNumber(record.wallMs) << ", \"predictors\": [";
+        for (size_t p = 0; p < record.predictors.size(); ++p) {
+            const auto &[spec, stats] = record.predictors[p];
+            out << (p ? ", " : "") << "{\"spec\": \""
+                << jsonEscape(spec) << "\", \"eligible\": "
+                << stats.total() << ", \"predicted\": "
+                << stats.predicted() << ", \"correct\": "
+                << stats.correct() << ", \"coverage\": "
+                << jsonNumber(stats.coverage()) << ", \"accuracy\": "
+                << jsonNumber(stats.accuracy())
+                << ", \"accuracyWhenPredicted\": "
+                << jsonNumber(stats.accuracyWhenPredicted());
+            for (const double cost : speculationCosts()) {
+                out << ", \"profitAtCost"
+                    << static_cast<int>(cost) << "\": "
+                    << jsonNumber(stats.profit(cost));
+            }
+            out << '}';
+        }
+        out << "]}" << (c + 1 < records.size() ? "," : "") << '\n';
+    }
+    out << "]\n}\n";
+    return out.str();
+}
+
+bool
+writeFile(const fs::path &path, const std::string &content)
+{
+    std::ofstream out(path, std::ios::trunc);
+    out << content;
+    out.close();    // surface flush-time errors (disk full) in state
+    return static_cast<bool>(out);
+}
+
+} // anonymous namespace
+
+int
+vpexpMain(int argc, const char *const *argv)
+{
+    DriverOptions options = parseArgs(argc, argv);
+    if (options.help) {
+        std::fputs(usageText, stdout);
+        return 0;
+    }
+    if (options.ok && !options.list && !options.all &&
+        options.names.empty()) {
+        options.ok = false;
+        options.error = "nothing to run (name experiments, or use "
+                        "--all / --list)";
+    }
+
+    std::set<std::string> formats;
+    if (options.ok)
+        formats = parseFormats(options, options.ok, options.error);
+
+    const auto &reg = registry();
+    std::vector<const Experiment *> selected;
+    if (options.ok && !options.list) {
+        if (options.all) {
+            for (const auto &experiment : reg.all())
+                selected.push_back(&experiment);
+        }
+        for (const auto &name : options.names) {
+            const Experiment *experiment = reg.find(name);
+            if (experiment == nullptr) {
+                options.ok = false;
+                options.error = "unknown experiment: " + name +
+                                " (see vpexp --list)";
+                break;
+            }
+            bool already = false;
+            for (const auto *chosen : selected)
+                already = already || chosen == experiment;
+            if (!already)
+                selected.push_back(experiment);
+        }
+    }
+
+    if (!options.ok) {
+        std::fprintf(stderr, "vpexp: %s\n%s", options.error.c_str(),
+                     usageText);
+        return 2;
+    }
+    if (options.list)
+        return listExperiments(reg);
+
+    ExperimentConfig config;
+    config.dryRun = options.dryRun;
+    config.traceCacheDir = options.traceCacheDir;
+
+    using Clock = std::chrono::steady_clock;
+    const auto run_start = Clock::now();
+    CellScheduler scheduler(config, options.jobs);
+
+    // Queue every declared cell of every selected experiment before
+    // the first hook blocks: the worker pool then crunches the whole
+    // multi-experiment grid at once (deduplicated across experiments).
+    for (const auto *experiment : selected) {
+        if (experiment->grid) {
+            for (const auto &suite : experiment->grid(config))
+                scheduler.prefetch(suite);
+        }
+    }
+
+    const bool print_tables = formats.count("table") != 0;
+    bool failed = false;
+    std::vector<ExperimentOutcome> outcomes;
+    outcomes.reserve(selected.size());
+    for (const auto *experiment : selected) {
+        ExperimentOutcome outcome;
+        outcome.experiment = experiment;
+        ExperimentContext ctx(config, scheduler);
+        const auto start = Clock::now();
+        try {
+            experiment->run(ctx);
+        } catch (const std::exception &e) {
+            outcome.ok = false;
+            outcome.error = e.what();
+            failed = true;
+        }
+        outcome.wallMs = std::chrono::duration<double, std::milli>(
+                                 Clock::now() - start)
+                                 .count();
+        outcome.report = std::move(ctx.report());
+        outcome.cells = ctx.cellsUsed();
+
+        if (!outcome.ok) {
+            std::fprintf(stderr, "vpexp: experiment %s failed: %s\n",
+                         experiment->name.c_str(),
+                         outcome.error.c_str());
+        } else if (print_tables) {
+            std::printf("%s\n\n%s",
+                        experiment->title.c_str(),
+                        report_writer::renderText(outcome.report)
+                                .c_str());
+        }
+        outcomes.push_back(std::move(outcome));
+    }
+    const double total_ms = std::chrono::duration<double, std::milli>(
+                                    Clock::now() - run_start)
+                                    .count();
+
+    if (print_tables) {
+        std::printf("vpexp: %zu experiment%s, %zu unique cell%s "
+                    "(%zu requested, %zu deduplicated), %u worker%s, "
+                    "%.0f ms\n",
+                    selected.size(), selected.size() == 1 ? "" : "s",
+                    scheduler.uniqueCells(),
+                    scheduler.uniqueCells() == 1 ? "" : "s",
+                    scheduler.requestedCells(),
+                    scheduler.requestedCells() -
+                            scheduler.uniqueCells(),
+                    scheduler.workers(),
+                    scheduler.workers() == 1 ? "" : "s", total_ms);
+    }
+
+    std::string json;
+    if (formats.count("json"))
+        json = resultsJson(outcomes, scheduler, options, total_ms);
+
+    if (!options.out.empty()) {
+        std::error_code ec;
+        fs::create_directories(options.out, ec);
+        if (ec) {
+            std::fprintf(stderr, "vpexp: cannot create %s: %s\n",
+                         options.out.c_str(),
+                         ec.message().c_str());
+            return 1;
+        }
+        const fs::path out(options.out);
+        bool wrote = true;
+        for (const auto &outcome : outcomes) {
+            if (!outcome.ok)
+                continue;
+            const auto &name = outcome.experiment->name;
+            if (formats.count("table")) {
+                wrote = wrote &&
+                        writeFile(out / (name + ".txt"),
+                                  outcome.experiment->title + "\n\n" +
+                                          report_writer::renderText(
+                                                  outcome.report));
+            }
+            if (formats.count("csv")) {
+                for (const auto &table : outcome.report.tables()) {
+                    wrote = wrote &&
+                            writeFile(out / (name + "." + table.id() +
+                                             ".csv"),
+                                      report_writer::renderCsv(table));
+                }
+            }
+        }
+        if (formats.count("json")) {
+            wrote = wrote &&
+                    writeFile(out / "BENCH_results.json", json);
+        }
+        if (!wrote) {
+            std::fprintf(stderr, "vpexp: failed writing under %s\n",
+                         options.out.c_str());
+            return 1;
+        }
+    } else if (formats.count("json")) {
+        std::fputs(json.c_str(), stdout);
+    }
+
+    return failed ? 1 : 0;
+}
+
+} // namespace vp::exp

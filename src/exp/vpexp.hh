@@ -1,0 +1,31 @@
+/**
+ * @file
+ * The `vpexp` driver: one CLI over the experiment registry, replacing
+ * the 22 per-figure bench binaries.
+ *
+ *   vpexp --list                        what can run
+ *   vpexp figure5 table1 --out results/ run two experiments, write
+ *                                       text + CSV + BENCH_results.json
+ *   vpexp --all --dry-run               smoke the whole registry
+ *   vpexp --all --jobs 4 --format json  machine-readable to stdout
+ *
+ * Exit codes: 0 success, 1 an experiment failed, 2 usage error — the
+ * uniform contract the legacy binaries' hand-rolled parsers only
+ * approximated.
+ *
+ * Lives in the library (not bench/vpexp.cc, which is a two-line
+ * main()) so the driver tests exercise parsing, listing, output
+ * selection and report writing in-process.
+ */
+
+#ifndef VP_EXP_VPEXP_HH
+#define VP_EXP_VPEXP_HH
+
+namespace vp::exp {
+
+/** Run the vpexp CLI against the process-wide experiment registry. */
+int vpexpMain(int argc, const char *const *argv);
+
+} // namespace vp::exp
+
+#endif // VP_EXP_VPEXP_HH

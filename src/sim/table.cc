@@ -23,6 +23,15 @@ TextTable::cell(const std::string &text)
 }
 
 TextTable &
+TextTable::cell(const std::string &text, bool numeric)
+{
+    if (rows_.empty())
+        row();
+    rows_.back().push_back(Cell{text, numeric});
+    return *this;
+}
+
+TextTable &
 TextTable::cell(double value, int decimals)
 {
     char buf[64];

@@ -28,6 +28,13 @@ class TextTable
     TextTable &cell(const std::string &text);
     TextTable &cell(const char *text) { return cell(std::string(text)); }
 
+    /**
+     * Append a pre-rendered cell with explicit alignment: numeric
+     * cells right-align like the numeric overloads. Lets callers that
+     * format numbers themselves (exp::ReportTable) keep the layout.
+     */
+    TextTable &cell(const std::string &text, bool numeric);
+
     /** Append a numeric cell with fixed decimals. */
     TextTable &cell(double value, int decimals = 1);
     TextTable &cell(uint64_t value);

@@ -12,7 +12,7 @@
  *    idealisation overall;
  *  - the capacity sweep's largest budget matches the unbounded
  *    accuracy within 0.1 percentage points per workload and family
- *    (the exp_capacity acceptance bar);
+ *    (the vpexp-capacity acceptance bar);
  *  - the bounded spec grammar round-trips through predictor names.
  */
 
@@ -284,7 +284,7 @@ TEST(BoundedEquivalence, FifoEvictsOldestInsertionNotLeastRecent)
     }
 }
 
-/** The exp_capacity acceptance bar, asserted rather than printed. */
+/** The vpexp-capacity acceptance bar, asserted rather than printed. */
 TEST(CapacitySweep, LargestBudgetConvergesToUnbounded)
 {
     exp::SuiteOptions options;

@@ -12,7 +12,7 @@
  *    identical to the ungated predictor (bounded or not);
  *  - the coverage/accuracy monotone trade-off over the sweep grid on
  *    every workload, and the profit case for gating fcm3 — the
- *    exp_confidence acceptance bars, asserted rather than printed.
+ *    vpexp-confidence acceptance bars, asserted rather than printed.
  */
 
 #include <gtest/gtest.h>
@@ -272,7 +272,7 @@ TEST(ConfidenceSpecs, GatedStarvedBoundedTablesNeverCrash)
     }
 }
 
-// ------------------------------------- sweep acceptance (exp_confidence)
+// --------------------------- sweep acceptance (vpexp confidence)
 
 /** The sweep over all seven workloads at smoke scale, run once. */
 const exp::ConfidenceSweep &
