@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "exp/spec.hh"
 #include "exp/suite.hh"
 #include "sim/driver.hh"
 #include "sim/table.hh"
@@ -44,20 +45,27 @@ struct Options
     bool byCategory = false;
 };
 
+/** Split a spec list on commas — but not inside "hybrid(...)"
+ *  compositions, whose components are comma-separated themselves. */
 std::vector<std::string>
 splitCommas(const std::string &text)
 {
     std::vector<std::string> parts;
-    size_t start = 0;
-    while (start <= text.size()) {
-        const auto comma = text.find(',', start);
-        if (comma == std::string::npos) {
-            parts.push_back(text.substr(start));
-            break;
+    std::string current;
+    int depth = 0;
+    for (const char c : text) {
+        if (c == '(')
+            ++depth;
+        else if (c == ')' && depth > 0)
+            --depth;
+        if (c == ',' && depth == 0) {
+            parts.push_back(current);
+            current.clear();
+        } else {
+            current += c;
         }
-        parts.push_back(text.substr(start, comma - start));
-        start = comma + 1;
     }
+    parts.push_back(current);
     return parts;
 }
 
@@ -156,12 +164,8 @@ cmdList()
     for (const auto &info : workloads::allWorkloads())
         std::printf("  %-9s %s\n", info.name.c_str(),
                     info.description.c_str());
-    std::printf("\npredictor specs: l l-sat l-consec s s-sat s2 "
-                "fcmK fcmK-full fcmK-pure fcmK-sat hybrid\n"
-                "  capacity suffix:   <spec>@<E>[x<W|fa>][r|f]  "
-                "(fcm: @<VHT>/<VPT>...)\n"
-                "  confidence suffix: <spec>:c<W>t<T>[r|d]  "
-                "e.g. fcm3@256/1024x4:c3t6\n");
+    // One source of truth for the grammar (exp/spec.hh).
+    std::printf("\n%s", exp::specGrammarHelp());
     return 0;
 }
 

@@ -7,18 +7,29 @@
 namespace vp::core {
 
 std::string
-boundedSuffix(const BoundedTableConfig &config)
+boundedSuffixTail(const BoundedTableConfig &config)
 {
     // Built with += (GCC 12's -Wrestrict misfires on the
     // char* + std::string&& operator chain).
-    std::string s = "@";
-    s += std::to_string(config.entries);
-    s += "x";
+    std::string s = "x";
     s += config.ways == 0 ? "fa" : std::to_string(config.ways);
     if (config.replacement == Replacement::Random)
         s += "r";
     else if (config.replacement == Replacement::Fifo)
         s += "f";
+    if (config.tagBits > 0) {
+        s += "%";
+        s += std::to_string(config.tagBits);
+    }
+    return s;
+}
+
+std::string
+boundedSuffix(const BoundedTableConfig &config)
+{
+    std::string s = "@";
+    s += std::to_string(config.entries);
+    s += boundedSuffixTail(config);
     return s;
 }
 
@@ -43,7 +54,13 @@ void
 BoundedLastValuePredictor::update(uint64_t pc, uint64_t actual)
 {
     bool inserted = false;
-    LvEntry &entry = table_.touch(pc, inserted);
+    bool aliased = false;
+    LvEntry &entry = table_.touch(pc, inserted, &aliased);
+    if (aliased) {
+        // The foreign entry just served this PC's prediction
+        // (predict() matched the same partial tag): classify it.
+        table_.noteAliasOutcome(entry.value == actual);
+    }
     if (inserted)
         lvInitEntry(entry, actual, config_);
     else
@@ -83,7 +100,10 @@ void
 BoundedStridePredictor::update(uint64_t pc, uint64_t actual)
 {
     bool inserted = false;
-    StrideEntry &entry = table_.touch(pc, inserted);
+    bool aliased = false;
+    StrideEntry &entry = table_.touch(pc, inserted, &aliased);
+    if (aliased)
+        table_.noteAliasOutcome(stridePredictValue(entry) == actual);
     if (inserted)
         strideInitEntry(entry, actual, config_);
     else
@@ -202,8 +222,16 @@ BoundedFcmPredictor::update(uint64_t pc, uint64_t actual)
     const int max_order = std::min<int>(config_.fcm.order, entry.len);
     for (int j = max_order; j >= lowest; --j) {
         bool vpt_inserted = false;
-        FcmFollowers &followers =
-                vpt_.touch(contextKey(pc, j, entry), vpt_inserted);
+        bool vpt_aliased = false;
+        FcmFollowers &followers = vpt_.touch(contextKey(pc, j, entry),
+                                             vpt_inserted, &vpt_aliased);
+        if (vpt_aliased) {
+            // What the foreign context would have predicted, before
+            // this training bump pollutes it.
+            const auto *best = followers.best();
+            vpt_.noteAliasOutcome(best != nullptr &&
+                                  best->value == actual);
+        }
         followers.bump(actual, seq_, config_.fcm.counterMax,
                        config_.maxFollowers);
     }
@@ -232,13 +260,8 @@ BoundedFcmPredictor::name() const
       case FcmBlending::LazyExclusion: break;
     }
     std::string s = base + "@" + std::to_string(vht_.capacity()) + "/" +
-                    std::to_string(vpt_.capacity()) + "x";
-    const auto &vpt = vpt_.config();
-    s += vpt.ways == 0 ? "fa" : std::to_string(vpt.ways);
-    if (vpt.replacement == Replacement::Random)
-        s += "r";
-    else if (vpt.replacement == Replacement::Fifo)
-        s += "f";
+                    std::to_string(vpt_.capacity());
+    s += boundedSuffixTail(vpt_.config());
     return s;
 }
 

@@ -32,8 +32,12 @@
 
 namespace vp::core {
 
-/** Render "@entriesxways[r|f]" (ways 0 prints as "fa"). */
+/** Render "@<entries>x<ways>[r|f][%<tag>]" (ways 0 prints as "fa"). */
 std::string boundedSuffix(const BoundedTableConfig &config);
+
+/** The entry-count-less tail of boundedSuffix ("x4r%8") — shared
+ *  with the fcm "@<vht>/<vpt>x..." rendering. */
+std::string boundedSuffixTail(const BoundedTableConfig &config);
 
 /** Bounded last-value predictor: LvEntry logic on a BoundedTable. */
 class BoundedLastValuePredictor : public ValuePredictor
@@ -49,6 +53,9 @@ class BoundedLastValuePredictor : public ValuePredictor
     size_t tableEntries() const override { return table_.size(); }
 
     uint64_t evictions() const { return table_.evictions(); }
+
+    /** The underlying table (eviction and aliasing counters). */
+    const BoundedTable<LvEntry> &table() const { return table_; }
 
   private:
     LvConfig config_;
@@ -69,6 +76,9 @@ class BoundedStridePredictor : public ValuePredictor
     size_t tableEntries() const override { return table_.size(); }
 
     uint64_t evictions() const { return table_.evictions(); }
+
+    /** The underlying table (eviction and aliasing counters). */
+    const BoundedTable<StrideEntry> &table() const { return table_; }
 
   private:
     StrideConfig config_;
@@ -131,6 +141,17 @@ class BoundedFcmPredictor : public ValuePredictor
 
     uint64_t vhtEvictions() const { return vht_.evictions(); }
     uint64_t vptEvictions() const { return vpt_.evictions(); }
+
+    /** VPT aliasing counters (partial tags; see BoundedTable). */
+    uint64_t vptAliasedTouches() const { return vpt_.aliasedTouches(); }
+    uint64_t vptAliasConstructive() const
+    {
+        return vpt_.aliasConstructive();
+    }
+    uint64_t vptAliasDestructive() const
+    {
+        return vpt_.aliasDestructive();
+    }
 
   private:
     /** Most recent values, oldest first. */

@@ -9,10 +9,18 @@
  * as hash-indexed sets with LRU, FIFO or random replacement, used by
  * the bounded variants of every predictor family (core/bounded.hh).
  *
- * Keys are 64-bit (a PC, or a precomputed context hash) and are stored
- * in full, so there are no false tag matches — capacity pressure shows
- * up purely as conflict/capacity evictions, which is the effect the
- * capacity sweep experiment measures.
+ * Keys are 64-bit (a PC, or a precomputed context hash). By default
+ * they are matched in full, so there are no false tag matches —
+ * capacity pressure shows up purely as conflict/capacity evictions,
+ * which is the effect the capacity sweep experiment measures. Setting
+ * BoundedTableConfig::tagBits > 0 instead matches only the low
+ * tagBits of the key, as a real hardware table storing partial tags
+ * would: two keys with the same truncated tag *alias* onto one entry.
+ * The table keeps the full key as shadow (simulator-only) metadata so
+ * aliasing is observable — see aliasedPeeks()/aliasedTouches() and
+ * the constructive/destructive outcome counters the bounded
+ * predictors feed via noteAliasOutcome() — without affecting the
+ * hardware behaviour being modelled.
  */
 
 #ifndef VP_CORE_BOUNDED_TABLE_HH
@@ -50,6 +58,18 @@ struct BoundedTableConfig
 
     /** Seed for the Random replacement stream (deterministic). */
     uint64_t seed = 0x9e3779b97f4a7c15ull;
+
+    /**
+     * Stored tag width in bits. 0 (the default) stores the full
+     * 64-bit key — no false matches. 1..63 matches only the low
+     * tagBits of the key, so distinct keys with equal truncated tags
+     * alias onto one entry (constructive when the foreign entry
+     * happens to predict correctly, destructive otherwise). Tag width
+     * does not change the entry count the table reports: it shrinks
+     * the per-entry tag cost, which is the §4.3 trade the aliasing
+     * experiment measures.
+     */
+    int tagBits = 0;
 };
 
 /**
@@ -82,6 +102,12 @@ class BoundedTable
             throw std::invalid_argument(
                     "bounded table ways must divide entries");
         }
+        if (config_.tagBits < 0 || config_.tagBits > 63) {
+            throw std::invalid_argument(
+                    "bounded table tag width must be in [0, 63]");
+        }
+        if (config_.tagBits > 0)
+            tagMask_ = (uint64_t{1} << config_.tagBits) - 1;
         slots_.resize(config_.entries);
         if (fullyAssociative()) {
             index_.reserve(config_.entries);
@@ -97,20 +123,55 @@ class BoundedTable
     uint64_t evictions() const { return evictions_; }
     const BoundedTableConfig &config() const { return config_; }
 
+    /** Lookups served by an entry whose full key differed (partial
+     *  tags only; simulator-side shadow accounting). */
+    uint64_t aliasedPeeks() const { return aliasedPeeks_; }
+
+    /** Touches that re-trained (and re-bound) a foreign entry. */
+    uint64_t aliasedTouches() const { return aliasedTouches_; }
+
+    /** Aliased predictions that happened to be correct / wrong, as
+     *  classified by the owning predictor via noteAliasOutcome(). */
+    uint64_t aliasConstructive() const { return aliasConstructive_; }
+    uint64_t aliasDestructive() const { return aliasDestructive_; }
+
+    /**
+     * Classify one aliased access: the foreign entry's prediction
+     * turned out @p correct (constructive) or not (destructive —
+     * declines count as wrong, the paper's accounting). Called by the
+     * bounded predictors, which know the entry -> prediction mapping
+     * the table itself cannot.
+     */
+    void
+    noteAliasOutcome(bool correct)
+    {
+        if (correct)
+            ++aliasConstructive_;
+        else
+            ++aliasDestructive_;
+    }
+
     /** Look up @p key without touching recency; nullptr on miss. */
     const Entry *
     peek(uint64_t key) const
     {
         if (fullyAssociative()) {
-            const auto it = index_.find(key);
-            return it == index_.end() ? nullptr
-                                      : &slots_[it->second].entry;
+            const auto it = index_.find(tagOf(key));
+            if (it == index_.end())
+                return nullptr;
+            const Slot &slot = slots_[it->second];
+            if (slot.key != key)
+                ++aliasedPeeks_;
+            return &slot.entry;
         }
         const size_t base = setBase(key);
         for (size_t w = 0; w < config_.ways; ++w) {
             const Slot &slot = slots_[base + w];
-            if (slot.valid && slot.key == key)
+            if (slot.valid && tagOf(slot.key) == tagOf(key)) {
+                if (slot.key != key)
+                    ++aliasedPeeks_;
                 return &slot.entry;
+            }
         }
         return nullptr;
     }
@@ -118,10 +179,15 @@ class BoundedTable
     /**
      * Find-or-allocate @p key, evicting if its set is full, and mark
      * it most recently used. @p inserted reports whether the entry is
-     * freshly (re)initialised — the caller must then treat it as cold.
+     * freshly (re)initialised — the caller must then treat it as
+     * cold. With partial tags a foreign entry whose truncated tag
+     * matches is a *hit* (inserted == false, hardware cannot tell);
+     * @p aliased, when given, reports that case so the caller can
+     * classify the outcome, and the shadow key is re-bound to @p key
+     * (the last trainer owns the entry).
      */
     Entry &
-    touch(uint64_t key, bool &inserted)
+    touch(uint64_t key, bool &inserted, bool *aliased = nullptr)
     {
         ++tick_;
         Slot *slot = fullyAssociative() ? touchFa(key, inserted)
@@ -132,6 +198,11 @@ class BoundedTable
             slot->key = key;
             slot->valid = true;
             slot->insertStamp = tick_;
+        } else if (slot->key != key) {
+            ++aliasedTouches_;
+            slot->key = key;
+            if (aliased != nullptr)
+                *aliased = true;
         }
         return slot->entry;
     }
@@ -145,6 +216,10 @@ class BoundedTable
         index_.clear();
         live_ = 0;
         evictions_ = 0;
+        aliasedPeeks_ = 0;
+        aliasedTouches_ = 0;
+        aliasConstructive_ = 0;
+        aliasDestructive_ = 0;
         tick_ = 0;
         rng_ = config_.seed | 1;
     }
@@ -166,6 +241,13 @@ class BoundedTable
         return config_.replacement == Replacement::Fifo
                        ? slot.insertStamp
                        : slot.stamp;
+    }
+
+    /** The stored tag: the low tagBits of @p key (full key when 0). */
+    uint64_t
+    tagOf(uint64_t key) const
+    {
+        return tagMask_ != 0 ? key & tagMask_ : key;
     }
 
     size_t
@@ -202,7 +284,7 @@ class BoundedTable
         Slot *oldest = &slots_[base];
         for (size_t w = 0; w < config_.ways; ++w) {
             Slot &slot = slots_[base + w];
-            if (slot.valid && slot.key == key) {
+            if (slot.valid && tagOf(slot.key) == tagOf(key)) {
                 inserted = false;
                 return &slot;
             }
@@ -225,7 +307,7 @@ class BoundedTable
     Slot *
     touchFa(uint64_t key, bool &inserted)
     {
-        const auto it = index_.find(key);
+        const auto it = index_.find(tagOf(key));
         if (it != index_.end()) {
             inserted = false;
             return &slots_[it->second];
@@ -247,19 +329,26 @@ class BoundedTable
                     }
                 }
             }
-            index_.erase(slots_[victim].key);
+            index_.erase(tagOf(slots_[victim].key));
         }
-        index_.emplace(key, victim);
+        index_.emplace(tagOf(key), victim);
         return &slots_[victim];
     }
 
     BoundedTableConfig config_;
     std::vector<Slot> slots_;
-    std::unordered_map<uint64_t, size_t> index_;    // fa mode only
+    std::unordered_map<uint64_t, size_t> index_;    // fa: tag -> slot
     size_t sets_ = 0;                               // set-assoc mode
     size_t setMask_ = 0;                            // sets_ - 1 if pow2
+    uint64_t tagMask_ = 0;                          // 0 = full-key tags
     size_t live_ = 0;
     uint64_t evictions_ = 0;
+    // Shadow aliasing accounting; peek() is const on *observable*
+    // state, so the peek-side counter is mutable like an rng would be.
+    mutable uint64_t aliasedPeeks_ = 0;
+    uint64_t aliasedTouches_ = 0;
+    uint64_t aliasConstructive_ = 0;
+    uint64_t aliasDestructive_ = 0;
     uint64_t tick_ = 0;
     uint64_t rng_;
 };

@@ -62,6 +62,9 @@ struct ConfidenceConfig
 
     /** Saturation ceiling 2^width - 1. */
     int maxCount() const { return (1 << width) - 1; }
+
+    friend bool operator==(const ConfidenceConfig &,
+                           const ConfidenceConfig &) = default;
 };
 
 /** Render ":c<width>t<threshold>[d]" (Reset, the default, is tacit). */

@@ -51,6 +51,8 @@ struct FcmConfig
      * context are halved, weighting recent history more heavily.
      */
     uint32_t counterMax = 0;
+
+    friend bool operator==(const FcmConfig &, const FcmConfig &) = default;
 };
 
 /**

@@ -1,85 +1,133 @@
 #include "core/hybrid.hh"
 
 #include <algorithm>
+#include <stdexcept>
+
+#include "core/bounded.hh"
 
 namespace vp::core {
 
 HybridPredictor::HybridPredictor(HybridConfig config)
-    : config_(config), stride_(config.stride), fcm_(config.fcm)
+    : HybridPredictor(std::make_unique<StridePredictor>(config.stride),
+                      std::make_unique<FcmPredictor>(config.fcm),
+                      HybridChooser{config.chooserMax,
+                                    config.chooserInit, std::nullopt})
 {
+}
+
+HybridPredictor::HybridPredictor(PredictorPtr first, PredictorPtr second,
+                                 HybridChooser chooser)
+    : first_(std::move(first)), second_(std::move(second)),
+      chooser_(chooser)
+{
+    if (first_ == nullptr || second_ == nullptr)
+        throw std::invalid_argument("hybrid needs two components");
+    if (chooser_.table)
+        boundedChooser_.emplace(*chooser_.table);
+}
+
+int
+HybridPredictor::counterFor(uint64_t pc) const
+{
+    if (boundedChooser_) {
+        const ChooserEntry *entry = boundedChooser_->peek(pc);
+        return entry == nullptr ? chooser_.init : entry->counter;
+    }
+    const auto it = mapChooser_.find(pc);
+    return it == mapChooser_.end() ? chooser_.init : it->second;
 }
 
 Prediction
 HybridPredictor::predict(uint64_t pc) const
 {
-    const Prediction from_fcm = fcm_.predict(pc);
-    const Prediction from_stride = stride_.predict(pc);
+    const Prediction from_second = second_->predict(pc);
+    const Prediction from_first = first_->predict(pc);
 
-    auto it = chooser_.find(pc);
-    const int counter = it == chooser_.end() ? config_.chooserInit
-                                             : it->second;
-    const bool prefer_fcm = counter >= 0;
+    const bool prefer_second = counterFor(pc) >= 0;
 
-    if (prefer_fcm && from_fcm.valid)
-        return from_fcm;
-    if (!prefer_fcm && from_stride.valid)
-        return from_stride;
+    if (prefer_second && from_second.valid)
+        return from_second;
+    if (!prefer_second && from_first.valid)
+        return from_first;
     // Preferred component declined; fall back to the other one.
-    return prefer_fcm ? from_stride : from_fcm;
+    return prefer_second ? from_first : from_second;
 }
 
 void
 HybridPredictor::update(uint64_t pc, uint64_t actual)
 {
-    const Prediction from_fcm = fcm_.predict(pc);
-    const Prediction from_stride = stride_.predict(pc);
-    const bool fcm_ok = from_fcm.valid && from_fcm.value == actual;
-    const bool stride_ok =
-            from_stride.valid && from_stride.value == actual;
+    const Prediction from_second = second_->predict(pc);
+    const Prediction from_first = first_->predict(pc);
+    const bool second_ok =
+            from_second.valid && from_second.value == actual;
+    const bool first_ok = from_first.valid && from_first.value == actual;
 
-    auto [it, inserted] = chooser_.try_emplace(pc, config_.chooserInit);
-    int &counter = it->second;
+    int *counter = nullptr;
+    if (boundedChooser_) {
+        bool inserted = false;
+        ChooserEntry &entry = boundedChooser_->touch(pc, inserted);
+        if (inserted)
+            entry.counter = chooser_.init;
+        counter = &entry.counter;
+    } else {
+        counter = &mapChooser_.try_emplace(pc, chooser_.init)
+                           .first->second;
+    }
 
     ++choices_;
-    if (counter >= 0)
-        ++choseFcm_;
+    if (*counter >= 0)
+        ++choseSecond_;
 
     // Train the chooser only when the components disagree in outcome.
-    if (fcm_ok && !stride_ok)
-        counter = std::min(counter + 1, config_.chooserMax);
-    else if (stride_ok && !fcm_ok)
-        counter = std::max(counter - 1, -config_.chooserMax - 1);
+    if (second_ok && !first_ok)
+        *counter = std::min(*counter + 1, chooser_.max);
+    else if (first_ok && !second_ok)
+        *counter = std::max(*counter - 1, -chooser_.max - 1);
 
-    stride_.update(pc, actual);
-    fcm_.update(pc, actual);
+    first_->update(pc, actual);
+    second_->update(pc, actual);
 }
 
 std::string
 HybridPredictor::name() const
 {
-    return "hyb(" + stride_.name() + "+" + fcm_.name() + ")";
+    std::string s = "hyb(" + first_->name() + "+" + second_->name();
+    if (chooser_.table)
+        s += ";ch" + boundedSuffix(*chooser_.table);
+    s += ")";
+    return s;
 }
 
 void
 HybridPredictor::reset()
 {
-    stride_.reset();
-    fcm_.reset();
-    chooser_.clear();
-    choseFcm_ = 0;
+    first_->reset();
+    second_->reset();
+    mapChooser_.clear();
+    if (boundedChooser_)
+        boundedChooser_->clear();
+    choseSecond_ = 0;
     choices_ = 0;
+}
+
+size_t
+HybridPredictor::chooserEntries() const
+{
+    return boundedChooser_ ? boundedChooser_->size()
+                           : mapChooser_.size();
 }
 
 size_t
 HybridPredictor::tableEntries() const
 {
-    return stride_.tableEntries() + fcm_.tableEntries() + chooser_.size();
+    return first_->tableEntries() + second_->tableEntries() +
+           chooserEntries();
 }
 
 double
 HybridPredictor::fcmChoiceFraction() const
 {
-    return choices_ ? static_cast<double>(choseFcm_) / choices_ : 0.0;
+    return choices_ ? static_cast<double>(choseSecond_) / choices_ : 0.0;
 }
 
 } // namespace vp::core

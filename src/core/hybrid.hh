@@ -1,25 +1,31 @@
 /**
  * @file
- * Hybrid stride+FCM predictor with a PC-indexed chooser.
+ * Hybrid predictor with a PC-indexed chooser.
  *
  * Section 4.2 of the paper concludes that "a hybrid fcm-stride
  * predictor with choosing seems to be a good approach"; this is that
  * predictor, built as an extension study (the paper itself stops at
- * the suggestion).
+ * the suggestion). The class composes *any* two ValuePredictor
+ * components — the paper's s2 + fcm3 by default, bounded variants for
+ * the §4.3 shared-budget studies — and the chooser itself can run on
+ * a finite BoundedTable so a composed hybrid's chooser, stride, and
+ * fcm tables can share one global hardware budget.
  */
 
 #ifndef VP_CORE_HYBRID_HH
 #define VP_CORE_HYBRID_HH
 
+#include <optional>
 #include <unordered_map>
 
+#include "core/bounded_table.hh"
 #include "core/fcm.hh"
 #include "core/predictor.hh"
 #include "core/stride.hh"
 
 namespace vp::core {
 
-/** Hybrid configuration. */
+/** Legacy hybrid configuration: the paper's s2 + fcm components. */
 struct HybridConfig
 {
     StrideConfig stride;
@@ -36,34 +42,79 @@ struct HybridConfig
     int chooserInit = 0;
 };
 
+/** Chooser shape for component-composed hybrids. */
+struct HybridChooser
+{
+    /** Counter saturation (the range is [-max - 1, max]). */
+    int max = 7;
+
+    /** Initial bias (0 = start on the second component). */
+    int init = 0;
+
+    /**
+     * Chooser table geometry; nullopt keeps the unbounded per-PC map
+     * (the idealised chooser the legacy `hybrid` spec uses). A
+     * bounded chooser evicts under pressure — an evicted PC restarts
+     * from @c init — which is exactly the finite-resource cost the
+     * hybrid_split experiment charges against the shared budget.
+     */
+    std::optional<BoundedTableConfig> table;
+};
+
 /**
- * McFarling-style chooser hybrid of the paper's s2 and fcm predictors.
+ * McFarling-style chooser hybrid of two component predictors.
  *
  * Both components are always trained; the chooser learns, per static
- * instruction, which component to believe. This implements the
+ * instruction, which component to believe (counter >= 0 selects the
+ * *second* component, historically the fcm side). This implements the
  * "choose among the two component predictors via the PC address"
  * approach sketched in Section 4.2.
  */
 class HybridPredictor : public ValuePredictor
 {
   public:
+    /** The paper's hybrid: s2 + fcm3 with an unbounded chooser. */
     explicit HybridPredictor(HybridConfig config = {});
+
+    /**
+     * Composed hybrid over arbitrary components. @p first is chosen
+     * when the counter is negative, @p second otherwise.
+     * @throws std::invalid_argument when a component is null.
+     */
+    HybridPredictor(PredictorPtr first, PredictorPtr second,
+                    HybridChooser chooser = {});
 
     Prediction predict(uint64_t pc) const override;
     void update(uint64_t pc, uint64_t actual) override;
     std::string name() const override;
     void reset() override;
+
+    /** Chooser entries + both components (honest §4.3 accounting). */
     size_t tableEntries() const override;
 
-    /** Fraction of dynamic choices that selected the FCM component. */
+    /** Live chooser counters (bounded: table occupancy). */
+    size_t chooserEntries() const;
+
+    /** Fraction of dynamic choices that selected the second (fcm)
+     *  component. */
     double fcmChoiceFraction() const;
 
   private:
-    HybridConfig config_;
-    StridePredictor stride_;
-    FcmPredictor fcm_;
-    std::unordered_map<uint64_t, int> chooser_;
-    uint64_t choseFcm_ = 0;
+    /** One bounded-chooser counter (init applied on insert). */
+    struct ChooserEntry
+    {
+        int counter = 0;
+    };
+
+    /** Current counter for @p pc without touching recency. */
+    int counterFor(uint64_t pc) const;
+
+    PredictorPtr first_;        ///< chosen when counter < 0
+    PredictorPtr second_;       ///< chosen when counter >= 0
+    HybridChooser chooser_;
+    std::unordered_map<uint64_t, int> mapChooser_;      // unbounded
+    std::optional<BoundedTable<ChooserEntry>> boundedChooser_;
+    uint64_t choseSecond_ = 0;
     uint64_t choices_ = 0;
 };
 

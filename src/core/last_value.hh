@@ -51,6 +51,8 @@ struct LvConfig
 
     /** Consecutive: replace after this many consecutive sightings. */
     int consecutiveRequired = 2;
+
+    friend bool operator==(const LvConfig &, const LvConfig &) = default;
 };
 
 /**

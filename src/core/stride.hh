@@ -43,6 +43,9 @@ struct StrideConfig
     /** SaturatingCounter: replace stride when counter < threshold. */
     int counterMax = 3;
     int counterThreshold = 1;
+
+    friend bool operator==(const StrideConfig &,
+                           const StrideConfig &) = default;
 };
 
 /**

@@ -12,268 +12,18 @@
 
 #include <unistd.h>
 
-#include "core/bounded.hh"
-#include "core/confidence.hh"
-#include "core/fcm.hh"
-#include "core/hybrid.hh"
-#include "core/last_value.hh"
-#include "core/stride.hh"
+#include "exp/spec.hh"
 #include "sim/driver.hh"
 #include "vm/trace_file.hh"
 
 namespace vp::exp {
 
-namespace {
-
-std::optional<core::LvConfig>
-lvConfigFor(const std::string &spec)
-{
-    using namespace core;
-    LvConfig config;
-    if (spec == "l")
-        return config;
-    if (spec == "l-sat") {
-        config.policy = LvPolicy::SaturatingCounter;
-        return config;
-    }
-    if (spec == "l-consec") {
-        config.policy = LvPolicy::Consecutive;
-        return config;
-    }
-    return std::nullopt;
-}
-
-std::optional<core::StrideConfig>
-strideConfigFor(const std::string &spec)
-{
-    using namespace core;
-    StrideConfig config;
-    if (spec == "s") {
-        config.policy = StridePolicy::Simple;
-        return config;
-    }
-    if (spec == "s-sat") {
-        config.policy = StridePolicy::SaturatingCounter;
-        return config;
-    }
-    if (spec == "s2")
-        return config;
-    return std::nullopt;
-}
-
-std::optional<core::FcmConfig>
-fcmConfigFor(const std::string &spec)
-{
-    using namespace core;
-    if (spec.rfind("fcm", 0) != 0)
-        return std::nullopt;
-    const auto rest = spec.substr(3);
-    const auto dash = rest.find('-');
-    const std::string num = rest.substr(0, dash);
-    const std::string variant =
-            dash == std::string::npos ? "" : rest.substr(dash + 1);
-    if (num.empty() ||
-        num.find_first_not_of("0123456789") != std::string::npos) {
-        return std::nullopt;
-    }
-    FcmConfig config;
-    try {
-        config.order = std::stoi(num);
-    } catch (const std::out_of_range &) {
-        // Keep makePredictor's invalid_argument-only contract.
-        throw std::invalid_argument("fcm order overflows in spec: " +
-                                    spec);
-    }
-    if (variant == "full") {
-        config.blending = FcmBlending::Full;
-    } else if (variant == "pure") {
-        config.blending = FcmBlending::None;
-    } else if (variant == "sat") {
-        config.counterMax = 16;
-    } else if (!variant.empty()) {
-        throw std::invalid_argument("unknown fcm variant: " + spec);
-    }
-    return config;
-}
-
-size_t
-parseEntryCount(const std::string &text, const std::string &spec)
-{
-    if (text.empty() ||
-        text.find_first_not_of("0123456789") != std::string::npos) {
-        throw std::invalid_argument("bad entry count in spec: " + spec);
-    }
-    try {
-        return static_cast<size_t>(std::stoull(text));
-    } catch (const std::out_of_range &) {
-        // Keep makePredictor's invalid_argument-only contract.
-        throw std::invalid_argument("entry count overflows in spec: " +
-                                    spec);
-    }
-}
-
-/** Parsed "<E>[/<P>][x<W|fa>][r|f]" capacity suffix. */
-struct ParsedBudget
-{
-    size_t entries = 0;
-    std::optional<size_t> vptEntries;
-    size_t ways = 4;
-    core::Replacement replacement = core::Replacement::Lru;
-};
-
-ParsedBudget
-parseBudget(std::string text, const std::string &spec)
-{
-    ParsedBudget budget;
-    if (!text.empty() && (text.back() == 'r' || text.back() == 'f')) {
-        budget.replacement = text.back() == 'r'
-                                     ? core::Replacement::Random
-                                     : core::Replacement::Fifo;
-        text.pop_back();
-    }
-    if (const auto x = text.find('x'); x != std::string::npos) {
-        const std::string ways = text.substr(x + 1);
-        if (ways == "fa") {
-            budget.ways = 0;
-        } else {
-            budget.ways = parseEntryCount(ways, spec);
-            if (budget.ways == 0) {
-                // 0 is the internal fully-associative encoding; the
-                // grammar reserves the explicit "fa" spelling for it.
-                throw std::invalid_argument(
-                        "ways must be positive (use 'xfa' for fully "
-                        "associative): " + spec);
-            }
-        }
-        text = text.substr(0, x);
-    }
-    if (const auto slash = text.find('/'); slash != std::string::npos) {
-        budget.vptEntries =
-                parseEntryCount(text.substr(slash + 1), spec);
-        text = text.substr(0, slash);
-    }
-    budget.entries = parseEntryCount(text, spec);
-    return budget;
-}
-
-core::PredictorPtr
-makeBoundedPredictor(const std::string &base, const ParsedBudget &budget,
-                     const std::string &spec)
-{
-    using namespace core;
-    BoundedTableConfig table;
-    table.entries = budget.entries;
-    table.ways = budget.ways;
-    table.replacement = budget.replacement;
-
-    if (const auto lv = lvConfigFor(base)) {
-        if (budget.vptEntries) {
-            throw std::invalid_argument(
-                    "vht/vpt split only applies to fcm: " + spec);
-        }
-        return std::make_unique<BoundedLastValuePredictor>(*lv, table);
-    }
-    if (const auto stride = strideConfigFor(base)) {
-        if (budget.vptEntries) {
-            throw std::invalid_argument(
-                    "vht/vpt split only applies to fcm: " + spec);
-        }
-        return std::make_unique<BoundedStridePredictor>(*stride, table);
-    }
-    if (const auto fcm = fcmConfigFor(base)) {
-        if (!budget.vptEntries) {
-            throw std::invalid_argument(
-                    "bounded fcm needs <vht>/<vpt> entry counts: " +
-                    spec);
-        }
-        BoundedFcmConfig config;
-        config.fcm = *fcm;
-        config.vht = table;
-        config.vpt = table;
-        config.vpt.entries = *budget.vptEntries;
-        config.maxFollowers = 4;    // realistic per-entry budget
-        return std::make_unique<BoundedFcmPredictor>(config);
-    }
-    throw std::invalid_argument("unknown predictor spec: " + spec);
-}
-
-int
-parseConfidenceInt(const std::string &text, const std::string &spec)
-{
-    if (text.empty() ||
-        text.find_first_not_of("0123456789") != std::string::npos) {
-        throw std::invalid_argument("bad confidence suffix in spec: " +
-                                    spec);
-    }
-    try {
-        const int value = std::stoi(text);
-        return value;
-    } catch (const std::out_of_range &) {
-        // Keep makePredictor's invalid_argument-only contract.
-        throw std::invalid_argument(
-                "confidence parameter overflows in spec: " + spec);
-    }
-}
-
-/** Parse "c<W>t<T>[r|d]" (the part after the ':'). */
-core::ConfidenceConfig
-parseConfidence(std::string text, const std::string &spec)
-{
-    using namespace core;
-    ConfidenceConfig config;
-    if (!text.empty() && (text.back() == 'r' || text.back() == 'd')) {
-        config.penalty = text.back() == 'd' ? ConfidencePenalty::Decrement
-                                            : ConfidencePenalty::Reset;
-        text.pop_back();
-    }
-    if (text.empty() || text.front() != 'c') {
-        throw std::invalid_argument("bad confidence suffix in spec: " +
-                                    spec);
-    }
-    const auto t = text.find('t');
-    if (t == std::string::npos) {
-        throw std::invalid_argument("bad confidence suffix in spec: " +
-                                    spec);
-    }
-    config.width = parseConfidenceInt(text.substr(1, t - 1), spec);
-    config.threshold = parseConfidenceInt(text.substr(t + 1), spec);
-    if (config.width < 1 || config.width > 16) {
-        throw std::invalid_argument(
-                "confidence width must be in [1, 16]: " + spec);
-    }
-    return config;
-}
-
-} // anonymous namespace
-
 core::PredictorPtr
 makePredictor(const std::string &spec)
 {
-    using namespace core;
-
-    if (const auto colon = spec.find(':'); colon != std::string::npos) {
-        return std::make_unique<ConfidencePredictor>(
-                makePredictor(spec.substr(0, colon)),
-                parseConfidence(spec.substr(colon + 1), spec));
-    }
-
-    if (const auto at = spec.find('@'); at != std::string::npos) {
-        return makeBoundedPredictor(spec.substr(0, at),
-                                    parseBudget(spec.substr(at + 1),
-                                                spec),
-                                    spec);
-    }
-
-    if (const auto lv = lvConfigFor(spec))
-        return std::make_unique<LastValuePredictor>(*lv);
-    if (const auto stride = strideConfigFor(spec))
-        return std::make_unique<StridePredictor>(*stride);
-    if (spec == "hybrid")
-        return std::make_unique<HybridPredictor>();
-    if (const auto fcm = fcmConfigFor(spec))
-        return std::make_unique<FcmPredictor>(*fcm);
-
-    throw std::invalid_argument("unknown predictor spec: " + spec);
+    // The grammar and construction live in the typed PredictorSpec
+    // model (exp/spec.hh); this shim keeps the historic entry point.
+    return parseSpec(spec).build();
 }
 
 double

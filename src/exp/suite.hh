@@ -27,40 +27,16 @@
 namespace vp::exp {
 
 /**
- * Create a predictor from a spec string:
- *   "l", "l-sat", "l-consec"         last value variants
- *   "s", "s-sat", "s2"               stride variants
- *   "fcmK", "fcmK-full", "fcmK-pure",
- *   "fcmK-sat"                       fcm of order K (e.g. "fcm3")
- *   "hybrid"                         chooser hybrid of s2 + fcm3
+ * Create a predictor from a spec string — a thin shim over the typed
+ * PredictorSpec model: parseSpec(spec).build().
  *
- * Appending a capacity budget turns a last-value/stride/fcm spec into
- * its finite-table (bounded) variant — the tables become
- * set-associative with a fixed entry count (core/bounded.hh):
+ * The grammar (families, "@" capacity budgets with optional "%" tag
+ * widths, "hybrid(a,b;ch@...)" compositions, ":cWtT" confidence
+ * gates) is documented once in exp::specGrammarHelp() — see
+ * exp/spec.hh, or run `vpexp --spec-help`.
  *
- *   "<lv-or-stride>@<E>[x<W>][r]"    e.g. "l@1024x4", "s2@256x2r"
- *   "fcmK[-var]@<V>/<P>[x<W>][r]"    e.g. "fcm3@256/1024x4"
- *
- * E/V/P are entry counts (V = VHT, P = VPT), W the associativity
- * (default 4; "fa" = fully associative), and a trailing "r" selects
- * random, "f" FIFO, instead of LRU replacement. Spec-built bounded
- * fcm keeps at most 4 distinct follower values per VPT entry, as a
- * real implementation would (construct core::BoundedFcmPredictor
- * directly for the idealised unbounded-followers configuration).
- *
- * Appending a confidence suffix to *any* spec (bounded or not,
- * including the hybrid) gates its predictions on a per-PC saturating
- * confidence counter (core/confidence.hh):
- *
- *   "<spec>:c<W>t<T>[r|d]"           e.g. "fcm3@256/1024x4:c3t6r"
- *
- * W is the counter width in bits, T the predict-only-at-or-above
- * threshold, and the optional letter picks the miss penalty: "r"
- * reset (the default, tacit in names) or "d" decrement. Threshold 0
- * gates nothing — the decorated predictor behaves exactly like the
- * plain one.
- *
- * @throws std::invalid_argument for unknown specs.
+ * @throws std::invalid_argument for malformed specs, naming the
+ * offending position and token.
  */
 core::PredictorPtr makePredictor(const std::string &spec);
 

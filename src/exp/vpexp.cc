@@ -12,6 +12,7 @@
 #include "exp/confidence.hh"
 #include "exp/experiment.hh"
 #include "exp/report.hh"
+#include "exp/spec.hh"
 #include "sim/table.hh"
 
 namespace vp::exp {
@@ -26,6 +27,7 @@ const char *const usageText =
         "             [--format table,csv,json] [--trace-cache DIR]\n"
         "\n"
         "  --list         list registered experiments and exit\n"
+        "  --spec-help    print the predictor spec grammar and exit\n"
         "  --all          run every registered experiment\n"
         "  --dry-run      shrink workloads to smoke scale\n"
         "  --jobs N       cell worker threads (default: hardware)\n"
@@ -42,6 +44,7 @@ struct DriverOptions
     std::vector<std::string> names;
     bool all = false;
     bool list = false;
+    bool specHelp = false;
     bool dryRun = false;
     bool help = false;
     unsigned jobs = 0;
@@ -84,6 +87,8 @@ parseArgs(int argc, const char *const *argv)
         std::string value;
         if (arg == "--list") {
             options.list = true;
+        } else if (arg == "--spec-help") {
+            options.specHelp = true;
         } else if (arg == "--all") {
             options.all = true;
         } else if (arg == "--dry-run") {
@@ -165,7 +170,9 @@ listExperiments(const ExperimentRegistry &registry)
     for (const auto &experiment : registry.all())
         table.row().cell(experiment.name).cell(experiment.description);
     std::printf("%s\n%zu experiments; run `vpexp <name> ...`, or "
-                "`vpexp --all`.\n",
+                "`vpexp --all`.\n"
+                "`vpexp --spec-help` documents the predictor spec "
+                "grammar.\n",
                 table.render().c_str(), registry.size());
     return 0;
 }
@@ -271,6 +278,10 @@ vpexpMain(int argc, const char *const *argv)
     DriverOptions options = parseArgs(argc, argv);
     if (options.help) {
         std::fputs(usageText, stdout);
+        return 0;
+    }
+    if (options.specHelp) {
+        std::fputs(specGrammarHelp(), stdout);
         return 0;
     }
     if (options.ok && !options.list && !options.all &&

@@ -20,6 +20,7 @@
 
 #include "core/bounded.hh"
 #include "core/fcm.hh"
+#include "core/hybrid.hh"
 #include "core/last_value.hh"
 #include "core/stride.hh"
 #include "exp/capacity.hh"
@@ -282,6 +283,206 @@ TEST(BoundedEquivalence, FifoEvictsOldestInsertionNotLeastRecent)
         EXPECT_TRUE(pred.predict(3).valid);
         EXPECT_EQ(pred.evictions(), 1u);
     }
+}
+
+/** An ample-capacity bounded hybrid: fully associative components
+ *  and chooser sized to never evict, unbounded followers. */
+std::unique_ptr<HybridPredictor>
+ampleBoundedHybrid(const WorkloadTrace &trace, size_t fcm_contexts)
+{
+    BoundedFcmConfig fcm;
+    fcm.fcm.order = 3;
+    fcm.vht = ampleTable(trace.staticCount);
+    fcm.vpt = ampleTable(fcm_contexts + 1);
+    fcm.maxFollowers = 0;
+    HybridChooser chooser;
+    chooser.table = ampleTable(trace.staticCount);
+    return std::make_unique<HybridPredictor>(
+            std::make_unique<BoundedStridePredictor>(
+                    StrideConfig{}, ampleTable(trace.staticCount)),
+            std::make_unique<BoundedFcmPredictor>(fcm), chooser);
+}
+
+/**
+ * The composed-hybrid equivalence: a bounded hybrid whose chooser and
+ * both components have ample capacity is byte-identical to the
+ * unbounded `hybrid` — composition adds capacity pressure and
+ * nothing else.
+ */
+TEST(BoundedEquivalence, ComposedHybridMatchesUnboundedExactly)
+{
+    for (const auto &trace : traces()) {
+        SCOPED_TRACE(trace.name);
+
+        // Size the VPT off the unbounded fcm3 context footprint, as
+        // the fcm equivalence test does.
+        FcmConfig fcm3;
+        fcm3.order = 3;
+        sim::PredictorBank bank;
+        bank.add(std::make_unique<FcmPredictor>(fcm3));
+        sim::replayTrace(trace.events, bank);
+        const size_t contexts = bank.member(0).predictor->tableEntries();
+
+        const auto unbounded = runOver(
+                std::make_unique<HybridPredictor>(), trace.events);
+        const auto bounded = runOver(
+                ampleBoundedHybrid(trace, contexts), trace.events);
+        expectIdenticalStats(bounded, unbounded);
+    }
+}
+
+/**
+ * Starved chooser geometries: components at ample capacity, chooser
+ * tiny. Misrouting loses accuracy but never crashes and never beats
+ * the unbounded hybrid (an evicted chooser counter restarts from the
+ * init bias — it can only forget which component to trust).
+ */
+TEST(BoundedEquivalence, StarvedChoosersNeverCrashAndNeverWin)
+{
+    const BoundedTableConfig chooser_geometries[] = {
+        {.entries = 2, .ways = 1},
+        {.entries = 4, .ways = 4},
+        {.entries = 16, .ways = 4,
+         .replacement = Replacement::Fifo},
+        {.entries = 16, .ways = 4,
+         .replacement = Replacement::Random},
+        {.entries = 8, .ways = 0},
+        {.entries = 64, .ways = 4, .tagBits = 4},
+    };
+
+    for (const auto &trace : traces()) {
+        SCOPED_TRACE(trace.name);
+
+        FcmConfig fcm3;
+        fcm3.order = 3;
+        const auto unbounded = runOver(
+                std::make_unique<HybridPredictor>(), trace.events);
+
+        for (const auto &geometry : chooser_geometries) {
+            SCOPED_TRACE(std::to_string(geometry.entries) + "x" +
+                         std::to_string(geometry.ways) + "%" +
+                         std::to_string(geometry.tagBits));
+            HybridChooser chooser;
+            chooser.table = geometry;
+            auto hybrid = std::make_unique<HybridPredictor>(
+                    std::make_unique<BoundedStridePredictor>(
+                            StrideConfig{},
+                            ampleTable(trace.staticCount)),
+                    std::make_unique<FcmPredictor>(fcm3), chooser);
+            const auto stats = runOver(std::move(hybrid), trace.events);
+            EXPECT_EQ(stats.total(), trace.events.size());
+            EXPECT_LE(stats.accuracy(), unbounded.accuracy());
+        }
+    }
+}
+
+/**
+ * A tag wide enough to cover every live key bit is lossless: PCs are
+ * far below 2^48, so a 48-bit partial tag can never alias and the
+ * stats are byte-identical to the full-key table.
+ */
+TEST(BoundedEquivalence, CoveringTagWidthIsLossless)
+{
+    BoundedTableConfig full;
+    full.entries = 1024;
+    full.ways = 4;
+    BoundedTableConfig tagged = full;
+    tagged.tagBits = 48;
+
+    for (const auto &trace : traces()) {
+        SCOPED_TRACE(trace.name);
+        expectIdenticalStats(
+                runOver(std::make_unique<BoundedLastValuePredictor>(
+                                LvConfig{}, tagged),
+                        trace.events),
+                runOver(std::make_unique<BoundedLastValuePredictor>(
+                                LvConfig{}, full),
+                        trace.events));
+        expectIdenticalStats(
+                runOver(std::make_unique<BoundedStridePredictor>(
+                                StrideConfig{}, tagged),
+                        trace.events),
+                runOver(std::make_unique<BoundedStridePredictor>(
+                                StrideConfig{}, full),
+                        trace.events));
+    }
+}
+
+/**
+ * The aliasing counters, on a crafted collision: PCs 0x10, 0x20 and
+ * 0x30 share the low-4-bit tag 0, so a 1-entry table with 4-bit tags
+ * treats them as one entry — hits on a foreign entry count as
+ * aliased, and the update classifies the foreign prediction as
+ * constructive (it happened to be right) or destructive.
+ */
+TEST(BoundedEquivalence, AliasCountersClassifyCollisions)
+{
+    BoundedTableConfig table;
+    table.entries = 1;
+    table.ways = 1;
+    table.tagBits = 4;
+    BoundedLastValuePredictor pred(LvConfig{}, table);
+
+    pred.update(0x10, 7);               // owner: 0x10
+    EXPECT_EQ(pred.table().aliasedTouches(), 0u);
+
+    // 0x20 aliases: served 0x10's value, and it happens to be right.
+    EXPECT_TRUE(pred.predict(0x20).valid);
+    EXPECT_EQ(pred.predict(0x20).value, 7u);
+    pred.update(0x20, 7);
+    EXPECT_EQ(pred.table().aliasedTouches(), 1u);
+    EXPECT_EQ(pred.table().aliasConstructive(), 1u);
+    EXPECT_EQ(pred.table().aliasDestructive(), 0u);
+    EXPECT_GE(pred.table().aliasedPeeks(), 2u);
+
+    // 0x30 aliases destructively: the foreign value is wrong.
+    pred.update(0x30, 9);
+    EXPECT_EQ(pred.table().aliasedTouches(), 2u);
+    EXPECT_EQ(pred.table().aliasConstructive(), 1u);
+    EXPECT_EQ(pred.table().aliasDestructive(), 1u);
+
+    // The re-bound owner predicts its own value; no new alias.
+    EXPECT_EQ(pred.predict(0x30).value, 9u);
+    pred.update(0x30, 9);
+    EXPECT_EQ(pred.table().aliasedTouches(), 2u);
+
+    // Aliasing never inflates the entry count: one slot, whatever
+    // the tag width claims (the §4.3 accounting honesty).
+    EXPECT_EQ(pred.tableEntries(), 1u);
+
+    pred.reset();
+    EXPECT_EQ(pred.table().aliasedTouches(), 0u);
+    EXPECT_EQ(pred.table().aliasConstructive(), 0u);
+}
+
+/**
+ * The fcm VPT's alias counters stay consistent under forced
+ * collisions: a one-entry VPT with 1-bit tags makes distinct context
+ * hashes alias whenever their low bits agree (guaranteed among the
+ * six (pc, order) contexts by pigeonhole), and every aliased touch is
+ * classified as exactly one of constructive or destructive.
+ */
+TEST(BoundedEquivalence, FcmVptAliasCountersStayConsistent)
+{
+    BoundedFcmConfig config;
+    config.fcm.order = 1;
+    config.vht = {.entries = 8, .ways = 0};
+    config.vpt = {.entries = 1, .ways = 1, .tagBits = 1};
+    config.maxFollowers = 4;
+    BoundedFcmPredictor pred(config);
+
+    for (int round = 0; round < 32; ++round) {
+        for (const uint64_t pc : {1u, 2u, 3u})
+            pred.update(pc, pc == 3 ? 9 : 7);
+    }
+    EXPECT_GT(pred.vptAliasedTouches(), 0u);
+    EXPECT_EQ(pred.vptAliasedTouches(),
+              pred.vptAliasConstructive() + pred.vptAliasDestructive());
+
+    pred.reset();
+    EXPECT_EQ(pred.vptAliasedTouches(), 0u);
+    EXPECT_EQ(pred.vptAliasConstructive() + pred.vptAliasDestructive(),
+              0u);
 }
 
 /** The vpexp-capacity acceptance bar, asserted rather than printed. */

@@ -18,7 +18,8 @@ namespace {
 using namespace vp;
 using namespace vp::exp;
 
-/** The 21 converted legacy binaries plus the replacement study. */
+/** The 21 converted legacy binaries plus the registry-born studies
+ *  (replacement, and the spec-grammar pair hybrid_split/aliasing). */
 const std::vector<std::string> &
 expectedNames()
 {
@@ -29,6 +30,7 @@ expectedNames()
         "table4",   "table5",   "table6",   "table7",
         "hybrid",   "ablation_blending",    "ablation_hysteresis",
         "capacity", "confidence",           "replacement",
+        "hybrid_split",         "aliasing",
     };
     return names;
 }

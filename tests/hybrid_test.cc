@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
+#include "core/bounded.hh"
 #include "core/hybrid.hh"
 #include "core/learning.hh"
 #include "synth/sequences.hh"
@@ -101,6 +104,137 @@ TEST(Hybrid, ReportsChoiceFractionAndEntries)
 TEST(Hybrid, NameListsComponents)
 {
     EXPECT_EQ(HybridPredictor().name(), "hyb(s2+fcm3)");
+}
+
+// ------------------------------------------- composed hybrids (§4.3)
+
+/** A small bounded-component hybrid with a bounded chooser. */
+std::unique_ptr<HybridPredictor>
+smallComposedHybrid()
+{
+    BoundedTableConfig stride_table;
+    stride_table.entries = 64;
+    BoundedFcmConfig fcm;
+    fcm.fcm.order = 3;
+    fcm.vht = BoundedTableConfig{.entries = 64};
+    fcm.vpt = BoundedTableConfig{.entries = 256};
+    fcm.maxFollowers = 4;
+    HybridChooser chooser;
+    chooser.table = BoundedTableConfig{.entries = 32};
+    return std::make_unique<HybridPredictor>(
+            std::make_unique<BoundedStridePredictor>(StrideConfig{},
+                                                     stride_table),
+            std::make_unique<BoundedFcmPredictor>(fcm), chooser);
+}
+
+/**
+ * The §4.3 cost-accounting contract: tableEntries() reports chooser
+ * plus *both* components — a budget comparison that dropped any of
+ * the three would be dishonest. Verified against reference components
+ * trained with the identical update stream.
+ */
+TEST(Hybrid, TableEntriesCountsChooserAndBothComponents)
+{
+    const auto hybrid = smallComposedHybrid();
+
+    BoundedTableConfig stride_table;
+    stride_table.entries = 64;
+    BoundedStridePredictor stride_ref(StrideConfig{}, stride_table);
+    BoundedFcmConfig fcm;
+    fcm.fcm.order = 3;
+    fcm.vht = BoundedTableConfig{.entries = 64};
+    fcm.vpt = BoundedTableConfig{.entries = 256};
+    fcm.maxFollowers = 4;
+    BoundedFcmPredictor fcm_ref(fcm);
+
+    for (uint64_t i = 0; i < 200; ++i) {
+        const uint64_t pc = i % 16;
+        const uint64_t value = (i / 16) * (pc + 1);
+        hybrid->update(pc, value);
+        stride_ref.update(pc, value);
+        fcm_ref.update(pc, value);
+    }
+
+    EXPECT_EQ(hybrid->chooserEntries(), 16u);
+    EXPECT_EQ(hybrid->tableEntries(),
+              stride_ref.tableEntries() + fcm_ref.tableEntries() +
+                      hybrid->chooserEntries());
+
+    hybrid->reset();
+    EXPECT_EQ(hybrid->tableEntries(), 0u);
+    EXPECT_EQ(hybrid->chooserEntries(), 0u);
+}
+
+/** The unbounded hybrid reports the same sum (map chooser). */
+TEST(Hybrid, UnboundedTableEntriesCountAllThreeTables)
+{
+    HybridPredictor hybrid;
+    StridePredictor stride_ref;
+    FcmConfig fc;
+    fc.order = 3;
+    FcmPredictor fcm_ref(fc);
+
+    for (uint64_t i = 0; i < 100; ++i) {
+        const uint64_t pc = i % 8;
+        hybrid.update(pc, i);
+        stride_ref.update(pc, i);
+        fcm_ref.update(pc, i);
+    }
+    EXPECT_EQ(hybrid.chooserEntries(), 8u);
+    EXPECT_EQ(hybrid.tableEntries(),
+              stride_ref.tableEntries() + fcm_ref.tableEntries() + 8u);
+}
+
+/**
+ * Tag width changes per-entry tag *bits*, never the entry count: a
+ * tagged table under an alias-free key stream reports exactly the
+ * same tableEntries as its full-key twin, so §4.3 budget comparisons
+ * across tag widths stay apples-to-apples.
+ */
+TEST(Hybrid, TagWidthDoesNotChangeEntryAccounting)
+{
+    BoundedTableConfig full;
+    full.entries = 256;
+    BoundedTableConfig tagged = full;
+    tagged.tagBits = 8;
+
+    BoundedStridePredictor a(StrideConfig{}, full);
+    BoundedStridePredictor b(StrideConfig{}, tagged);
+    for (uint64_t pc = 0; pc < 40; ++pc) {    // distinct low-8-bit tags
+        a.update(pc, pc * 3);
+        b.update(pc, pc * 3);
+    }
+    EXPECT_EQ(b.table().aliasedTouches(), 0u);
+    EXPECT_EQ(a.tableEntries(), b.tableEntries());
+    EXPECT_EQ(a.table().capacity(), b.table().capacity());
+}
+
+TEST(Hybrid, BoundedChooserEvictionForgetsTheLearnedChoice)
+{
+    // One-entry chooser: PC 1 trains toward stride (fcm never sees a
+    // stride sequence early), then PC 2 touching the chooser evicts
+    // PC 1's counter; ample components keep their state.
+    HybridChooser chooser;
+    chooser.table = BoundedTableConfig{.entries = 1, .ways = 1};
+    HybridPredictor hybrid(std::make_unique<StridePredictor>(),
+                           std::make_unique<FcmPredictor>(),
+                           chooser);
+    for (uint64_t i = 0; i < 50; ++i)
+        hybrid.update(1, 100 + 7 * i);
+    hybrid.update(2, 5);
+    // No crash, and the chooser holds exactly its one-entry budget.
+    EXPECT_EQ(hybrid.chooserEntries(), 1u);
+    EXPECT_TRUE(hybrid.predict(1).valid);
+}
+
+TEST(Hybrid, ComposedNameListsComponentsAndChooser)
+{
+    HybridChooser chooser;
+    chooser.table = BoundedTableConfig{.entries = 512};
+    const HybridPredictor hybrid(std::make_unique<StridePredictor>(),
+                                 std::make_unique<FcmPredictor>(),
+                                 chooser);
+    EXPECT_EQ(hybrid.name(), "hyb(s2+fcm3;ch@512x4)");
 }
 
 } // anonymous namespace

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "exp/experiment.hh"
+#include "exp/spec.hh"
 #include "exp/vpexp.hh"
 
 namespace {
@@ -108,6 +109,17 @@ TEST(VpexpCli, HelpExitsZero)
     std::string out;
     EXPECT_EQ(runDriver({"--help"}, &out), 0);
     EXPECT_NE(out.find("usage: vpexp"), std::string::npos);
+    EXPECT_NE(out.find("--spec-help"), std::string::npos);
+}
+
+TEST(VpexpCli, SpecHelpPrintsTheGrammar)
+{
+    std::string out;
+    EXPECT_EQ(runDriver({"--spec-help"}, &out), 0);
+    // The one grammar source of truth (exp::specGrammarHelp).
+    EXPECT_EQ(out, exp::specGrammarHelp());
+    EXPECT_NE(out.find("hybrid("), std::string::npos);
+    EXPECT_NE(out.find(";ch@"), std::string::npos);
 }
 
 TEST(VpexpCli, RunsANamedExperimentAndPrintsItsTitle)

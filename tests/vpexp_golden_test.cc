@@ -9,17 +9,29 @@
  *   cp /tmp/g/table1.learning.csv tests/golden/table1.learning.csv
  * (table1 runs on synthetic sequences, so the file is independent of
  * workload scale and host.)
+ *
+ * The spec-name golden (spec_names.txt) pins the canonical spelling
+ * of every predictor spec any registered experiment banks, so
+ * accidental grammar drift — a suffix rendered differently, a default
+ * silently changed — fails here before it silently re-keys the cell
+ * scheduler's dedup. Regenerate after an intentional grammar change
+ * (rewrites tests/golden/spec_names.txt in place, then re-run):
+ *   VP_PRINT_GOLDEN=1 build/tests/vpexp_golden_test \
+ *     --gtest_filter='*SpecNames*'
  */
 
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <string>
 
 #include "exp/experiment.hh"
 #include "exp/report.hh"
+#include "exp/spec.hh"
 #include "exp/suite.hh"
 
 namespace {
@@ -115,6 +127,53 @@ TEST(VpexpGolden, Figure3MatchesLegacyRunSuitePath)
         EXPECT_EQ(mean_row[p + 1].text,
                   fmt1(meanAccuracyPct(runs, p)));
     }
+}
+
+/**
+ * Every spec the 24-experiment registry banks is already canonical
+ * (its canonical name is byte-identical to the spelling the
+ * experiment uses — the compatibility bar the PredictorSpec redesign
+ * had to clear), and the full sorted set matches the golden file.
+ */
+TEST(VpexpGolden, RegistrySpecNamesAreCanonicalAndMatchGoldenFile)
+{
+    ExperimentConfig config;
+    config.dryRun = true;
+    std::set<std::string> specs;
+    for (const auto &experiment : registry().all()) {
+        if (!experiment.grid)
+            continue;
+        for (const auto &suite : experiment.grid(config)) {
+            for (const auto &spec : suite.predictors)
+                specs.insert(spec);
+        }
+    }
+    ASSERT_GT(specs.size(), 100u);
+
+    std::ostringstream rendered;
+    for (const auto &spec : specs) {
+        const std::string canonical = parseSpec(spec).canonicalName();
+        EXPECT_EQ(canonical, spec)
+                << "a registry spec stopped being canonical";
+        rendered << canonical << '\n';
+    }
+
+    if (std::getenv("VP_PRINT_GOLDEN") != nullptr) {
+        std::ofstream out(std::string(VP_GOLDEN_DIR) +
+                          "/spec_names.txt");
+        out << rendered.str();
+        ASSERT_TRUE(out.good());
+        GTEST_SKIP() << "rewrote spec_names.txt; re-run without "
+                        "VP_PRINT_GOLDEN";
+    }
+
+    const std::string golden =
+            slurp(std::string(VP_GOLDEN_DIR) + "/spec_names.txt");
+    ASSERT_FALSE(golden.empty())
+            << "missing golden file under " << VP_GOLDEN_DIR;
+    EXPECT_EQ(rendered.str(), golden)
+            << "registry spec set or grammar drifted; see the "
+               "regeneration recipe in this file's header";
 }
 
 /** Same pin for the counting shape (tables 2/4/5): exact integers. */
