@@ -8,6 +8,7 @@
  * Section 4.2 on an engineering footing for this implementation.
  */
 
+#include <chrono>
 #include <string_view>
 #include <vector>
 
@@ -19,7 +20,9 @@
 #include "core/last_value.hh"
 #include "core/stride.hh"
 #include "exp/suite.hh"
+#include "sim/driver.hh"
 #include "synth/sequences.hh"
+#include "vm/trace.hh"
 
 using namespace vp;
 using namespace vp::core;
@@ -189,6 +192,134 @@ BM_BoundedFcmManyPc(benchmark::State &state)
     });
 }
 
+/**
+ * Batched vs scalar replay through the full PredictorBank, the path
+ * every experiment cell takes. The stream mirrors the value locality
+ * real traces have (the paper's premise): many static PCs, each
+ * producing a constant, a short repeating stride phase, or a repeated
+ * non-stride cycle, so the predictors *learn* and the per-event cost
+ * is table probing rather than cold-miss allocation. Enough distinct
+ * (PC, context) pairs that the 1M-entry budgets below spread their
+ * probes past the cache hierarchy — the regime the batched hot path
+ * (one virtual dispatch per block, one table probe per event, set
+ * prefetching) is built for. The ratio of each pair is the
+ * BENCH_hotpath.json headline.
+ */
+std::vector<vm::TraceEvent>
+makeReplayStream(size_t events, uint64_t pcs)
+{
+    std::vector<vm::TraceEvent> out;
+    out.reserve(events);
+    std::vector<uint64_t> occurrences(pcs, 0);
+    for (size_t i = 0; i < events; ++i) {
+        // Scrambled visit order (pcs is a power of two, the multiplier
+        // is odd, so this is a bijection): successive events touch
+        // unrelated PCs, the way a large program's interleaved
+        // control flow does, rather than marching an arithmetic stride
+        // the hardware prefetcher could lock onto.
+        const uint64_t pc = (((i * 17) % pcs) * 2654435761u) & (pcs - 1);
+        const uint64_t n = occurrences[pc]++;
+        uint64_t value = 0;
+        switch (pc % 3) {
+          case 0:       // constant
+            value = pc * 1000;
+            break;
+          case 1:       // stride phase repeating every 8
+            value = pc * 1000 + (n % 8) * (pc % 7 + 1);
+            break;
+          default:      // repeated non-stride cycle of 4
+            value = pc * 1000 + ((n % 4) * 2654435761u) % 1000;
+            break;
+        }
+        out.push_back(vm::TraceEvent{pc, isa::Opcode{},
+                                     isa::Category::AddSub, value});
+    }
+    return out;
+}
+
+/** Stream for the unbounded pairs: modest PC count so the node-based
+ *  tables stay within a sane memory footprint. */
+const std::vector<vm::TraceEvent> &
+replayStream()
+{
+    static const std::vector<vm::TraceEvent> cached =
+            makeReplayStream(1 << 18, 1 << 13);
+    return cached;
+}
+
+/**
+ * Stream for the 1M-entry bounded pairs: the same PC mix but with an
+ * instruction working set (64K static PCs, 64 occurrences each) that
+ * genuinely exercises a 1M-entry budget — the live sets spread across
+ * tens of MB of table, far past L2, while the distinct (PC, context)
+ * population still fits the VPT geometries below, so the cost stays
+ * probing rather than eviction churn. The scrambled visit order
+ * defeats stride prediction, so the scalar protocol serialises a
+ * chain of last-level cache accesses per event (VHT, then the
+ * context's VPT set) while the batched path's set prefetching and
+ * two-stage pipeline overlap them across events.
+ */
+const std::vector<vm::TraceEvent> &
+replayStreamLarge()
+{
+    static const std::vector<vm::TraceEvent> cached =
+            makeReplayStream(1 << 22, 1 << 16);
+    return cached;
+}
+
+/**
+ * Manual timing: the replay itself is the measured quantity;
+ * constructing the bank (for the 1M-entry geometries that is tens of
+ * MB of table allocation) and tearing it down are not.
+ */
+void
+runReplay(benchmark::State &state, const char *spec, bool batched,
+          bool large)
+{
+    using Clock = std::chrono::steady_clock;
+    const auto &events = large ? replayStreamLarge() : replayStream();
+    for (auto _ : state) {
+        sim::PredictorBank bank;
+        bank.add(vp::exp::makePredictor(spec));
+        const auto start = Clock::now();
+        if (batched) {
+            // Same block granularity as the streaming replay path
+            // (vm::ReaderBatchSource's default).
+            sim::replayTraceBatched(events, bank, 4096);
+        } else {
+            sim::replayTrace(events, bank);
+        }
+        state.SetIterationTime(
+                std::chrono::duration<double>(Clock::now() - start)
+                        .count());
+        benchmark::DoNotOptimize(bank.member(0).stats.correct());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(events.size()));
+    state.SetLabel(spec);
+}
+
+void
+BM_ReplayScalar(benchmark::State &state, const char *spec, bool large)
+{
+    runReplay(state, spec, false, large);
+}
+
+void
+BM_ReplayBatched(benchmark::State &state, const char *spec, bool large)
+{
+    runReplay(state, spec, true, large);
+}
+
+/** The 1M-entry budgets of the acceptance bar: lv/stride spend the
+ *  whole budget on one table, fcm splits 1:3 VHT:VPT, the hybrid
+ *  splits across stride + fcm + chooser. */
+constexpr const char *kBoundedLv = "l@1048576x4";
+constexpr const char *kBoundedStride = "s2@1048576x4";
+constexpr const char *kBoundedFcm = "fcm3@262144/786432x4";
+constexpr const char *kBoundedHybrid =
+        "hybrid(s2@131072x4,fcm3@131072/655360x4;ch@131072x4)";
+
 /** Table growth: unique-context footprint on a non-repeating stream. */
 void
 BM_FcmTableGrowth(benchmark::State &state)
@@ -215,6 +346,25 @@ BENCHMARK(BM_BoundedStrideManyPc);
 BENCHMARK(BM_FcmManyPc);
 BENCHMARK(BM_BoundedFcmManyPc);
 BENCHMARK(BM_FcmTableGrowth)->Unit(benchmark::kMillisecond);
+
+#define VP_REPLAY_PAIR(name, spec, large)                              \
+    BENCHMARK_CAPTURE(BM_ReplayScalar, name, spec, large)              \
+            ->Unit(benchmark::kMillisecond)                            \
+            ->UseManualTime();                                         \
+    BENCHMARK_CAPTURE(BM_ReplayBatched, name, spec, large)             \
+            ->Unit(benchmark::kMillisecond)                            \
+            ->UseManualTime()
+
+VP_REPLAY_PAIR(l, "l", false);
+VP_REPLAY_PAIR(s2, "s2", false);
+VP_REPLAY_PAIR(fcm3, "fcm3", false);
+VP_REPLAY_PAIR(hybrid, "hybrid", false);
+VP_REPLAY_PAIR(l_1M, kBoundedLv, true);
+VP_REPLAY_PAIR(s2_1M, kBoundedStride, true);
+VP_REPLAY_PAIR(fcm3_1M, kBoundedFcm, true);
+VP_REPLAY_PAIR(hybrid_1M, kBoundedHybrid, true);
+
+#undef VP_REPLAY_PAIR
 
 } // anonymous namespace
 

@@ -33,6 +33,24 @@ run_config() {
 echo "==> default configuration"
 run_config build
 
+# Perf smoke: the batched-vs-scalar replay pairs, machine-readable.
+# Runs on the unsharded invocation (or an explicit perf shard) against
+# the Release build just produced; build/BENCH_hotpath.json is the
+# artifact CI uploads. The hard regression gate is the ctest-side
+# hotpath_guard_test; this step records the actual ratios.
+if [[ -z "${VP_CTEST_LABEL:-}" || "${VP_CTEST_LABEL}" == "perf" ]]; then
+    echo "==> perf smoke (batched hot path)"
+    if [[ -x build/bench/perf_predictors ]]; then
+        ./build/bench/perf_predictors --json \
+            --benchmark_filter=BM_Replay \
+            --benchmark_min_time=0.05 \
+            > build/BENCH_hotpath.json
+        echo "    wrote build/BENCH_hotpath.json"
+    else
+        echo "    perf_predictors not built (no google-benchmark); skipped"
+    fi
+fi
+
 echo "==> sanitized configuration (ASan + UBSan)"
 run_config build-asan -DVP_SANITIZE=ON
 

@@ -6,6 +6,19 @@
 
 namespace vp::core {
 
+namespace {
+
+/**
+ * Prefetch distance for the batched loops, in events. The hardware
+ * keeps only a dozen or so line fills in flight, so issuing a batch's
+ * prefetches as one burst just drops most of them; instead each
+ * processed event prefetches its first-level table set a fixed
+ * distance ahead, keeping the miss queue full without overflowing it.
+ */
+constexpr size_t kPrefetchAhead = 24;
+
+} // anonymous namespace
+
 std::string
 boundedSuffixTail(const BoundedTableConfig &config)
 {
@@ -67,6 +80,39 @@ BoundedLastValuePredictor::update(uint64_t pc, uint64_t actual)
         lvTrainEntry(entry, actual, config_);
 }
 
+void
+BoundedLastValuePredictor::trainBatch(const uint64_t *pcs,
+                                      const uint64_t *values, size_t n,
+                                      uint64_t *valid, uint64_t *correct)
+{
+    // Pipelined prefetch: each event prefetches the set a fixed
+    // lookahead distance ahead, so the table misses overlap
+    // (memory-level parallelism the one-event-at-a-time protocol
+    // cannot express) without flooding the miss queue.
+    for (size_t i = 0; i < n; ++i) {
+        if (i + kPrefetchAhead < n)
+            table_.prefetch(pcs[i + kPrefetchAhead]);
+
+        bool inserted = false;
+        bool aliased = false;
+        LvEntry &entry = table_.touch(pcs[i], inserted, &aliased);
+        if (inserted) {
+            // The scalar peek() would have missed: no prediction.
+            lvInitEntry(entry, values[i], config_);
+            continue;
+        }
+        // The entry (own or tag-aliased foreign) is exactly what the
+        // scalar predict() peeked: grade it before training it.
+        const bool hit = entry.value == values[i];
+        bits::set(valid, i);
+        if (hit)
+            bits::set(correct, i);
+        if (aliased)
+            table_.noteAliasOutcome(hit);
+        lvTrainEntry(entry, values[i], config_);
+    }
+}
+
 std::string
 BoundedLastValuePredictor::name() const
 {
@@ -108,6 +154,33 @@ BoundedStridePredictor::update(uint64_t pc, uint64_t actual)
         strideInitEntry(entry, actual, config_);
     else
         strideTrainEntry(entry, actual, config_);
+}
+
+void
+BoundedStridePredictor::trainBatch(const uint64_t *pcs,
+                                   const uint64_t *values, size_t n,
+                                   uint64_t *valid, uint64_t *correct)
+{
+    // Pipelined set prefetch; see BoundedLastValuePredictor.
+    for (size_t i = 0; i < n; ++i) {
+        if (i + kPrefetchAhead < n)
+            table_.prefetch(pcs[i + kPrefetchAhead]);
+
+        bool inserted = false;
+        bool aliased = false;
+        StrideEntry &entry = table_.touch(pcs[i], inserted, &aliased);
+        if (inserted) {
+            strideInitEntry(entry, values[i], config_);
+            continue;
+        }
+        const bool hit = stridePredictValue(entry) == values[i];
+        bits::set(valid, i);
+        if (hit)
+            bits::set(correct, i);
+        if (aliased)
+            table_.noteAliasOutcome(hit);
+        strideTrainEntry(entry, values[i], config_);
+    }
 }
 
 std::string
@@ -248,6 +321,206 @@ BoundedFcmPredictor::update(uint64_t pc, uint64_t actual)
         entry.history[entry.len] = actual;
         ++entry.len;
     }
+}
+
+void
+BoundedFcmPredictor::trainBatch(const uint64_t *pcs,
+                                const uint64_t *values, size_t n,
+                                uint64_t *valid, uint64_t *correct)
+{
+    // The batched win is twofold. First, eliminating repeated work:
+    // the scalar predict()/update() pair probes the VHT twice and
+    // scans the VPT twice per event, while this loop pays one VHT
+    // touch and — in the steady-state common case where the top-order
+    // context hits under lazy exclusion — exactly one VPT probe,
+    // re-touched in place via the slot the match scan returned.
+    // Second, a two-stage software pipeline: the VHT stage of event i
+    // touches the VHT, computes the top-order context key, snapshots
+    // the pre-slide history and issues the VPT-set prefetch; the VPT
+    // stage (the scan/grade/train work) runs kStage events later,
+    // when that set is resident. The reorder is sound because the two
+    // stages mutate different tables: every VHT operation still
+    // happens in event order, and so does every VPT operation, so the
+    // observable state is byte-identical to the scalar interleaving
+    // (the scan reads the snapshot, which is exactly the history the
+    // scalar scan would have seen).
+    const int min_order = config_.fcm.blending == FcmBlending::None
+                                  ? config_.fcm.order
+                                  : 0;
+
+    /** Per-event state handed from the VHT stage to the VPT stage. */
+    struct Staged
+    {
+        VhtEntry pre;       ///< history *before* this event's slide
+        uint64_t topKey;    ///< context key of order min(order, pre.len)
+        size_t index;       ///< event index (bitset position)
+        bool inserted;      ///< VHT touch allocated a fresh entry
+    };
+    constexpr size_t kStage = 8;
+    Staged stage[kStage];
+
+    // A VhtEntry set spans several cache lines and only one way will
+    // be read; blanket-prefetching the whole span wastes fill-buffer
+    // slots. Instead the probe stage runs kStage events ahead of the
+    // touch: by then the key/valid lines (prefetched at
+    // kPrefetchAhead) are resident, so a pure probe finds the hit way
+    // cheaply and prefetches exactly its payload lines. The slot hint
+    // it records may go stale — an intervening touch can evict or
+    // rebind the way — so touchHinted() re-validates the tag and
+    // falls back to a full probe, keeping the outcome byte-identical
+    // to an unhinted touch.
+    struct Probe
+    {
+        size_t event;       ///< event index the hint belongs to
+        size_t slot;        ///< hit slot, or SIZE_MAX on miss
+    };
+    Probe probe[kStage];
+    for (auto &p : probe)
+        p.event = SIZE_MAX;
+
+    const auto probeStage = [&](size_t i) {
+        Probe &pr = probe[i % kStage];
+        pr.event = i;
+        pr.slot = vht_.probeSlot(pcs[i]);
+        if (pr.slot != SIZE_MAX)
+            vht_.prefetchEntryAt(pr.slot);
+    };
+
+    const auto vhtStage = [&](size_t i) {
+        if (i + kPrefetchAhead < n)
+            vht_.prefetchKeys(pcs[i + kPrefetchAhead]);
+        Staged &st = stage[i % kStage];
+        st.index = i;
+        st.inserted = false;
+        const Probe &pr = probe[i % kStage];
+        VhtEntry &entry = vht_.touchHinted(
+                pcs[i], pr.event == i ? pr.slot : SIZE_MAX, st.inserted);
+        st.pre = entry;
+        const int max_order = std::min<int>(config_.fcm.order, entry.len);
+        if (max_order >= min_order) {
+            st.topKey = contextKey(pcs[i], max_order, entry);
+            vpt_.prefetch(st.topKey);
+        }
+        // Slide the history window now; the VPT stage reads st.pre.
+        if (entry.len == config_.fcm.order) {
+            if (entry.len > 0) {
+                std::copy(entry.history.begin() + 1,
+                          entry.history.begin() + entry.len,
+                          entry.history.begin());
+                entry.history[static_cast<size_t>(entry.len - 1)] =
+                        values[i];
+            }
+        } else {
+            entry.history[entry.len] = values[i];
+            ++entry.len;
+        }
+    };
+
+    const auto vptStage = [&](const Staged &st) {
+        const size_t i = st.index;
+        const uint64_t pc = pcs[i];
+        const int max_order =
+                std::min<int>(config_.fcm.order, st.pre.len);
+
+        // Lazy longest-first scan, stopping at the first hit like the
+        // scalar longestMatch(). One scan serves both the prediction
+        // and the lazy-exclusion training floor (nothing mutates this
+        // PC's state between the scalar predict() and update() scans,
+        // so they always agree). Keys are remembered down to where the
+        // scan stopped; Full blending recomputes the rest on demand.
+        uint64_t keys[maxOrder + 1] = {};
+        int match = -1;
+        int scanned = max_order + 1;
+        size_t matchSlot = 0;
+        const FcmFollowers *matched = nullptr;
+        for (int j = max_order; j >= min_order; --j) {
+            keys[j] = j == max_order ? st.topKey
+                                     : contextKey(pc, j, st.pre);
+            scanned = j;
+            const FcmFollowers *followers =
+                    vpt_.peekSlot(keys[j], matchSlot);
+            if (followers != nullptr && !followers->cells.empty()) {
+                match = j;
+                matched = followers;
+                break;
+            }
+        }
+
+        // A fresh VHT entry means the scalar predict() missed the VHT
+        // peek and declined; the scan above still ran because the
+        // scalar update() recomputes it for the training floor.
+        if (!st.inserted && matched != nullptr) {
+            const auto *best = matched->best();
+            if (best != nullptr) {
+                bits::set(valid, i);
+                if (best->value == values[i])
+                    bits::set(correct, i);
+            }
+        }
+
+        int lowest = 0;
+        switch (config_.fcm.blending) {
+          case FcmBlending::None:
+            lowest = config_.fcm.order;
+            break;
+          case FcmBlending::Full:
+            lowest = 0;
+            break;
+          case FcmBlending::LazyExclusion:
+            lowest = match < 0 ? 0 : match;
+            break;
+        }
+
+        ++seq_;
+        if (match == max_order && lowest == max_order &&
+            matched != nullptr) {
+            // Steady-state fast path: the only order to train is the
+            // one the scan just matched, and nothing has mutated the
+            // VPT since — re-touch the matched slot directly instead
+            // of probing its set again.
+            bool vpt_aliased = false;
+            FcmFollowers &followers =
+                    vpt_.touchAt(matchSlot, keys[max_order],
+                                 &vpt_aliased);
+            if (vpt_aliased) {
+                const auto *best = followers.best();
+                vpt_.noteAliasOutcome(best != nullptr &&
+                                      best->value == values[i]);
+            }
+            followers.bump(values[i], seq_, config_.fcm.counterMax,
+                           config_.maxFollowers);
+        } else {
+            for (int j = max_order; j >= lowest; --j) {
+                const uint64_t key = j >= scanned
+                        ? keys[j]
+                        : contextKey(pc, j, st.pre);
+                bool vpt_inserted = false;
+                bool vpt_aliased = false;
+                FcmFollowers &followers =
+                        vpt_.touch(key, vpt_inserted, &vpt_aliased);
+                if (vpt_aliased) {
+                    const auto *best = followers.best();
+                    vpt_.noteAliasOutcome(best != nullptr &&
+                                          best->value == values[i]);
+                }
+                followers.bump(values[i], seq_, config_.fcm.counterMax,
+                               config_.maxFollowers);
+            }
+        }
+    };
+
+    // probeStage(i + kStage) must run after vhtStage(i): both land on
+    // the same ring cell, and the touch consumes the hint before the
+    // next event's probe overwrites it.
+    for (size_t i = 0; i < n; ++i) {
+        if (i >= kStage)
+            vptStage(stage[i % kStage]);
+        vhtStage(i);
+        if (i + kStage < n)
+            probeStage(i + kStage);
+    }
+    for (size_t i = n > kStage ? n - kStage : 0; i < n; ++i)
+        vptStage(stage[i % kStage]);
 }
 
 std::string

@@ -26,10 +26,14 @@
 #ifndef VP_CORE_BOUNDED_TABLE_HH
 #define VP_CORE_BOUNDED_TABLE_HH
 
+#include <algorithm>
+#include <bit>
 #include <cstdint>
 #include <stdexcept>
 #include <unordered_map>
 #include <vector>
+
+#include "core/hugepage.hh"
 
 namespace vp::core {
 
@@ -75,12 +79,17 @@ struct BoundedTableConfig
 /**
  * Fixed-capacity key -> Entry map organised as sets x ways.
  *
- * The set-associative mode stores slots in one flat array indexed by
- * a mixed hash of the key — the bounded predictors' hot path touches
- * no node-based containers at all. The fully associative mode (ways
- * == 0) keeps an exact key -> slot index on the side so lookups stay
- * O(1) even with large entry counts; it exists for verification and
- * idealised sweeps, not as a hardware proposal.
+ * The set-associative mode stores slots in a structure-of-arrays
+ * layout — keys, recency stamps, validity and entry payloads in
+ * parallel flat arrays — so the hot probe loop walks a dense run of
+ * 8-byte keys (one cache line covers a whole set and its neighbours)
+ * and the payload array is only dereferenced on a hit or a victim.
+ * prefetch() issues a software prefetch of a key's set, which batched
+ * replay uses to overlap the next events' table misses with the
+ * current event's work. The fully associative mode (ways == 0) keeps
+ * an exact key -> slot index on the side so lookups stay O(1) even
+ * with large entry counts; it exists for verification and idealised
+ * sweeps, not as a hardware proposal.
  *
  * The access protocol mirrors the predictor interface: predict() uses
  * the const @c peek() (no LRU motion, so prediction never mutates
@@ -108,7 +117,11 @@ class BoundedTable
         }
         if (config_.tagBits > 0)
             tagMask_ = (uint64_t{1} << config_.tagBits) - 1;
-        slots_.resize(config_.entries);
+        keys_.resize(config_.entries);
+        stamps_.resize(config_.entries);
+        insertStamps_.resize(config_.entries);
+        valid_.resize(config_.entries);
+        entries_.resize(config_.entries);
         if (fullyAssociative()) {
             index_.reserve(config_.entries);
         } else {
@@ -159,21 +172,173 @@ class BoundedTable
             const auto it = index_.find(tagOf(key));
             if (it == index_.end())
                 return nullptr;
-            const Slot &slot = slots_[it->second];
-            if (slot.key != key)
+            if (keys_[it->second] != key)
                 ++aliasedPeeks_;
-            return &slot.entry;
+            return &entries_[it->second];
         }
         const size_t base = setBase(key);
-        for (size_t w = 0; w < config_.ways; ++w) {
-            const Slot &slot = slots_[base + w];
-            if (slot.valid && tagOf(slot.key) == tagOf(key)) {
-                if (slot.key != key)
-                    ++aliasedPeeks_;
-                return &slot.entry;
-            }
+        const int w = hitWay(base, key);
+        if (w < 0)
+            return nullptr;
+        const size_t s = base + static_cast<size_t>(w);
+        if (keys_[s] != key)
+            ++aliasedPeeks_;
+        return &entries_[s];
+    }
+
+    /**
+     * peek() that also reports the matched slot index, so a caller
+     * that goes on to train the same key can re-touch the slot via
+     * touchAt() instead of paying a second full probe. Identical
+     * observable behaviour (including alias accounting) to peek();
+     * @p slot is only meaningful when the return value is non-null.
+     */
+    const Entry *
+    peekSlot(uint64_t key, size_t &slot) const
+    {
+        if (fullyAssociative()) {
+            const auto it = index_.find(tagOf(key));
+            if (it == index_.end())
+                return nullptr;
+            if (keys_[it->second] != key)
+                ++aliasedPeeks_;
+            slot = it->second;
+            return &entries_[it->second];
         }
-        return nullptr;
+        const size_t base = setBase(key);
+        const int w = hitWay(base, key);
+        if (w < 0)
+            return nullptr;
+        const size_t s = base + static_cast<size_t>(w);
+        if (keys_[s] != key)
+            ++aliasedPeeks_;
+        slot = s;
+        return &entries_[s];
+    }
+
+    /**
+     * Touch a slot a peekSlot() of @p key just returned, with no
+     * intervening table mutation: skips the probe, but performs
+     * exactly the recency/rebinding work touch(key) would — the two
+     * are interchangeable under that precondition. The entry is by
+     * construction live and tag-matching, so this is never an insert.
+     */
+    Entry &
+    touchAt(size_t slot, uint64_t key, bool *aliased = nullptr)
+    {
+        ++tick_;
+        stamps_[slot] = tick_;
+        if (keys_[slot] != key) {
+            ++aliasedTouches_;
+            keys_[slot] = key;
+            if (aliased != nullptr)
+                *aliased = true;
+        }
+        return entries_[slot];
+    }
+
+    /**
+     * Software-prefetch the set @p key indexes (keys and payloads) so
+     * a later peek()/touch() of the same key finds it in cache. Pure
+     * hint: never changes any state, observable or otherwise. Batched
+     * replay sweeps this over a whole batch before probing, so the
+     * per-event miss chains overlap instead of serialising.
+     */
+    void
+    prefetch(uint64_t key) const
+    {
+#if defined(__GNUC__) || defined(__clang__)
+        if (fullyAssociative())
+            return;
+        // No stamp-line prefetch: the hit path only *stores* to the
+        // stamp array (absorbed by the store buffer, not latency
+        // critical), and spending a fill-buffer slot per probe on it
+        // starves the prefetches that do feed dependent loads.
+        const size_t base = setBase(key);
+        __builtin_prefetch(keys_.data() + base);
+        __builtin_prefetch(valid_.data() + base);
+        // The payload span of a whole set can cross several cache
+        // lines (ways * sizeof(Entry) bytes) and which way will hit is
+        // unknowable before the probe, so fetch them all. Callers with
+        // large entries avoid this blanket fetch by pairing
+        // prefetchKeys() with a probeSlot()/prefetchEntryAt() stage
+        // that fetches exactly the hit way's lines.
+        const auto *first =
+                reinterpret_cast<const char *>(entries_.data() + base);
+        const size_t span = config_.ways * sizeof(Entry);
+        for (size_t off = 0; off < span; off += 64)
+            __builtin_prefetch(first + off);
+#else
+        (void)key;
+#endif
+    }
+
+    /** prefetch() restricted to the probe metadata (key and valid
+     *  lines) — pair with probeSlot() + prefetchEntryAt() to fetch
+     *  the one payload way that will actually be read. */
+    void
+    prefetchKeys(uint64_t key) const
+    {
+#if defined(__GNUC__) || defined(__clang__)
+        if (fullyAssociative())
+            return;
+        const size_t base = setBase(key);
+        __builtin_prefetch(keys_.data() + base);
+        __builtin_prefetch(valid_.data() + base);
+#else
+        (void)key;
+#endif
+    }
+
+    /**
+     * Pure probe: the slot @p key currently hits, or SIZE_MAX. No
+     * recency motion, no alias accounting — a prefetch-planning hint
+     * whose answer may be stale by use time, so consumers must
+     * re-validate (touchHinted() does).
+     */
+    size_t
+    probeSlot(uint64_t key) const
+    {
+        if (fullyAssociative()) {
+            const auto it = index_.find(tagOf(key));
+            return it == index_.end() ? SIZE_MAX : it->second;
+        }
+        const size_t base = setBase(key);
+        const int w = hitWay(base, key);
+        return w < 0 ? SIZE_MAX : base + static_cast<size_t>(w);
+    }
+
+    /** Software-prefetch exactly slot @p slot's payload lines. */
+    void
+    prefetchEntryAt(size_t slot) const
+    {
+#if defined(__GNUC__) || defined(__clang__)
+        const auto *first =
+                reinterpret_cast<const char *>(entries_.data() + slot);
+        for (size_t off = 0; off < sizeof(Entry); off += 64)
+            __builtin_prefetch(first + off);
+#else
+        (void)slot;
+#endif
+    }
+
+    /**
+     * touch() with a slot hint from an earlier probeSlot(). The hint
+     * is trusted only if the slot still holds a live, tag-matching
+     * entry (intervening touches may have evicted or rebound it);
+     * otherwise this falls back to a full touch(). Either way the
+     * outcome is exactly what touch(key) would have produced.
+     */
+    Entry &
+    touchHinted(uint64_t key, size_t slot, bool &inserted,
+                bool *aliased = nullptr)
+    {
+        if (slot != SIZE_MAX && !fullyAssociative() && valid_[slot] &&
+            tagOf(keys_[slot]) == tagOf(key)) {
+            inserted = false;
+            return touchAt(slot, key, aliased);
+        }
+        return touch(key, inserted, aliased);
     }
 
     /**
@@ -190,29 +355,32 @@ class BoundedTable
     touch(uint64_t key, bool &inserted, bool *aliased = nullptr)
     {
         ++tick_;
-        Slot *slot = fullyAssociative() ? touchFa(key, inserted)
-                                        : touchSet(key, inserted);
-        slot->stamp = tick_;
+        const size_t s = fullyAssociative() ? touchFa(key, inserted)
+                                            : touchSet(key, inserted);
+        stamps_[s] = tick_;
         if (inserted) {
-            slot->entry = Entry{};
-            slot->key = key;
-            slot->valid = true;
-            slot->insertStamp = tick_;
-        } else if (slot->key != key) {
+            entries_[s] = Entry{};
+            keys_[s] = key;
+            valid_[s] = 1;
+            insertStamps_[s] = tick_;
+        } else if (keys_[s] != key) {
             ++aliasedTouches_;
-            slot->key = key;
+            keys_[s] = key;
             if (aliased != nullptr)
                 *aliased = true;
         }
-        return slot->entry;
+        return entries_[s];
     }
 
     /** Discard all entries (the budget itself is immutable). */
     void
     clear()
     {
-        for (auto &slot : slots_)
-            slot = Slot{};
+        std::fill(keys_.begin(), keys_.end(), 0);
+        std::fill(stamps_.begin(), stamps_.end(), 0);
+        std::fill(insertStamps_.begin(), insertStamps_.end(), 0);
+        std::fill(valid_.begin(), valid_.end(), 0);
+        std::fill(entries_.begin(), entries_.end(), Entry{});
         index_.clear();
         live_ = 0;
         evictions_ = 0;
@@ -225,22 +393,13 @@ class BoundedTable
     }
 
   private:
-    struct Slot
-    {
-        uint64_t key = 0;
-        uint64_t stamp = 0;         ///< last touch (LRU victim order)
-        uint64_t insertStamp = 0;   ///< allocation (FIFO victim order)
-        bool valid = false;
-        Entry entry{};
-    };
-
-    /** The age a full set's victim scan minimises for this policy. */
+    /** The age slot @p s's victim scan minimises for this policy. */
     uint64_t
-    victimStamp(const Slot &slot) const
+    victimStamp(size_t s) const
     {
         return config_.replacement == Replacement::Fifo
-                       ? slot.insertStamp
-                       : slot.stamp;
+                       ? insertStamps_[s]
+                       : stamps_[s];
     }
 
     /** The stored tag: the low tagBits of @p key (full key when 0). */
@@ -248,6 +407,34 @@ class BoundedTable
     tagOf(uint64_t key) const
     {
         return tagMask_ != 0 ? key & tagMask_ : key;
+    }
+
+    /**
+     * First way of @p key's set whose live tag matches, or -1. The
+     * 4-way layout (the default geometry everywhere) is resolved
+     * branchlessly — the matching way is data-dependent, so a
+     * short-circuiting scan pays a mispredicted branch on nearly
+     * every probe.
+     */
+    int
+    hitWay(size_t base, uint64_t key) const
+    {
+        const uint64_t tag = tagOf(key);
+        if (config_.ways == 4) {
+            unsigned mask = 0;
+            for (unsigned w = 0; w < 4; ++w) {
+                mask |= static_cast<unsigned>(
+                                valid_[base + w] != 0 &&
+                                tagOf(keys_[base + w]) == tag)
+                        << w;
+            }
+            return mask != 0 ? std::countr_zero(mask) : -1;
+        }
+        for (size_t w = 0; w < config_.ways; ++w) {
+            if (valid_[base + w] && tagOf(keys_[base + w]) == tag)
+                return static_cast<int>(w);
+        }
+        return -1;
     }
 
     size_t
@@ -276,41 +463,44 @@ class BoundedTable
         return rng_;
     }
 
-    Slot *
+    /** Find-or-victimise in @p key's set; returns the slot index. */
+    size_t
     touchSet(uint64_t key, bool &inserted)
     {
+        // Hit detection first, touching only the key/valid arrays: the
+        // common steady-state case then never loads the set's stamps
+        // (the victim scan below does), which keeps the hot probe to
+        // two cache lines.
         const size_t base = setBase(key);
-        Slot *invalid = nullptr;
-        Slot *oldest = &slots_[base];
-        for (size_t w = 0; w < config_.ways; ++w) {
-            Slot &slot = slots_[base + w];
-            if (slot.valid && tagOf(slot.key) == tagOf(key)) {
-                inserted = false;
-                return &slot;
-            }
-            if (!slot.valid && invalid == nullptr)
-                invalid = &slot;
-            if (victimStamp(slot) < victimStamp(*oldest))
-                oldest = &slots_[base + w];
+        const int hit = hitWay(base, key);
+        if (hit >= 0) {
+            inserted = false;
+            return base + static_cast<size_t>(hit);
         }
         inserted = true;
-        if (invalid != nullptr) {
-            ++live_;
-            return invalid;
+        size_t oldest = base;
+        for (size_t w = 0; w < config_.ways; ++w) {
+            const size_t s = base + w;
+            if (!valid_[s]) {
+                ++live_;
+                return s;
+            }
+            if (victimStamp(s) < victimStamp(oldest))
+                oldest = s;
         }
         ++evictions_;
         if (config_.replacement == Replacement::Random)
-            return &slots_[base + nextRandom() % config_.ways];
+            return base + nextRandom() % config_.ways;
         return oldest;
     }
 
-    Slot *
+    size_t
     touchFa(uint64_t key, bool &inserted)
     {
         const auto it = index_.find(tagOf(key));
         if (it != index_.end()) {
             inserted = false;
-            return &slots_[it->second];
+            return it->second;
         }
         inserted = true;
         size_t victim;
@@ -323,20 +513,31 @@ class BoundedTable
             } else {
                 victim = 0;
                 for (size_t i = 1; i < config_.entries; ++i) {
-                    if (victimStamp(slots_[i]) <
-                        victimStamp(slots_[victim])) {
+                    if (victimStamp(i) < victimStamp(victim))
                         victim = i;
-                    }
                 }
             }
-            index_.erase(tagOf(slots_[victim].key));
+            index_.erase(tagOf(keys_[victim]));
         }
         index_.emplace(tagOf(key), victim);
-        return &slots_[victim];
+        return victim;
     }
 
+    /** Backing store for the flat slot arrays: huge-page-backed when
+     *  large, so random probes (and the batched path's software
+     *  prefetches) don't drown in TLB misses. */
+    template <typename T>
+    using Array = std::vector<T, HugePageAllocator<T>>;
+
     BoundedTableConfig config_;
-    std::vector<Slot> slots_;
+    // Structure-of-arrays slot storage (see the class comment): the
+    // probe loop reads keys_/valid_ only; entries_ is touched on hits
+    // and victims, stamps on recency updates and victim scans.
+    Array<uint64_t> keys_;
+    Array<uint64_t> stamps_;                ///< last touch (LRU order)
+    Array<uint64_t> insertStamps_;          ///< allocation (FIFO order)
+    Array<uint8_t> valid_;
+    Array<Entry> entries_;
     std::unordered_map<uint64_t, size_t> index_;    // fa: tag -> slot
     size_t sets_ = 0;                               // set-assoc mode
     size_t setMask_ = 0;                            // sets_ - 1 if pow2

@@ -71,6 +71,42 @@ ConfidencePredictor::update(uint64_t pc, uint64_t actual)
     inner_->update(pc, actual);
 }
 
+void
+ConfidencePredictor::evalBatch(const uint64_t *pcs,
+                               const uint64_t *values, size_t n,
+                               uint64_t *valid, uint64_t *correct)
+{
+    const size_t words = bits::words(n);
+    scratch_.assign(2 * words, 0);
+    uint64_t *inner_valid = scratch_.data();
+    uint64_t *inner_correct = inner_valid + words;
+
+    inner_->evalBatch(pcs, values, n, inner_valid, inner_correct);
+    lastFresh_ = false;
+
+    for (size_t i = 0; i < n; ++i) {
+        const bool hit = bits::test(inner_correct, i);
+        int &count = counters_[pcs[i]];
+
+        // Gate on the counter as it stood before this event, exactly
+        // like the scalar predict()-then-update() pair.
+        if (bits::test(inner_valid, i) && count >= config_.threshold) {
+            bits::set(valid, i);
+            if (hit)
+                bits::set(correct, i);
+        }
+
+        if (hit) {
+            if (count < config_.maxCount())
+                ++count;
+        } else if (config_.penalty == ConfidencePenalty::Reset) {
+            count = 0;
+        } else if (count > 0) {
+            --count;
+        }
+    }
+}
+
 std::string
 ConfidencePredictor::name() const
 {

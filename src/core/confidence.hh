@@ -29,6 +29,7 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <vector>
 
 #include "core/predictor.hh"
 
@@ -93,6 +94,15 @@ class ConfidencePredictor : public ValuePredictor
     std::string name() const override;
     void reset() override;
 
+    /**
+     * Batched evaluation: the inner predictor grades the whole batch
+     * (one virtual dispatch), then a sequential pass applies the gate
+     * and trains the counters exactly as the scalar pair would.
+     */
+    void evalBatch(const uint64_t *pcs, const uint64_t *values,
+                   size_t n, uint64_t *valid,
+                   uint64_t *correct) override;
+
     /** Inner table entries plus live confidence counters. */
     size_t tableEntries() const override;
 
@@ -118,6 +128,8 @@ class ConfidencePredictor : public ValuePredictor
     mutable uint64_t lastPc_ = 0;
     mutable Prediction lastInner_{};
     mutable bool lastFresh_ = false;
+
+    std::vector<uint64_t> scratch_;     ///< inner bit rows
 };
 
 } // namespace vp::core

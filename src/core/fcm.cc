@@ -29,8 +29,8 @@ FcmFollowers::bump(uint64_t value, uint64_t seq, uint32_t counter_max,
                 // weighting recent behaviour more heavily.
                 for (auto &c : cells)
                     c.count /= 2;
-                std::erase_if(cells,
-                              [](const Cell &c) { return c.count == 0; });
+                cells.eraseIf(
+                        [](const Cell &c) { return c.count == 0; });
             }
             return;
         }
@@ -73,7 +73,8 @@ FcmPredictor::contextKey(const PcState &state, int j)
 }
 
 int
-FcmPredictor::longestMatch(const PcState &state) const
+FcmPredictor::longestMatch(const PcState &state,
+                           const FcmFollowers **followers) const
 {
     const int max_order = std::min<int>(
             config_.order, static_cast<int>(state.history.size()));
@@ -85,8 +86,11 @@ FcmPredictor::longestMatch(const PcState &state) const
             continue;
         const auto &table = state.tables[j];
         auto it = table.find(contextKey(state, j));
-        if (it != table.end() && !it->second.cells.empty())
+        if (it != table.end() && !it->second.cells.empty()) {
+            if (followers != nullptr)
+                *followers = &it->second;
             return j;
+        }
     }
     return -1;
 }
@@ -159,6 +163,67 @@ FcmPredictor::update(uint64_t pc, uint64_t actual)
     state.history.push_back(actual);
     if (static_cast<int>(state.history.size()) > config_.order)
         state.history.erase(state.history.begin());
+}
+
+void
+FcmPredictor::trainBatch(const uint64_t *pcs, const uint64_t *values,
+                         size_t n, uint64_t *valid, uint64_t *correct)
+{
+    for (size_t i = 0; i < n; ++i) {
+        auto [pit, inserted] = table_.try_emplace(pcs[i]);
+        PcState &state = pit->second;
+        if (state.tables.empty())
+            state.tables.resize(config_.order + 1);
+
+        // A single context scan serves both the prediction and the
+        // lazy-exclusion training floor: nothing mutates this PC's
+        // state between the scalar predict() and update() scans, so
+        // they always agree. On a fresh PC the scan trivially misses,
+        // matching the scalar predict() table miss.
+        const FcmFollowers *followers = nullptr;
+        const int match = longestMatch(state, &followers);
+
+        if (!inserted && match >= 0) {
+            const auto *best = followers->best();
+            if (best != nullptr) {
+                bits::set(valid, i);
+                if (best->value == values[i])
+                    bits::set(correct, i);
+            }
+        }
+
+        int lowest = 0;
+        switch (config_.blending) {
+          case FcmBlending::None:
+            lowest = config_.order;
+            break;
+          case FcmBlending::Full:
+            lowest = 0;
+            break;
+          case FcmBlending::LazyExclusion:
+            lowest = match < 0 ? 0 : match;
+            break;
+        }
+
+        ++seq_;
+        const int max_order = std::min<int>(
+                config_.order, static_cast<int>(state.history.size()));
+        for (int j = max_order; j >= lowest; --j) {
+            auto &table = state.tables[j];
+            const auto key = contextKey(state, j);
+            auto it = table.find(key);
+            if (it == table.end()) {
+                it = table.emplace(std::vector<uint64_t>(key.begin(),
+                                                         key.end()),
+                                   FcmFollowers{}).first;
+            }
+            it->second.bump(values[i], seq_, config_.counterMax);
+        }
+
+        state.history.push_back(values[i]);
+        if (static_cast<int>(state.history.size()) > config_.order)
+            state.history.erase(state.history.begin());
+    }
 }
 
 std::string

@@ -71,8 +71,143 @@ struct FcmFollowers
         uint64_t seq;       ///< recency stamp for tie-breaking
     };
 
+    /**
+     * Small-buffer cell sequence: the first kInline cells live inside
+     * the followers object itself, spilling to the heap only beyond
+     * that. Real contexts almost always have 1-2 distinct followers,
+     * so keeping them inline means a bounded VPT entry carries its
+     * cells in the same (huge-page-backed, prefetchable) table array —
+     * a detached heap block per context would cost the hot replay loop
+     * one more dependent cache-and-TLB miss per event.
+     */
+    class CellList
+    {
+      public:
+        static constexpr uint32_t kInline = 2;
+
+        CellList() = default;
+        CellList(const CellList &other) { copyFrom(other); }
+        CellList(CellList &&other) noexcept { moveFrom(other); }
+
+        CellList &
+        operator=(const CellList &other)
+        {
+            if (this != &other) {
+                clear();
+                copyFrom(other);
+            }
+            return *this;
+        }
+
+        CellList &
+        operator=(CellList &&other) noexcept
+        {
+            if (this != &other) {
+                clear();
+                moveFrom(other);
+            }
+            return *this;
+        }
+
+        ~CellList() { delete[] heap_; }
+
+        Cell *data() { return heap_ != nullptr ? heap_ : inline_; }
+        const Cell *
+        data() const
+        {
+            return heap_ != nullptr ? heap_ : inline_;
+        }
+
+        Cell *begin() { return data(); }
+        Cell *end() { return data() + size_; }
+        const Cell *begin() const { return data(); }
+        const Cell *end() const { return data() + size_; }
+
+        uint32_t size() const { return size_; }
+        bool empty() const { return size_ == 0; }
+
+        void
+        push_back(const Cell &cell)
+        {
+            if (size_ == cap_)
+                grow();
+            data()[size_++] = cell;
+        }
+
+        /** Drop every cell matching @p pred, preserving order. */
+        template <typename Pred>
+        void
+        eraseIf(Pred pred)
+        {
+            Cell *d = data();
+            uint32_t kept = 0;
+            for (uint32_t i = 0; i < size_; ++i) {
+                if (!pred(d[i]))
+                    d[kept++] = d[i];
+            }
+            size_ = kept;
+        }
+
+        void
+        clear()
+        {
+            delete[] heap_;
+            heap_ = nullptr;
+            size_ = 0;
+            cap_ = kInline;
+        }
+
+      private:
+        void
+        grow()
+        {
+            const uint32_t new_cap = cap_ * 2;
+            Cell *bigger = new Cell[new_cap];
+            const Cell *d = data();
+            for (uint32_t i = 0; i < size_; ++i)
+                bigger[i] = d[i];
+            delete[] heap_;
+            heap_ = bigger;
+            cap_ = new_cap;
+        }
+
+        void
+        copyFrom(const CellList &other)
+        {
+            size_ = other.size_;
+            if (size_ > kInline) {
+                heap_ = new Cell[other.cap_];
+                cap_ = other.cap_;
+            }
+            const Cell *src = other.data();
+            Cell *dst = data();
+            for (uint32_t i = 0; i < size_; ++i)
+                dst[i] = src[i];
+        }
+
+        void
+        moveFrom(CellList &other) noexcept
+        {
+            heap_ = other.heap_;
+            size_ = other.size_;
+            cap_ = other.cap_;
+            if (heap_ == nullptr) {
+                for (uint32_t i = 0; i < size_; ++i)
+                    inline_[i] = other.inline_[i];
+            }
+            other.heap_ = nullptr;
+            other.size_ = 0;
+            other.cap_ = kInline;
+        }
+
+        Cell inline_[kInline];
+        Cell *heap_ = nullptr;
+        uint32_t size_ = 0;
+        uint32_t cap_ = kInline;
+    };
+
     /** Typically 1-2 distinct followers; linear scan is right. */
-    std::vector<Cell> cells;
+    CellList cells;
 
     /**
      * Record one occurrence of @p value following this context.
@@ -115,6 +250,23 @@ class FcmPredictor : public ValuePredictor
     std::string name() const override;
     void reset() override;
     size_t tableEntries() const override;
+
+    void evalBatch(const uint64_t *pcs, const uint64_t *values,
+                   size_t n, uint64_t *valid,
+                   uint64_t *correct) override
+    {
+        trainBatch(pcs, values, n, valid, correct);
+    }
+
+    /**
+     * Devirtualised batch loop. The separate predict()/update() pair
+     * scans the context tables twice per event (longest match for the
+     * prediction, longest match again for the lazy-exclusion training
+     * floor); here one scan serves both, which is legitimate because
+     * nothing mutates the PC's state between the two scalar calls.
+     */
+    void trainBatch(const uint64_t *pcs, const uint64_t *values,
+                    size_t n, uint64_t *valid, uint64_t *correct);
 
   private:
     /**
@@ -200,9 +352,12 @@ class FcmPredictor : public ValuePredictor
 
     /**
      * Longest order with a context match, or -1 if none (not even the
-     * order-0 table has been trained).
+     * order-0 table has been trained). When a match is found and
+     * @p followers is non-null it receives the matched follower set,
+     * saving the caller a second table probe.
      */
-    int longestMatch(const PcState &state) const;
+    int longestMatch(const PcState &state,
+                     const FcmFollowers **followers = nullptr) const;
 
     FcmConfig config_;
     std::unordered_map<uint64_t, PcState> table_;

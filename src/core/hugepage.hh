@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Huge-page-backed allocator for the large flat table arrays.
+ *
+ * The bounded tables back megabytes of hot, randomly-probed state
+ * with plain vectors. On 4 KiB pages such a table costs a TLB miss on
+ * nearly every probe, and — worse for the batched replay path — a
+ * software prefetch whose target misses the TLB is silently dropped
+ * by the hardware, so the prefetch pipeline never hides the misses it
+ * was built to hide. Backing the arrays with 2 MiB huge pages shrinks
+ * a tens-of-MB table to a handful of TLB entries, making both the
+ * demand loads and the prefetches reliable.
+ *
+ * This is a hint-only facility with a three-step ladder: an explicit
+ * hugetlb mapping when the administrator has reserved a pool
+ * (vm.nr_hugepages — the only mechanism that works on kernels where
+ * transparent huge pages are configured but never granted, as in some
+ * microVMs), else anonymous memory with MADV_HUGEPAGE, else plain
+ * pages. Every rung has identical observable behaviour.
+ */
+
+#ifndef VP_CORE_HUGEPAGE_HH
+#define VP_CORE_HUGEPAGE_HH
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#endif
+
+namespace vp::core {
+
+/**
+ * Minimal std::allocator replacement that requests huge pages for
+ * allocations of at least one huge page. All instances
+ * compare equal (the allocator is stateless), so vectors using it can
+ * be swapped/moved freely.
+ */
+template <typename T>
+struct HugePageAllocator
+{
+    using value_type = T;
+
+    static constexpr std::size_t hugePage = 2u << 20;
+
+    HugePageAllocator() = default;
+
+    template <typename U>
+    HugePageAllocator(const HugePageAllocator<U> &)
+    {
+    }
+
+    T *
+    allocate(std::size_t n)
+    {
+        const std::size_t bytes = n * sizeof(T);
+        if (bytes < hugePage)
+            return static_cast<T *>(::operator new(bytes));
+        const std::size_t rounded =
+                (bytes + hugePage - 1) & ~(hugePage - 1);
+#if defined(__linux__)
+        // Preallocated huge pages first (vm.nr_hugepages pool; the
+        // mmap fails upfront when the pool is too small), then
+        // transparent huge pages as a hint, then plain pages.
+        void *p = mmap(nullptr, rounded, PROT_READ | PROT_WRITE,
+                       MAP_PRIVATE | MAP_ANONYMOUS | MAP_HUGETLB, -1, 0);
+        if (p == MAP_FAILED) {
+            p = mmap(nullptr, rounded, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+            if (p == MAP_FAILED)
+                throw std::bad_alloc();
+            madvise(p, rounded, MADV_HUGEPAGE);
+        }
+        return static_cast<T *>(p);
+#else
+        if (void *p = std::aligned_alloc(hugePage, rounded))
+            return static_cast<T *>(p);
+        throw std::bad_alloc();
+#endif
+    }
+
+    void
+    deallocate(T *p, std::size_t n) noexcept
+    {
+        const std::size_t bytes = n * sizeof(T);
+        if (bytes < hugePage) {
+            ::operator delete(p);
+            return;
+        }
+        const std::size_t rounded =
+                (bytes + hugePage - 1) & ~(hugePage - 1);
+#if defined(__linux__)
+        munmap(p, rounded);
+#else
+        (void)rounded;
+        std::free(p);
+#endif
+    }
+};
+
+template <typename T, typename U>
+bool
+operator==(const HugePageAllocator<T> &, const HugePageAllocator<U> &)
+{
+    return true;
+}
+
+template <typename T, typename U>
+bool
+operator!=(const HugePageAllocator<T> &, const HugePageAllocator<U> &)
+{
+    return false;
+}
+
+} // namespace vp::core
+
+#endif // VP_CORE_HUGEPAGE_HH

@@ -88,6 +88,76 @@ HybridPredictor::update(uint64_t pc, uint64_t actual)
     second_->update(pc, actual);
 }
 
+void
+HybridPredictor::evalBatch(const uint64_t *pcs, const uint64_t *values,
+                           size_t n, uint64_t *valid, uint64_t *correct)
+{
+    const size_t words = bits::words(n);
+    scratch_.assign(4 * words, 0);
+    uint64_t *first_valid = scratch_.data();
+    uint64_t *first_correct = first_valid + words;
+    uint64_t *second_valid = first_correct + words;
+    uint64_t *second_correct = second_valid + words;
+
+    second_->evalBatch(pcs, values, n, second_valid, second_correct);
+    first_->evalBatch(pcs, values, n, first_valid, first_correct);
+
+    // The selection loop prefetches the chooser set a fixed distance
+    // ahead of its probe — far enough to cover the miss, near enough
+    // that the handful of in-flight lines never overflows the
+    // hardware's fill queue (a whole-batch burst would drop most of
+    // its prefetches).
+    // The loop body is kept branch-free on everything derived from
+    // the outcome bits: which component was right is close to random
+    // per event, so training the counter or grading the choice behind
+    // an `if` costs a mispredict every few events — more than the
+    // whole arithmetic. Only the structural branches (bounded vs map
+    // chooser, fresh insert) remain, and those predict perfectly.
+    constexpr size_t kChooserAhead = 24;
+    for (size_t i = 0; i < n; ++i) {
+        if (boundedChooser_ && i + kChooserAhead < n)
+            boundedChooser_->prefetch(pcs[i + kChooserAhead]);
+        const bool second_ok = bits::test(second_correct, i);
+        const bool first_ok = bits::test(first_correct, i);
+
+        int *counter = nullptr;
+        if (boundedChooser_) {
+            bool inserted = false;
+            ChooserEntry &entry = boundedChooser_->touch(pcs[i],
+                                                         inserted);
+            if (inserted)
+                entry.counter = chooser_.init;
+            counter = &entry.counter;
+        } else {
+            counter = &mapChooser_.try_emplace(pcs[i], chooser_.init)
+                               .first->second;
+        }
+
+        const bool prefer_second = *counter >= 0;
+        ++choices_;
+        choseSecond_ += prefer_second;
+
+        // Train the chooser only when the components disagree in
+        // outcome: +1 / -1 / 0 collapses to a clamped delta.
+        const int delta = static_cast<int>(second_ok) -
+                          static_cast<int>(first_ok);
+        *counter = std::clamp(*counter + delta, -chooser_.max - 1,
+                              chooser_.max);
+
+        // The hybrid's own grade: the preferred component if it
+        // predicted, else the fallback (mirrors predict()).
+        const bool chose_second = prefer_second
+                                          ? bits::test(second_valid, i)
+                                          : !bits::test(first_valid, i);
+        const bool sel_valid = bits::test(
+                chose_second ? second_valid : first_valid, i);
+        const bool sel_ok = chose_second ? second_ok : first_ok;
+        const uint64_t bit = uint64_t{1} << (i % 64);
+        valid[i / 64] |= sel_valid ? bit : 0;
+        correct[i / 64] |= (sel_valid && sel_ok) ? bit : 0;
+    }
+}
+
 std::string
 HybridPredictor::name() const
 {

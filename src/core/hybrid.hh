@@ -17,6 +17,7 @@
 
 #include <optional>
 #include <unordered_map>
+#include <vector>
 
 #include "core/bounded_table.hh"
 #include "core/fcm.hh"
@@ -89,6 +90,18 @@ class HybridPredictor : public ValuePredictor
     std::string name() const override;
     void reset() override;
 
+    /**
+     * Batched evaluation: each component grades the whole batch with
+     * its own evalBatch (components never see the chooser, so their
+     * per-event pre-update gradings are exactly what the scalar
+     * update() recomputes), then a sequential chooser pass replays
+     * the scalar counter protocol and derives the hybrid's bits.
+     * One chooser touch per event instead of a peek plus a touch.
+     */
+    void evalBatch(const uint64_t *pcs, const uint64_t *values,
+                   size_t n, uint64_t *valid,
+                   uint64_t *correct) override;
+
     /** Chooser entries + both components (honest §4.3 accounting). */
     size_t tableEntries() const override;
 
@@ -116,6 +129,7 @@ class HybridPredictor : public ValuePredictor
     std::optional<BoundedTable<ChooserEntry>> boundedChooser_;
     uint64_t choseSecond_ = 0;
     uint64_t choices_ = 0;
+    std::vector<uint64_t> scratch_;     ///< component bit rows
 };
 
 } // namespace vp::core

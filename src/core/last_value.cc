@@ -81,6 +81,25 @@ LastValuePredictor::update(uint64_t pc, uint64_t actual)
         lvTrainEntry(it->second, actual, config_);
 }
 
+void
+LastValuePredictor::trainBatch(const uint64_t *pcs,
+                               const uint64_t *values, size_t n,
+                               uint64_t *valid, uint64_t *correct)
+{
+    for (size_t i = 0; i < n; ++i) {
+        auto [it, inserted] = table_.try_emplace(pcs[i]);
+        if (inserted) {
+            // Cold entry: the scalar predict() would have declined.
+            lvInitEntry(it->second, values[i], config_);
+            continue;
+        }
+        bits::set(valid, i);
+        if (it->second.value == values[i])
+            bits::set(correct, i);
+        lvTrainEntry(it->second, values[i], config_);
+    }
+}
+
 std::string
 LastValuePredictor::name() const
 {

@@ -1,0 +1,20 @@
+#include "core/predictor.hh"
+
+namespace vp::core {
+
+void
+ValuePredictor::evalBatch(const uint64_t *pcs, const uint64_t *values,
+                          size_t n, uint64_t *valid, uint64_t *correct)
+{
+    for (size_t i = 0; i < n; ++i) {
+        const Prediction pred = predict(pcs[i]);
+        if (pred.valid) {
+            bits::set(valid, i);
+            if (pred.value == values[i])
+                bits::set(correct, i);
+        }
+        update(pcs[i], values[i]);
+    }
+}
+
+} // namespace vp::core

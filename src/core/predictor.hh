@@ -12,11 +12,42 @@
 #ifndef VP_CORE_PREDICTOR_HH
 #define VP_CORE_PREDICTOR_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <string>
 
 namespace vp::core {
+
+/**
+ * Word-packed bit rows used by the batched evaluation path: bit i of
+ * a row lives in word i/64. Plain uint64_t words instead of
+ * std::vector<bool> keeps the hot loop free of proxy references and
+ * lets the evaluation harness combine per-predictor outcome rows with
+ * whole-word reads.
+ */
+namespace bits {
+
+/** Words needed for @p n bits. */
+constexpr size_t
+words(size_t n)
+{
+    return (n + 63) / 64;
+}
+
+inline void
+set(uint64_t *row, size_t i)
+{
+    row[i >> 6] |= uint64_t{1} << (i & 63);
+}
+
+inline bool
+test(const uint64_t *row, size_t i)
+{
+    return (row[i >> 6] >> (i & 63)) & 1;
+}
+
+} // namespace bits
 
 /** Outcome of a table lookup. */
 struct Prediction
@@ -69,6 +100,26 @@ class ValuePredictor
      * the cost discussions in Section 4.3 of the paper.
      */
     virtual size_t tableEntries() const = 0;
+
+    /**
+     * Evaluate one batch of events: for each i in [0, n) run the
+     * per-event protocol (predict @p pcs[i], grade against
+     * @p values[i], update) and set bit i of @p valid / @p correct
+     * when the prediction was made / correct. Both rows are
+     * caller-zeroed (bits::words(n) words each).
+     *
+     * The default loops the virtual predict/update pair, so every
+     * predictor is batch-correct by construction; the families
+     * override it with devirtualised loops that also skip redundant
+     * table probes the separate predict()/update() calls must repeat.
+     * Overrides must preserve the scalar path's observable semantics
+     * exactly — same predictions, same table state, same replacement
+     * decisions — which batched_equivalence_test pins; only probe
+     * *counts* (BoundedTable::aliasedPeeks, a simulator-side
+     * diagnostic) may drop when a duplicate lookup is elided.
+     */
+    virtual void evalBatch(const uint64_t *pcs, const uint64_t *values,
+                           size_t n, uint64_t *valid, uint64_t *correct);
 };
 
 using PredictorPtr = std::unique_ptr<ValuePredictor>;

@@ -88,6 +88,23 @@ StridePredictor::update(uint64_t pc, uint64_t actual)
         strideTrainEntry(it->second, actual, config_);
 }
 
+void
+StridePredictor::trainBatch(const uint64_t *pcs, const uint64_t *values,
+                            size_t n, uint64_t *valid, uint64_t *correct)
+{
+    for (size_t i = 0; i < n; ++i) {
+        auto [it, inserted] = table_.try_emplace(pcs[i]);
+        if (inserted) {
+            strideInitEntry(it->second, values[i], config_);
+            continue;
+        }
+        bits::set(valid, i);
+        if (stridePredictValue(it->second) == values[i])
+            bits::set(correct, i);
+        strideTrainEntry(it->second, values[i], config_);
+    }
+}
+
 std::string
 StridePredictor::name() const
 {

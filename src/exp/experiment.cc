@@ -137,6 +137,7 @@ CellScheduler::submit(const std::string &workload,
                 {
                     const std::lock_guard<std::mutex> lock(mutex_);
                     records_[cell_id].wallMs = ms;
+                    records_[cell_id].events = run.exec.predicted;
                     records_[cell_id].predictors = run.predictors;
                     records_[cell_id].done = true;
                 }

@@ -92,6 +92,10 @@ class CellScheduler
         double wallMs = 0.0;
         bool done = false;
 
+        /** Dynamic eligible (predicted) events the cell replayed;
+         *  wallMs * 1e6 / events is the cell's ns-per-event. */
+        uint64_t events = 0;
+
         /** (spec, stats) per predictor, bank order. */
         std::vector<std::pair<std::string, core::PredictionStats>>
                 predictors;

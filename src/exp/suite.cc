@@ -205,8 +205,12 @@ replayedOutcome(const isa::Program &prog, const std::string &name,
         throw std::runtime_error("cannot open trace cache file: " +
                                  vpt.string());
     }
+    // Stream the file through the batched hot path: bounded memory
+    // (one block in flight) and one virtual dispatch per
+    // (predictor, block) instead of two per event.
     vm::TraceReader reader(in);
-    reader.replay(bank);
+    vm::ReaderBatchSource source(reader);
+    sim::replayTrace(source, bank);
 
     outcome.staticPredicted = prog.countPredictedStatic();
     for (int c = 0; c < isa::numCategories; ++c) {

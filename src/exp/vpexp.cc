@@ -236,7 +236,14 @@ resultsJson(const std::vector<ExperimentOutcome> &outcomes,
             << jsonEscape(record.config.flags) << "\", \"scale\": "
             << record.config.scale << ", \"done\": "
             << (record.done ? "true" : "false") << ", \"wallMs\": "
-            << jsonNumber(record.wallMs) << ", \"predictors\": [";
+            << jsonNumber(record.wallMs) << ", \"events\": "
+            << record.events << ", \"nsPerEvent\": "
+            << jsonNumber(record.events
+                                  ? record.wallMs * 1e6 /
+                                            static_cast<double>(
+                                                    record.events)
+                                  : 0.0)
+            << ", \"predictors\": [";
         for (size_t p = 0; p < record.predictors.size(); ++p) {
             const auto &[spec, stats] = record.predictors[p];
             out << (p ? ", " : "") << "{\"spec\": \""

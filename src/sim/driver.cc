@@ -8,7 +8,6 @@ size_t
 PredictorBank::add(core::PredictorPtr predictor)
 {
     members_.push_back(EvaluatedPredictor{std::move(predictor), {}});
-    scratchCorrect_.resize(members_.size());
     return members_.size() - 1;
 }
 
@@ -41,19 +40,23 @@ PredictorBank::trackValues()
 void
 PredictorBank::onValue(const vm::TraceEvent &event)
 {
+    scratchCorrect_.reset(1, members_.size());
+    uint64_t *correct_bits = scratchCorrect_.row(0);
+
     for (size_t i = 0; i < members_.size(); ++i) {
         auto &member = members_[i];
         const auto pred = member.predictor->predict(event.pc);
         const bool correct = pred.valid && pred.value == event.value;
         member.stats.record(event.cat, pred.valid, correct);
-        scratchCorrect_[i] = correct;
+        if (correct)
+            core::bits::set(correct_bits, i);
         member.predictor->update(event.pc, event.value);
     }
 
     if (overlap_) {
         uint32_t mask = 0;
         for (int i = 0; i < overlap_->numPredictors(); ++i) {
-            if (scratchCorrect_[i])
+            if (core::bits::test(correct_bits, static_cast<size_t>(i)))
                 mask |= 1u << i;
         }
         overlap_->record(event.cat, mask);
@@ -61,12 +64,83 @@ PredictorBank::onValue(const vm::TraceEvent &event)
 
     if (improvement_) {
         improvement_->record(event.pc, event.cat,
-                             scratchCorrect_[improveA_],
-                             scratchCorrect_[improveB_]);
+                             core::bits::test(correct_bits, improveA_),
+                             core::bits::test(correct_bits, improveB_));
     }
 
     if (values_)
         values_->record(event.pc, event.cat, event.value);
+}
+
+void
+PredictorBank::onBatch(vm::TraceSpan batch)
+{
+    const size_t n = batch.size();
+    if (n == 0)
+        return;
+
+    // Deinterleave the events into parallel pc/value arrays so the
+    // core layer consumes plain spans without depending on vm types.
+    batchPcs_.resize(n);
+    batchValues_.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+        batchPcs_[i] = batch[i].pc;
+        batchValues_[i] = batch[i].value;
+    }
+
+    batchValid_.reset(members_.size(), n);
+    batchCorrect_.reset(members_.size(), n);
+
+    // One virtual dispatch per (member, batch); each family's
+    // override runs its devirtualised inner loop.
+    for (size_t m = 0; m < members_.size(); ++m) {
+        members_[m].predictor->evalBatch(batchPcs_.data(),
+                                         batchValues_.data(), n,
+                                         batchValid_.row(m),
+                                         batchCorrect_.row(m));
+    }
+
+    // Statistics and trackers are pure accumulators over the outcome
+    // bits, so feeding them member-major here produces exactly the
+    // state the event-major scalar loop builds.
+    for (size_t m = 0; m < members_.size(); ++m) {
+        auto &member = members_[m];
+        const uint64_t *valid = batchValid_.row(m);
+        const uint64_t *correct = batchCorrect_.row(m);
+        for (size_t i = 0; i < n; ++i) {
+            member.stats.record(batch[i].cat, core::bits::test(valid, i),
+                                core::bits::test(correct, i));
+        }
+    }
+
+    if (overlap_) {
+        for (size_t i = 0; i < n; ++i) {
+            uint32_t mask = 0;
+            for (int m = 0; m < overlap_->numPredictors(); ++m) {
+                if (core::bits::test(
+                            batchCorrect_.row(static_cast<size_t>(m)),
+                            i)) {
+                    mask |= 1u << m;
+                }
+            }
+            overlap_->record(batch[i].cat, mask);
+        }
+    }
+
+    if (improvement_) {
+        const uint64_t *a = batchCorrect_.row(improveA_);
+        const uint64_t *b = batchCorrect_.row(improveB_);
+        for (size_t i = 0; i < n; ++i) {
+            improvement_->record(batch[i].pc, batch[i].cat,
+                                 core::bits::test(a, i),
+                                 core::bits::test(b, i));
+        }
+    }
+
+    if (values_) {
+        for (const auto &event : batch)
+            values_->record(event.pc, event.cat, event.value);
+    }
 }
 
 int
@@ -85,6 +159,27 @@ replayTrace(const std::vector<vm::TraceEvent> &events,
 {
     for (const auto &event : events)
         bank.onValue(event);
+}
+
+uint64_t
+replayTrace(vm::TraceBatchSource &source, PredictorBank &bank)
+{
+    uint64_t n = 0;
+    for (;;) {
+        const vm::TraceSpan span = source.nextBatch();
+        if (span.empty())
+            return n;
+        bank.onBatch(span);
+        n += span.size();
+    }
+}
+
+void
+replayTraceBatched(const std::vector<vm::TraceEvent> &events,
+                   PredictorBank &bank, size_t batch)
+{
+    vm::VectorBatchSource source(events, batch);
+    replayTrace(source, bank);
 }
 
 RunOutcome

@@ -20,8 +20,39 @@
 #include "core/stats.hh"
 #include "core/value_profile.hh"
 #include "vm/machine.hh"
+#include "vm/trace.hh"
 
 namespace vp::sim {
+
+/**
+ * Reusable word-packed outcome rows: @c rows bit-vectors of @c n bits
+ * each, in one contiguous allocation that is recycled across batches.
+ * Replaces the bit-proxy overhead of std::vector<bool> on the replay
+ * hot path; bits are addressed with core::bits helpers.
+ */
+class OutcomeBits
+{
+  public:
+    /** Size to @p rows rows of @p n bits and clear every bit. */
+    void
+    reset(size_t rows, size_t n)
+    {
+        rowWords_ = core::bits::words(n);
+        data_.assign(rows * rowWords_, 0);
+    }
+
+    uint64_t *row(size_t r) { return data_.data() + r * rowWords_; }
+
+    const uint64_t *
+    row(size_t r) const
+    {
+        return data_.data() + r * rowWords_;
+    }
+
+  private:
+    std::vector<uint64_t> data_;
+    size_t rowWords_ = 0;
+};
 
 /** One predictor under evaluation together with its statistics. */
 struct EvaluatedPredictor
@@ -61,6 +92,15 @@ class PredictorBank : public vm::TraceSink
 
     void onValue(const vm::TraceEvent &event) override;
 
+    /**
+     * Batched evaluation of a span of events: one virtual dispatch
+     * per (predictor, batch) instead of two per (predictor, event),
+     * then the trackers are fed per event from the outcome bit rows.
+     * Bit-for-bit the same statistics and tracker state as the
+     * per-event protocol — batched_equivalence_test pins this.
+     */
+    void onBatch(vm::TraceSpan batch) override;
+
     size_t size() const { return members_.size(); }
     const EvaluatedPredictor &member(size_t i) const { return members_[i]; }
     EvaluatedPredictor &member(size_t i) { return members_[i]; }
@@ -84,7 +124,13 @@ class PredictorBank : public vm::TraceSink
     std::optional<core::ImprovementTracker> improvement_;
     size_t improveA_ = 0, improveB_ = 0;
     std::optional<core::ValueProfiler> values_;
-    std::vector<bool> scratchCorrect_;
+
+    /** Scalar path: one row, one correctness bit per member. */
+    OutcomeBits scratchCorrect_;
+
+    /** Batch path: one row per member, one bit per event. */
+    OutcomeBits batchValid_, batchCorrect_;
+    std::vector<uint64_t> batchPcs_, batchValues_;
 };
 
 /** Everything produced by one simulated benchmark run. */
@@ -110,10 +156,26 @@ RunOutcome runProgram(const isa::Program &prog, PredictorBank &bank,
  * Replay a recorded value trace into @p bank — the paper's original
  * trace-driven methodology: run the VM once, evaluate many predictor
  * banks against the same stream (see also vm::TraceReader::replay
- * for streaming straight from a trace file).
+ * for streaming straight from a trace file). This is the per-event
+ * reference path the batched variants are tested against.
  */
 void replayTrace(const std::vector<vm::TraceEvent> &events,
                  PredictorBank &bank);
+
+/**
+ * Streaming batched replay: drain @p source span by span through
+ * PredictorBank::onBatch. Memory stays bounded by the source's block
+ * size regardless of trace length (pair with vm::ReaderBatchSource to
+ * stream a trace file). Returns the number of events replayed.
+ */
+uint64_t replayTrace(vm::TraceBatchSource &source, PredictorBank &bank);
+
+/**
+ * Batched replay of an in-memory trace: zero-copy spans of @p batch
+ * events each, dispatched through PredictorBank::onBatch.
+ */
+void replayTraceBatched(const std::vector<vm::TraceEvent> &events,
+                        PredictorBank &bank, size_t batch = 64);
 
 } // namespace vp::sim
 

@@ -6,7 +6,9 @@
 #ifndef VP_VM_TRACE_HH
 #define VP_VM_TRACE_HH
 
+#include <algorithm>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "isa/opcode.hh"
@@ -29,6 +31,9 @@ struct TraceEvent
     uint64_t value;         ///< value written to the destination register
 };
 
+/** Contiguous, read-only view of consecutive trace events. */
+using TraceSpan = std::span<const TraceEvent>;
+
 /** Consumer of the value trace. */
 class TraceSink
 {
@@ -37,6 +42,66 @@ class TraceSink
 
     /** Called once per retired predicted instruction, in order. */
     virtual void onValue(const TraceEvent &event) = 0;
+
+    /**
+     * Called with a span of consecutive events, in order — the hot
+     * path of batched replay (sim::replayTrace). The default simply
+     * loops onValue, so every existing sink works unchanged; sinks
+     * with a cheaper per-batch form (sim::PredictorBank) override it.
+     */
+    virtual void
+    onBatch(TraceSpan batch)
+    {
+        for (const TraceEvent &event : batch)
+            onValue(event);
+    }
+};
+
+/**
+ * Producer of the value trace in batches.
+ *
+ * nextBatch() yields consecutive, non-overlapping spans of the trace
+ * until an empty span signals the end. The span stays valid only
+ * until the next nextBatch() call, which is all batched replay needs:
+ * in-memory sources hand out zero-copy views (VectorBatchSource) and
+ * file sources refill one block buffer (vm::ReaderBatchSource).
+ */
+class TraceBatchSource
+{
+  public:
+    virtual ~TraceBatchSource() = default;
+
+    /** The next span of events; empty at end of trace. */
+    virtual TraceSpan nextBatch() = 0;
+};
+
+/**
+ * Zero-copy batch source over an in-memory event vector: every span
+ * is a view into the vector, no event is ever copied.
+ */
+class VectorBatchSource : public TraceBatchSource
+{
+  public:
+    /** Spans of at most @p batch events (the last one may be short). */
+    explicit VectorBatchSource(const std::vector<TraceEvent> &events,
+                               size_t batch = 64)
+        : events_(events), batch_(batch == 0 ? 1 : batch)
+    {
+    }
+
+    TraceSpan
+    nextBatch() override
+    {
+        const size_t n = std::min(batch_, events_.size() - pos_);
+        const TraceSpan span(events_.data() + pos_, n);
+        pos_ += n;
+        return span;
+    }
+
+  private:
+    const std::vector<TraceEvent> &events_;
+    size_t batch_;
+    size_t pos_ = 0;
 };
 
 /** Fan-out sink forwarding each event to several consumers. */

@@ -167,6 +167,15 @@ TraceReader::next(TraceEvent &event)
     return true;
 }
 
+size_t
+TraceReader::readBatch(TraceEvent *out, size_t max)
+{
+    size_t n = 0;
+    while (n < max && next(out[n]))
+        ++n;
+    return n;
+}
+
 uint64_t
 TraceReader::replay(TraceSink &sink)
 {
@@ -177,6 +186,20 @@ TraceReader::replay(TraceSink &sink)
         ++n;
     }
     return n;
+}
+
+uint64_t
+TraceReader::replayBatched(TraceSink &sink, size_t batch)
+{
+    std::vector<TraceEvent> block(batch == 0 ? 1 : batch);
+    uint64_t n = 0;
+    for (;;) {
+        const size_t got = readBatch(block.data(), block.size());
+        if (got == 0)
+            return n;
+        sink.onBatch(TraceSpan(block.data(), got));
+        n += got;
+    }
 }
 
 void

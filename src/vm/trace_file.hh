@@ -85,14 +85,53 @@ class TraceReader
      */
     bool next(TraceEvent &event);
 
+    /**
+     * Decode up to @p max events into @p out (the block-buffered read
+     * batched replay streams from). Returns the number decoded; 0 at
+     * end of trace.
+     */
+    size_t readBatch(TraceEvent *out, size_t max);
+
     /** Replay the remaining events into @p sink; returns the count. */
     uint64_t replay(TraceSink &sink);
+
+    /**
+     * Replay the remaining events as TraceSink::onBatch spans of
+     * @p batch events, decoding through one reused block buffer —
+     * bounded memory regardless of trace length. Returns the count.
+     */
+    uint64_t replayBatched(TraceSink &sink, size_t batch = 4096);
 
   private:
     std::istream &in_;
     uint64_t count_ = 0;
     uint64_t seen_ = 0;
     uint64_t lastPc_ = 0;
+};
+
+/**
+ * TraceBatchSource streaming from a TraceReader through one reused
+ * block buffer: long traces replay in bounded memory instead of being
+ * materialised by readTraceFile.
+ */
+class ReaderBatchSource : public TraceBatchSource
+{
+  public:
+    explicit ReaderBatchSource(TraceReader &reader, size_t batch = 4096)
+        : reader_(reader), block_(batch == 0 ? 1 : batch)
+    {
+    }
+
+    TraceSpan
+    nextBatch() override
+    {
+        const size_t n = reader_.readBatch(block_.data(), block_.size());
+        return TraceSpan(block_.data(), n);
+    }
+
+  private:
+    TraceReader &reader_;
+    std::vector<TraceEvent> block_;
 };
 
 /** Convenience: record a whole event vector to a file. */
