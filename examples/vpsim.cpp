@@ -196,7 +196,9 @@ cmdRecord(const std::string &workload, const std::string &path,
         std::fprintf(stderr, "cannot open %s\n", path.c_str());
         return 1;
     }
-    vm::TraceWriter writer(out);
+    // VPT2: blocked, deflated, seekable. `analyze` auto-detects, so
+    // old VPT1 recordings stay readable.
+    vm::Vpt2Writer writer(out);
     vm::Machine machine;
     machine.setSink(&writer);
     const auto prog =
@@ -222,11 +224,11 @@ cmdAnalyze(const std::string &path, const Options &options)
         std::fprintf(stderr, "cannot open %s\n", path.c_str());
         return 1;
     }
-    vm::TraceReader reader(in);
+    const auto reader = vm::openTrace(in);
     sim::PredictorBank bank;
     for (const auto &spec : options.predictors)
         bank.add(exp::makePredictor(spec));
-    const auto n = reader.replay(bank);
+    const auto n = reader->replay(bank);
     std::printf("%s:\n", path.c_str());
     printReport(bank, 0, n, options.byCategory);
     return 0;

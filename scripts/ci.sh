@@ -49,6 +49,9 @@ if [[ -z "${VP_CTEST_LABEL:-}" || "${VP_CTEST_LABEL}" == "perf" ]]; then
     else
         echo "    perf_predictors not built (no google-benchmark); skipped"
     fi
+    echo "==> perf smoke (trace campaign: VPT2 sizes + region replay)"
+    ./build/bench/trace_campaign_bench --out build/BENCH_campaign.json
+    echo "    wrote build/BENCH_campaign.json"
 fi
 
 echo "==> sanitized configuration (ASan + UBSan)"

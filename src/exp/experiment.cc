@@ -21,6 +21,19 @@ normalizeCellOptions(SuiteOptions options, const ExperimentConfig &config)
         // canonicalise so off-requests always share a dedup key.
         options.improvementA = options.improvementB = 0;
     }
+    if (options.regions <= 1) {
+        // Cells adopt the run-wide region split unless the suite
+        // asked for its own.
+        options.regions = std::max(1u, config.regions);
+        options.warmupEvents = config.warmupEvents;
+    }
+    if (!regionReplayApplies(options)) {
+        // Trackers hold per-static state that does not merge across
+        // regions: those cells replay whole. Canonicalise the then-
+        // unused warm-up so equal work shares a dedup key.
+        options.regions = 1;
+        options.warmupEvents = defaultWarmupEvents;
+    }
     return options;
 }
 
@@ -40,7 +53,8 @@ cellKey(const std::string &workload, const SuiteOptions &options)
         << '\x1f' << options.overlap << '\x1f' << options.improvementA
         << '\x1f' << options.improvementB << '\x1f' << options.values
         << '\x1f' << options.traceReplay << '\x1f'
-        << options.traceCacheDir << '\x1f';
+        << options.traceCacheDir << '\x1f' << options.regions << '\x1f'
+        << options.warmupEvents << '\x1f';
     for (const auto &spec : options.predictors)
         key << spec << '\x1e';
     return key.str();
@@ -92,7 +106,7 @@ void
 CellScheduler::workerLoop()
 {
     for (;;) {
-        std::packaged_task<BenchmarkRun()> task;
+        std::packaged_task<void()> task;
         {
             std::unique_lock<std::mutex> lock(mutex_);
             available_.wait(lock,
@@ -105,6 +119,27 @@ CellScheduler::workerLoop()
         task();
     }
 }
+
+/**
+ * Shared state of one region-split cell: W region tasks feed it, the
+ * last one to finish merges the partials (or picks the first error in
+ * region order, so failures are deterministic under any scheduling)
+ * and fulfills the cell's promise.
+ */
+struct CellScheduler::RegionAssembly
+{
+    std::string workload;
+    SuiteOptions options;
+    size_t cellId = 0;
+    std::promise<BenchmarkRun> promise;
+
+    std::mutex mutex;
+    bool started = false;
+    std::chrono::steady_clock::time_point start;
+    unsigned remaining = 0;
+    std::vector<RegionPartial> partials;
+    std::vector<std::exception_ptr> errors;     ///< slot per region
+};
 
 std::shared_future<BenchmarkRun>
 CellScheduler::submit(const std::string &workload,
@@ -123,11 +158,88 @@ CellScheduler::submit(const std::string &workload,
     CellRecord record;
     record.workload = workload;
     record.config = options.config;
+    record.regions = regionReplayApplies(options) ? options.regions : 1;
     records_.push_back(std::move(record));
 
-    std::packaged_task<BenchmarkRun()> task(
-            [this, cell_id, workload, options] {
-                using Clock = std::chrono::steady_clock;
+    using Clock = std::chrono::steady_clock;
+    std::shared_future<BenchmarkRun> future;
+
+    if (regionReplayApplies(options)) {
+        auto assembly = std::make_shared<RegionAssembly>();
+        assembly->workload = workload;
+        assembly->options = options;
+        assembly->cellId = cell_id;
+        assembly->remaining = options.regions;
+        assembly->partials.reserve(options.regions);
+        assembly->errors.resize(options.regions);
+        future = assembly->promise.get_future().share();
+
+        for (unsigned r = 0; r < options.regions; ++r) {
+            queue_.emplace_back([this, assembly, r] {
+                {
+                    const std::lock_guard<std::mutex> lock(
+                            assembly->mutex);
+                    if (!assembly->started) {
+                        assembly->started = true;
+                        assembly->start = Clock::now();
+                    }
+                }
+                RegionPartial partial;
+                std::exception_ptr error;
+                try {
+                    partial = runBenchmarkRegion(assembly->workload,
+                                                 assembly->options, r);
+                } catch (...) {
+                    error = std::current_exception();
+                }
+                bool last = false;
+                {
+                    const std::lock_guard<std::mutex> lock(
+                            assembly->mutex);
+                    if (error)
+                        assembly->errors[r] = error;
+                    else
+                        assembly->partials.push_back(std::move(partial));
+                    last = --assembly->remaining == 0;
+                }
+                if (!last)
+                    return;
+                // Sole owner of the assembly's data from here on.
+                for (auto &err : assembly->errors) {
+                    if (err) {
+                        assembly->promise.set_exception(err);
+                        return;
+                    }
+                }
+                try {
+                    BenchmarkRun run = mergeRegionPartials(
+                            assembly->workload, assembly->options,
+                            std::move(assembly->partials));
+                    const double ms =
+                            std::chrono::duration<double, std::milli>(
+                                    Clock::now() - assembly->start)
+                                    .count();
+                    {
+                        const std::lock_guard<std::mutex> lock(mutex_);
+                        auto &rec = records_[assembly->cellId];
+                        rec.wallMs = ms;
+                        rec.events = run.exec.predicted;
+                        rec.predictors = run.predictors;
+                        rec.done = true;
+                    }
+                    assembly->promise.set_value(std::move(run));
+                } catch (...) {
+                    assembly->promise.set_exception(
+                            std::current_exception());
+                }
+            });
+        }
+        available_.notify_all();
+    } else {
+        auto promise = std::make_shared<std::promise<BenchmarkRun>>();
+        future = promise->get_future().share();
+        queue_.emplace_back([this, cell_id, workload, options, promise] {
+            try {
                 const auto start = Clock::now();
                 BenchmarkRun run = runBenchmark(workload, options);
                 const double ms =
@@ -141,12 +253,15 @@ CellScheduler::submit(const std::string &workload,
                     records_[cell_id].predictors = run.predictors;
                     records_[cell_id].done = true;
                 }
-                return run;
-            });
-    auto future = task.get_future().share();
+                promise->set_value(std::move(run));
+            } catch (...) {
+                promise->set_exception(std::current_exception());
+            }
+        });
+        available_.notify_one();
+    }
+
     cells_.emplace(key, std::make_pair(cell_id, future));
-    queue_.push_back(std::move(task));
-    available_.notify_one();
     if (id)
         *id = cell_id;
     return future;

@@ -58,6 +58,18 @@ struct ExperimentConfig
      * per-process temp cache (see SuiteOptions::traceCacheDir).
      */
     std::string traceCacheDir;
+
+    /**
+     * Split every cell's trace into this many regions replayed as
+     * separate tasks on the worker pool, merging per-region stats
+     * (`vpexp --regions`). Cells with trackers enabled fall back to a
+     * single whole-trace task. 1 = today's serial replay,
+     * byte-identical results.
+     */
+    unsigned regions = 1;
+
+    /** Warm-up window per region (`vpexp --warmup`). */
+    uint64_t warmupEvents = defaultWarmupEvents;
 };
 
 /** The workload scale --dry-run shrinks to (same as smoke_test). */
@@ -95,6 +107,9 @@ class CellScheduler
         /** Dynamic eligible (predicted) events the cell replayed;
          *  wallMs * 1e6 / events is the cell's ns-per-event. */
         uint64_t events = 0;
+
+        /** Regions the cell's replay was split into (1 = serial). */
+        unsigned regions = 1;
 
         /** (spec, stats) per predictor, bank order. */
         std::vector<std::pair<std::string, core::PredictionStats>>
@@ -135,6 +150,8 @@ class CellScheduler
     std::vector<CellRecord> records() const;
 
   private:
+    struct RegionAssembly;
+
     std::shared_future<BenchmarkRun> submit(const std::string &workload,
                                             const SuiteOptions &options,
                                             size_t *id);
@@ -146,7 +163,14 @@ class CellScheduler
     mutable std::mutex mutex_;
     std::condition_variable available_;
     bool stop_ = false;
-    std::deque<std::packaged_task<BenchmarkRun()>> queue_;
+    /**
+     * Unit of worker execution. A serial cell is one task fulfilling
+     * its promise directly; a region-split cell enqueues one task per
+     * region and the last region to finish merges and fulfills — no
+     * task ever blocks on another task, so any worker count
+     * (including 1) drains the queue without deadlock.
+     */
+    std::deque<std::packaged_task<void()>> queue_;
     std::map<std::string,
              std::pair<size_t, std::shared_future<BenchmarkRun>>>
             cells_;

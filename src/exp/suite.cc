@@ -1,5 +1,6 @@
 #include "exp/suite.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <filesystem>
@@ -124,7 +125,10 @@ readTraceMeta(const fs::path &path, vm::ExecStats &stats)
  *  Both files land via rename so readers never see partial writes;
  *  the tmp names carry the PID so two processes cold-starting a
  *  *shared* cache dir never interleave writes — each renames a
- *  complete recording and last-writer-wins. */
+ *  complete recording and last-writer-wins. If anything throws
+ *  between write and rename, both tmp files are removed before the
+ *  error propagates (a shared cache dir must not accumulate orphans).
+ */
 void
 recordTrace(const isa::Program &prog, const fs::path &base)
 {
@@ -132,45 +136,97 @@ recordTrace(const isa::Program &prog, const fs::path &base)
     const fs::path vpt_tmp = base.string() + ".vpt.tmp." + pid;
     const fs::path meta_tmp = base.string() + ".meta.tmp." + pid;
 
-    vm::RunResult result;
-    {
-        std::ofstream out(vpt_tmp, std::ios::binary | std::ios::trunc);
-        if (!out) {
-            throw std::runtime_error("cannot write trace cache file: " +
-                                     vpt_tmp.string());
+    try {
+        vm::RunResult result;
+        {
+            std::ofstream out(vpt_tmp,
+                              std::ios::binary | std::ios::trunc);
+            if (!out) {
+                throw std::runtime_error(
+                        "cannot write trace cache file: " +
+                        vpt_tmp.string());
+            }
+            // VPT2: blocked + deflated + seekable, which is what the
+            // region replay path needs; readers auto-detect, so a
+            // shared cache dir holding old VPT1 recordings still
+            // replays fine.
+            vm::Vpt2Writer writer(out);
+            vm::Machine machine;
+            machine.setSink(&writer);
+            result = machine.run(prog);
+            if (!result.ok()) {
+                throw std::runtime_error(
+                        "workload '" + prog.name +
+                        "' did not halt cleanly: " +
+                        vm::exitReasonName(result.reason) +
+                        (result.diagnostic.empty()
+                                 ? ""
+                                 : " (" + result.diagnostic + ")"));
+            }
+            writer.finish();
+            if (!out) {
+                throw std::runtime_error(
+                        "failed writing trace cache file: " +
+                        vpt_tmp.string());
+            }
         }
-        vm::TraceWriter writer(out);
-        vm::Machine machine;
-        machine.setSink(&writer);
-        result = machine.run(prog);
-        if (!result.ok()) {
-            throw std::runtime_error(
-                    "workload '" + prog.name +
-                    "' did not halt cleanly: " +
-                    vm::exitReasonName(result.reason) +
-                    (result.diagnostic.empty()
-                             ? "" : " (" + result.diagnostic + ")"));
+        {
+            std::ofstream meta(meta_tmp, std::ios::trunc);
+            meta << "VPMETA1\n"
+                 << result.stats.retired << " "
+                 << result.stats.predicted << "\n";
+            for (int c = 0; c < isa::numCategories; ++c)
+                meta << result.stats.byCategory[c] << "\n";
+            if (!meta) {
+                throw std::runtime_error(
+                        "cannot write trace cache meta: " +
+                        meta_tmp.string());
+            }
         }
-        writer.finish();
-        if (!out) {
-            throw std::runtime_error("failed writing trace cache file: " +
-                                     vpt_tmp.string());
+        fs::rename(vpt_tmp, fs::path(base.string() + ".vpt"));
+        fs::rename(meta_tmp, fs::path(base.string() + ".meta"));
+    } catch (...) {
+        std::error_code ec;         // best effort; keep the real error
+        fs::remove(vpt_tmp, ec);
+        fs::remove(meta_tmp, ec);
+        throw;
+    }
+}
+
+/**
+ * Ensure the workload's trace and sidecar are on disk (executing the
+ * VM only if the cache is cold or unreadable); fills @p stats from
+ * the sidecar and returns the cache base path.
+ */
+fs::path
+ensureTraceRecorded(const isa::Program &prog, const std::string &name,
+                    const SuiteOptions &options, vm::ExecStats &stats)
+{
+    const fs::path base = traceCacheBase(name, options);
+    const fs::path vpt = base.string() + ".vpt";
+    const fs::path meta = base.string() + ".meta";
+
+    const std::lock_guard<std::mutex> lock(traceCacheMutex(base));
+    if (!fs::exists(vpt) || !readTraceMeta(meta, stats)) {
+        recordTrace(prog, base);
+        if (!readTraceMeta(meta, stats)) {
+            throw std::runtime_error("unreadable trace cache meta: " +
+                                     meta.string());
         }
     }
-    {
-        std::ofstream meta(meta_tmp, std::ios::trunc);
-        meta << "VPMETA1\n"
-             << result.stats.retired << " " << result.stats.predicted
-             << "\n";
-        for (int c = 0; c < isa::numCategories; ++c)
-            meta << result.stats.byCategory[c] << "\n";
-        if (!meta) {
-            throw std::runtime_error("cannot write trace cache meta: " +
-                                     meta_tmp.string());
-        }
+    return base;
+}
+
+/** Open a cached trace with the cache path in any error message. */
+std::ifstream
+openCachedTrace(const fs::path &vpt)
+{
+    std::ifstream in(vpt, std::ios::binary);
+    if (!in) {
+        throw std::runtime_error("cannot open trace cache file: " +
+                                 vpt.string());
     }
-    fs::rename(vpt_tmp, fs::path(base.string() + ".vpt"));
-    fs::rename(meta_tmp, fs::path(base.string() + ".meta"));
+    return in;
 }
 
 /**
@@ -182,35 +238,28 @@ sim::RunOutcome
 replayedOutcome(const isa::Program &prog, const std::string &name,
                 const SuiteOptions &options, sim::PredictorBank &bank)
 {
-    const fs::path base = traceCacheBase(name, options);
-    const fs::path vpt = base.string() + ".vpt";
-    const fs::path meta = base.string() + ".meta";
-
     sim::RunOutcome outcome;
     outcome.workload = prog.name;
-    {
-        const std::lock_guard<std::mutex> lock(traceCacheMutex(base));
-        if (!fs::exists(vpt) ||
-            !readTraceMeta(meta, outcome.vmResult.stats)) {
-            recordTrace(prog, base);
-            if (!readTraceMeta(meta, outcome.vmResult.stats)) {
-                throw std::runtime_error(
-                        "unreadable trace cache meta: " + meta.string());
-            }
-        }
-    }
+    const fs::path base = ensureTraceRecorded(prog, name, options,
+                                              outcome.vmResult.stats);
+    const fs::path vpt = base.string() + ".vpt";
 
-    std::ifstream in(vpt, std::ios::binary);
-    if (!in) {
-        throw std::runtime_error("cannot open trace cache file: " +
-                                 vpt.string());
+    std::ifstream in = openCachedTrace(vpt);
+    try {
+        // Stream the file through the batched hot path: bounded
+        // memory (one block in flight) and one virtual dispatch per
+        // (predictor, block) instead of two per event.
+        const auto cursor = vm::openTrace(in);
+        vm::ReaderBatchSource source(*cursor);
+        sim::replayTrace(source, bank);
+        // A cached trace with bytes beyond its promised event count
+        // is corrupt (a partial overwrite, a concatenated file): the
+        // stats above would silently describe a truncated stream.
+        cursor->expectEnd();
+    } catch (const vm::TraceFileError &error) {
+        throw std::runtime_error("corrupt trace cache file " +
+                                 vpt.string() + ": " + error.what());
     }
-    // Stream the file through the batched hot path: bounded memory
-    // (one block in flight) and one virtual dispatch per
-    // (predictor, block) instead of two per event.
-    vm::TraceReader reader(in);
-    vm::ReaderBatchSource source(reader);
-    sim::replayTrace(source, bank);
 
     outcome.staticPredicted = prog.countPredictedStatic();
     for (int c = 0; c < isa::numCategories; ++c) {
@@ -222,9 +271,134 @@ replayedOutcome(const isa::Program &prog, const std::string &name,
 
 } // anonymous namespace
 
+std::vector<TraceRegion>
+planTraceRegions(uint64_t events, unsigned regions)
+{
+    if (regions == 0)
+        regions = 1;
+    std::vector<TraceRegion> plan(regions);
+    const uint64_t base = events / regions;
+    const uint64_t rem = events % regions;
+    uint64_t begin = 0;
+    for (unsigned r = 0; r < regions; ++r) {
+        const uint64_t size = base + (r < rem ? 1 : 0);
+        plan[r] = TraceRegion{begin, begin + size};
+        begin += size;
+    }
+    return plan;
+}
+
+bool
+regionReplayApplies(const SuiteOptions &options)
+{
+    return options.traceReplay && options.regions > 1 &&
+           options.overlap == 0 &&
+           options.improvementA == options.improvementB &&
+           !options.values;
+}
+
+RegionPartial
+runBenchmarkRegion(const std::string &name, const SuiteOptions &options,
+                   unsigned region)
+{
+    if (!options.traceReplay) {
+        throw std::invalid_argument(
+                "runBenchmarkRegion requires traceReplay");
+    }
+    if (region >= std::max(1u, options.regions))
+        throw std::invalid_argument("region index out of range");
+
+    const auto &info = workloads::findWorkload(name);
+    const auto prog = info.build(options.config);
+
+    vm::ExecStats stats;
+    const fs::path base =
+            ensureTraceRecorded(prog, name, options, stats);
+    const fs::path vpt = base.string() + ".vpt";
+
+    sim::PredictorBank bank;
+    for (const auto &spec : options.predictors)
+        bank.add(makePredictor(spec));
+
+    RegionPartial partial;
+    partial.region = region;
+    std::ifstream in = openCachedTrace(vpt);
+    try {
+        const auto cursor = vm::openTrace(in);
+        const auto plan = planTraceRegions(cursor->eventCount(),
+                                           options.regions);
+        const TraceRegion &r = plan.at(region);
+        if (r.begin < r.end) {
+            vm::TraceRegionReader reader(*cursor, r.begin, r.end,
+                                         options.warmupEvents);
+            partial.events = sim::replayTraceRegion(reader, bank);
+        }
+    } catch (const vm::TraceFileError &error) {
+        throw std::runtime_error("corrupt trace cache file " +
+                                 vpt.string() + ": " + error.what());
+    }
+
+    partial.stats.reserve(bank.size());
+    for (size_t i = 0; i < bank.size(); ++i)
+        partial.stats.push_back(bank.member(i).stats);
+    return partial;
+}
+
+BenchmarkRun
+mergeRegionPartials(const std::string &name, const SuiteOptions &options,
+                    std::vector<RegionPartial> partials)
+{
+    const unsigned regions = std::max(1u, options.regions);
+    if (partials.size() != regions) {
+        throw std::invalid_argument(
+                "mergeRegionPartials: wrong partial count");
+    }
+    std::sort(partials.begin(), partials.end(),
+              [](const RegionPartial &a, const RegionPartial &b) {
+                  return a.region < b.region;
+              });
+    for (unsigned r = 0; r < regions; ++r) {
+        if (partials[r].region != r ||
+            partials[r].stats.size() != options.predictors.size()) {
+            throw std::invalid_argument(
+                    "mergeRegionPartials: inconsistent partials");
+        }
+    }
+
+    const auto &info = workloads::findWorkload(name);
+    const auto prog = info.build(options.config);
+
+    BenchmarkRun run;
+    run.name = name;
+    ensureTraceRecorded(prog, name, options, run.exec);
+    run.staticPredicted = prog.countPredictedStatic();
+    for (int c = 0; c < isa::numCategories; ++c) {
+        run.staticByCategory[c] =
+                prog.countPredictedStatic(static_cast<isa::Category>(c));
+    }
+    for (size_t i = 0; i < options.predictors.size(); ++i) {
+        core::PredictionStats merged;
+        for (const auto &partial : partials)
+            merged.merge(partial.stats[i]);
+        run.predictors.emplace_back(options.predictors[i], merged);
+    }
+    return run;
+}
+
 BenchmarkRun
 runBenchmark(const std::string &name, const SuiteOptions &options)
 {
+    if (regionReplayApplies(options)) {
+        // The region path replayed serially — this is the reference
+        // semantics the CellScheduler's parallel fan-out reproduces
+        // exactly (stats merge is associative over regions).
+        std::vector<RegionPartial> partials;
+        partials.reserve(options.regions);
+        for (unsigned r = 0; r < options.regions; ++r)
+            partials.push_back(runBenchmarkRegion(name, options, r));
+        return mergeRegionPartials(name, options, std::move(partials));
+    }
+
     const auto &info = workloads::findWorkload(name);
     const auto prog = info.build(options.config);
 

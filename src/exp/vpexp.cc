@@ -25,12 +25,19 @@ const char *const usageText =
         "usage: vpexp [--list] [--all] [experiment ...]\n"
         "             [--dry-run] [--jobs N] [--out DIR]\n"
         "             [--format table,csv,json] [--trace-cache DIR]\n"
+        "             [--regions W] [--warmup N]\n"
         "\n"
         "  --list         list registered experiments and exit\n"
         "  --spec-help    print the predictor spec grammar and exit\n"
         "  --all          run every registered experiment\n"
         "  --dry-run      shrink workloads to smoke scale\n"
         "  --jobs N       cell worker threads (default: hardware)\n"
+        "  --regions W    split each cell's trace into W regions\n"
+        "                 replayed as separate pool tasks, stats\n"
+        "                 merged (default 1 = exact serial replay;\n"
+        "                 W>1 drifts <=0.1pp at the default warmup)\n"
+        "  --warmup N     events replayed before each region to train\n"
+        "                 tables, excluded from stats (default 131072)\n"
         "  --out DIR      write <exp>.txt, <exp>.<table>.csv and\n"
         "                 BENCH_results.json under DIR\n"
         "  --format LIST  comma list of table,csv,json\n"
@@ -48,6 +55,8 @@ struct DriverOptions
     bool dryRun = false;
     bool help = false;
     unsigned jobs = 0;
+    unsigned regions = 1;
+    uint64_t warmup = defaultWarmupEvents;
     std::string out;
     std::string formatList;     // raw --format value; empty = default
     std::string traceCacheDir;
@@ -108,6 +117,34 @@ parseArgs(int argc, const char *const *argv)
             } catch (const std::exception &) {
                 options.ok = false;
                 options.error = "bad --jobs value: " + value;
+            }
+        } else if (takeValue(arg, "--regions", argc, argv, i, value,
+                             options)) {
+            if (!options.ok)
+                break;
+            try {
+                size_t consumed = 0;
+                const int regions = std::stoi(value, &consumed);
+                if (regions < 1 || consumed != value.size())
+                    throw std::invalid_argument(value);
+                options.regions = static_cast<unsigned>(regions);
+            } catch (const std::exception &) {
+                options.ok = false;
+                options.error = "bad --regions value: " + value;
+            }
+        } else if (takeValue(arg, "--warmup", argc, argv, i, value,
+                             options)) {
+            if (!options.ok)
+                break;
+            try {
+                size_t consumed = 0;
+                const long long warmup = std::stoll(value, &consumed);
+                if (warmup < 0 || consumed != value.size())
+                    throw std::invalid_argument(value);
+                options.warmup = static_cast<uint64_t>(warmup);
+            } catch (const std::exception &) {
+                options.ok = false;
+                options.error = "bad --warmup value: " + value;
             }
         } else if (takeValue(arg, "--out", argc, argv, i, value,
                              options)) {
@@ -201,6 +238,8 @@ resultsJson(const std::vector<ExperimentOutcome> &outcomes,
     out << "\"dryRun\": " << (options.dryRun ? "true" : "false")
         << ",\n";
     out << "\"jobs\": " << scheduler.workers() << ",\n";
+    out << "\"regions\": " << options.regions << ",\n";
+    out << "\"warmupEvents\": " << options.warmup << ",\n";
     out << "\"wallMs\": " << jsonNumber(total_ms) << ",\n";
     out << "\"uniqueCells\": " << scheduler.uniqueCells() << ",\n";
     out << "\"requestedCells\": " << scheduler.requestedCells()
@@ -236,7 +275,8 @@ resultsJson(const std::vector<ExperimentOutcome> &outcomes,
             << jsonEscape(record.config.flags) << "\", \"scale\": "
             << record.config.scale << ", \"done\": "
             << (record.done ? "true" : "false") << ", \"wallMs\": "
-            << jsonNumber(record.wallMs) << ", \"events\": "
+            << jsonNumber(record.wallMs) << ", \"regions\": "
+            << record.regions << ", \"events\": "
             << record.events << ", \"nsPerEvent\": "
             << jsonNumber(record.events
                                   ? record.wallMs * 1e6 /
@@ -336,6 +376,8 @@ vpexpMain(int argc, const char *const *argv)
     ExperimentConfig config;
     config.dryRun = options.dryRun;
     config.traceCacheDir = options.traceCacheDir;
+    config.regions = options.regions;
+    config.warmupEvents = options.warmup;
 
     using Clock = std::chrono::steady_clock;
     const auto run_start = Clock::now();

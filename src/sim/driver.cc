@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "vm/trace_file.hh"
+
 namespace vp::sim {
 
 size_t
@@ -45,13 +47,20 @@ PredictorBank::onValue(const vm::TraceEvent &event)
 
     for (size_t i = 0; i < members_.size(); ++i) {
         auto &member = members_[i];
+        // predict() is not const — it can advance recency stamps and
+        // confidence state — so warm-up still runs the full protocol
+        // and only the accumulators below are gated.
         const auto pred = member.predictor->predict(event.pc);
         const bool correct = pred.valid && pred.value == event.value;
-        member.stats.record(event.cat, pred.valid, correct);
+        if (!warmup_)
+            member.stats.record(event.cat, pred.valid, correct);
         if (correct)
             core::bits::set(correct_bits, i);
         member.predictor->update(event.pc, event.value);
     }
+
+    if (warmup_)
+        return;
 
     if (overlap_) {
         uint32_t mask = 0;
@@ -102,7 +111,11 @@ PredictorBank::onBatch(vm::TraceSpan batch)
 
     // Statistics and trackers are pure accumulators over the outcome
     // bits, so feeding them member-major here produces exactly the
-    // state the event-major scalar loop builds.
+    // state the event-major scalar loop builds. Warm-up spans train
+    // the tables (evalBatch above) but feed no accumulator.
+    if (warmup_)
+        return;
+
     for (size_t m = 0; m < members_.size(); ++m) {
         auto &member = members_[m];
         const uint64_t *valid = batchValid_.row(m);
@@ -172,6 +185,23 @@ replayTrace(vm::TraceBatchSource &source, PredictorBank &bank)
         bank.onBatch(span);
         n += span.size();
     }
+}
+
+uint64_t
+replayTraceRegion(vm::TraceRegionReader &region, PredictorBank &bank)
+{
+    uint64_t n = 0;
+    for (;;) {
+        const vm::TraceSpan span = region.nextBatch();
+        if (span.empty())
+            break;
+        bank.setWarmup(region.lastSpanWarmup());
+        bank.onBatch(span);
+        if (!region.lastSpanWarmup())
+            n += span.size();
+    }
+    bank.setWarmup(false);
+    return n;
 }
 
 void

@@ -22,6 +22,10 @@
 #include "vm/machine.hh"
 #include "vm/trace.hh"
 
+namespace vp::vm {
+class TraceRegionReader;
+} // namespace vp::vm
+
 namespace vp::sim {
 
 /**
@@ -90,6 +94,16 @@ class PredictorBank : public vm::TraceSink
     /** Enable unique-value profiling (Figure 10). */
     void trackValues();
 
+    /**
+     * Warm-up mode: events still run the full evaluation protocol
+     * (predict + update, so tables, recency stamps and confidence
+     * counters train exactly as live), but statistics and trackers are
+     * not fed. Region-parallel replay uses this for the window before
+     * a region so mid-trace regions start from trained tables.
+     */
+    void setWarmup(bool warmup) { warmup_ = warmup; }
+    bool warmup() const { return warmup_; }
+
     void onValue(const vm::TraceEvent &event) override;
 
     /**
@@ -120,6 +134,7 @@ class PredictorBank : public vm::TraceSink
 
   private:
     std::vector<EvaluatedPredictor> members_;
+    bool warmup_ = false;
     std::unique_ptr<core::OverlapTracker> overlap_;
     std::optional<core::ImprovementTracker> improvement_;
     size_t improveA_ = 0, improveB_ = 0;
@@ -169,6 +184,15 @@ void replayTrace(const std::vector<vm::TraceEvent> &events,
  * stream a trace file). Returns the number of events replayed.
  */
 uint64_t replayTrace(vm::TraceBatchSource &source, PredictorBank &bank);
+
+/**
+ * Replay one region of a recorded trace: warm-up spans train the bank
+ * with statistics gated off (PredictorBank::setWarmup), region spans
+ * count. Returns the number of region (non-warm-up) events replayed;
+ * the bank is left with warm-up off.
+ */
+uint64_t replayTraceRegion(vm::TraceRegionReader &region,
+                           PredictorBank &bank);
 
 /**
  * Batched replay of an in-memory trace: zero-copy spans of @p batch

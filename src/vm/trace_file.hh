@@ -1,18 +1,41 @@
 /**
  * @file
- * Value-trace file format: record a trace once, replay it into
+ * Value-trace file formats: record a trace once, replay it into
  * predictor banks many times.
  *
  * The original study was trace-driven (SimpleScalar traces); this is
- * the equivalent facility. The format is a compact binary stream:
+ * the equivalent facility. Two on-disk formats share one event
+ * encoding (delta + varint):
+ *
+ * VPT1 — flat stream, the original format (still fully readable):
  *
  *   header:  magic "VPT1" | u32 reserved | u64 event count
  *   events:  per event, delta-encoded:
  *            u8  tag  = (opcode)
  *            varint pc-delta (zig-zag)  | varint value (raw LEB128)
  *
+ * VPT2 — blocked, compressed, seekable; the campaign format written
+ * by the suite trace cache (see README "Trace files"):
+ *
+ *   header:  magic "VPT2" | u32 flags | u64 reserved
+ *   blocks:  u32 events (>0) | u32 rawBytes | u32 encBytes
+ *            | u8 codec (0 raw, 1 zlib deflate) | encBytes payload
+ *            — each block is self-contained: the pc-delta chain
+ *            restarts (lastPc = 0) at every block boundary, so a
+ *            reader can start decoding at any block.
+ *   endmark: u32 0 (a real block never holds zero events)
+ *   index:   u64 blockCount
+ *            | per block: u64 fileOffset | u64 firstEvent | u32 events
+ *   trailer: u64 indexOffset | u64 totalEvents | magic "VP2X"
+ *
+ * The writer never seeks (counts live in the trailer), so VPT2 can be
+ * written to a pipe; a reader on a seekable stream loads the index
+ * from the trailer and can seekToEvent() any position by binary
+ * search, which is what region-parallel replay is built on.
+ *
  * PC deltas and LEB128 exploit trace locality; typical traces shrink
- * to a few bytes per event.
+ * to a few bytes per event, and the per-block deflate pass shrinks
+ * VPT2 well below VPT1 (pinned by trace_file_test when zlib is in).
  */
 
 #ifndef VP_VM_TRACE_FILE_HH
@@ -20,6 +43,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -36,8 +60,11 @@ struct TraceFileError : std::runtime_error
     {}
 };
 
+/** True when this build can deflate/inflate VPT2 blocks (zlib). */
+bool traceFileZlibAvailable();
+
 /**
- * Streaming trace writer; usable directly as the VM's TraceSink.
+ * Streaming VPT1 trace writer; usable directly as the VM's TraceSink.
  *
  * @code
  *   std::ofstream out("gcc.vpt", std::ios::binary);
@@ -54,7 +81,13 @@ class TraceWriter : public TraceSink
 
     void onValue(const TraceEvent &event) override;
 
-    /** Flush and backpatch the header. Must be called once. */
+    /**
+     * Flush and backpatch the header. Must be called once.
+     * @throws TraceFileError if the backpatch seek or write fails
+     * (e.g. a non-seekable pipe sink) — without it the header count
+     * would silently stay 0 and every event would be dropped on
+     * replay. Use Vpt2Writer for non-seekable sinks.
+     */
     void finish();
 
     uint64_t eventCount() const { return count_; }
@@ -67,15 +100,76 @@ class TraceWriter : public TraceSink
 };
 
 /**
- * Streaming trace reader: replays a recorded trace into a sink.
+ * Streaming VPT2 trace writer: fixed-size self-contained blocks, an
+ * event-index footer, optional per-block deflate. Never seeks, so
+ * any ostream (including a pipe) works as the sink.
  */
-class TraceReader
+class Vpt2Writer : public TraceSink
 {
   public:
-    explicit TraceReader(std::istream &in);
+    /**
+     * @param blockEvents events per block — the seek granularity; the
+     *        default matches the replay batch size.
+     * @param compress deflate blocks when zlib is available and the
+     *        deflated form is smaller (blocks record their own codec,
+     *        so mixed files are fine).
+     */
+    explicit Vpt2Writer(std::ostream &out, size_t blockEvents = 4096,
+                        bool compress = true);
 
-    /** Number of events promised by the header. */
+    void onValue(const TraceEvent &event) override;
+
+    /**
+     * Flush the final partial block, then write the end marker, the
+     * seek index and the trailer. Must be called once.
+     * @throws TraceFileError when the sink rejects the writes.
+     */
+    void finish();
+
     uint64_t eventCount() const { return count_; }
+    size_t blockCount() const { return index_.size(); }
+
+  private:
+    void flushBlock();
+
+    struct IndexEntry
+    {
+        uint64_t offset;        ///< file offset of the block header
+        uint64_t firstEvent;    ///< global index of its first event
+        uint32_t events;        ///< events in the block
+    };
+
+    std::ostream &out_;
+    size_t blockEvents_;
+    bool compress_;
+    std::string raw_;           ///< current block payload, uncompressed
+    uint32_t blockN_ = 0;       ///< events in the current block
+    uint64_t lastPc_ = 0;       ///< restarts at every block boundary
+    uint64_t count_ = 0;
+    uint64_t offset_ = 0;       ///< running file offset (no tellp)
+    std::vector<IndexEntry> index_;
+    bool finished_ = false;
+};
+
+/**
+ * Format-independent read cursor over a recorded trace. Concrete
+ * cursors are TraceReader (VPT1) and Vpt2Reader (VPT2); openTrace()
+ * sniffs the magic and returns the right one.
+ */
+class TraceCursor
+{
+  public:
+    virtual ~TraceCursor() = default;
+
+    /**
+     * Number of events promised by the file. For a VPT2 stream that
+     * cannot seek, the trailer has not been read yet and this is 0
+     * until the cursor reaches the end of the trace.
+     */
+    virtual uint64_t eventCount() const = 0;
+
+    /** Global index of the next event next() would return. */
+    virtual uint64_t position() const = 0;
 
     /**
      * Read the next event.
@@ -83,14 +177,40 @@ class TraceReader
      * @return false at end of trace.
      * @throws TraceFileError on corruption.
      */
-    bool next(TraceEvent &event);
+    virtual bool next(TraceEvent &event) = 0;
 
     /**
      * Decode up to @p max events into @p out (the block-buffered read
      * batched replay streams from). Returns the number decoded; 0 at
      * end of trace.
      */
-    size_t readBatch(TraceEvent *out, size_t max);
+    virtual size_t
+    readBatch(TraceEvent *out, size_t max)
+    {
+        size_t n = 0;
+        while (n < max && next(out[n]))
+            ++n;
+        return n;
+    }
+
+    /**
+     * Position the cursor so the next event returned is global index
+     * @p target. The base implementation can only skip forward (it
+     * decodes and discards); Vpt2Reader overrides it with an index
+     * seek that also goes backward.
+     *
+     * @throws TraceFileError when the position is unreachable.
+     */
+    virtual void seekToEvent(uint64_t target);
+
+    /**
+     * Verify the stream ends exactly where the format says it should:
+     * every promised event was consumed and no trailing bytes follow.
+     * Call after next() has returned false.
+     *
+     * @throws TraceFileError on trailing garbage or a short trace.
+     */
+    virtual void expectEnd() = 0;
 
     /** Replay the remaining events into @p sink; returns the count. */
     uint64_t replay(TraceSink &sink);
@@ -101,8 +221,30 @@ class TraceReader
      * bounded memory regardless of trace length. Returns the count.
      */
     uint64_t replayBatched(TraceSink &sink, size_t batch = 4096);
+};
+
+/** Constructor tag: the caller already consumed the 4 magic bytes. */
+struct MagicConsumed
+{};
+
+/**
+ * Streaming VPT1 trace reader: replays a recorded trace into a sink.
+ */
+class TraceReader : public TraceCursor
+{
+  public:
+    explicit TraceReader(std::istream &in);
+    TraceReader(std::istream &in, MagicConsumed);
+
+    uint64_t eventCount() const override { return count_; }
+    uint64_t position() const override { return seen_; }
+    bool next(TraceEvent &event) override;
+    size_t readBatch(TraceEvent *out, size_t max) override;
+    void expectEnd() override;
 
   private:
+    void readHeader();
+
     std::istream &in_;
     uint64_t count_ = 0;
     uint64_t seen_ = 0;
@@ -110,14 +252,76 @@ class TraceReader
 };
 
 /**
- * TraceBatchSource streaming from a TraceReader through one reused
+ * VPT2 trace reader. On a seekable stream the seek index is loaded
+ * from the trailer up front (validated against the file size), making
+ * seekToEvent() an O(log blocks) operation; on a non-seekable stream
+ * the cursor degrades to sequential streaming and verifies the index
+ * and trailer when it reaches them.
+ */
+class Vpt2Reader : public TraceCursor
+{
+  public:
+    explicit Vpt2Reader(std::istream &in);
+    Vpt2Reader(std::istream &in, MagicConsumed);
+
+    uint64_t eventCount() const override { return total_; }
+    uint64_t position() const override { return pos_; }
+    bool next(TraceEvent &event) override;
+    void expectEnd() override;
+
+    /** True when the seek index is loaded (seekable stream). */
+    bool indexed() const { return indexed_; }
+    size_t blockCount() const;
+
+    /** Index-backed random access; falls back to a forward skip on
+     *  non-seekable streams. */
+    void seekToEvent(uint64_t target) override;
+
+  private:
+    struct IndexEntry
+    {
+        uint64_t offset;
+        uint64_t firstEvent;
+        uint32_t events;
+    };
+
+    void readHeader();
+    bool loadIndex();
+    bool openBlock();
+    void finishStream();
+    void decodeEvent(TraceEvent &event);
+
+    std::istream &in_;
+    bool indexed_ = false;
+    bool ended_ = false;
+    uint64_t total_ = 0;        ///< trailer count (0 until known)
+    uint64_t pos_ = 0;          ///< global index of the next event
+    uint64_t lastPc_ = 0;       ///< restarts per block
+    std::vector<IndexEntry> index_;
+    uint64_t blocksSeen_ = 0;
+
+    std::string enc_;           ///< encoded (possibly deflated) block
+    std::string rawBuf_;        ///< decoded block payload
+    const uint8_t *p_ = nullptr;
+    const uint8_t *end_ = nullptr;
+    uint32_t blockRemaining_ = 0;
+};
+
+/**
+ * Open a trace for reading, auto-detecting VPT1 vs VPT2 from the
+ * 4-byte magic.
+ */
+std::unique_ptr<TraceCursor> openTrace(std::istream &in);
+
+/**
+ * TraceBatchSource streaming from any TraceCursor through one reused
  * block buffer: long traces replay in bounded memory instead of being
  * materialised by readTraceFile.
  */
 class ReaderBatchSource : public TraceBatchSource
 {
   public:
-    explicit ReaderBatchSource(TraceReader &reader, size_t batch = 4096)
+    explicit ReaderBatchSource(TraceCursor &reader, size_t batch = 4096)
         : reader_(reader), block_(batch == 0 ? 1 : batch)
     {
     }
@@ -130,15 +334,61 @@ class ReaderBatchSource : public TraceBatchSource
     }
 
   private:
-    TraceReader &reader_;
+    TraceCursor &reader_;
     std::vector<TraceEvent> block_;
 };
 
-/** Convenience: record a whole event vector to a file. */
+/**
+ * Batch source over one region of a recorded trace, with a warm-up
+ * window: events [begin - warmup, begin) are served first with
+ * lastSpanWarmup() == true (train predictor tables, keep them out of
+ * the statistics), then [begin, end) with it false. A span never
+ * straddles the warm-up/region boundary.
+ *
+ * Built on TraceCursor::seekToEvent, so a VPT2 cursor starts decoding
+ * at the enclosing block while a VPT1 cursor skips forward serially.
+ */
+class TraceRegionReader : public TraceBatchSource
+{
+  public:
+    /**
+     * @param warmupEvents how many events before @p begin to replay
+     *        as warm-up (clamped to the available prefix).
+     * @throws TraceFileError when [begin, end) is not a region of the
+     *         trace.
+     */
+    TraceRegionReader(TraceCursor &reader, uint64_t begin, uint64_t end,
+                      uint64_t warmupEvents, size_t batch = 4096);
+
+    TraceSpan nextBatch() override;
+
+    /** True while the span returned by the last nextBatch() call was
+     *  warm-up. */
+    bool lastSpanWarmup() const { return lastWarmup_; }
+
+    uint64_t warmupBegin() const { return warmupBegin_; }
+    uint64_t begin() const { return begin_; }
+    uint64_t end() const { return end_; }
+
+  private:
+    TraceCursor &reader_;
+    uint64_t begin_;
+    uint64_t end_;
+    uint64_t warmupBegin_;
+    bool lastWarmup_ = false;
+    std::vector<TraceEvent> block_;
+};
+
+/** Convenience: record a whole event vector to a VPT1 file. */
 void writeTraceFile(const std::string &path,
                     const std::vector<TraceEvent> &events);
 
-/** Convenience: load a whole trace file into memory. */
+/** Convenience: record a whole event vector to a VPT2 file. */
+void writeTraceFileVpt2(const std::string &path,
+                        const std::vector<TraceEvent> &events,
+                        size_t blockEvents = 4096, bool compress = true);
+
+/** Convenience: load a whole trace file (either format) into memory. */
 std::vector<TraceEvent> readTraceFile(const std::string &path);
 
 } // namespace vp::vm

@@ -1,0 +1,361 @@
+/**
+ * @file
+ * Tests for region-parallel trace replay: the region planner, the
+ * TraceRegionReader warm-up protocol, the bounded-drift pin of the
+ * tentpole (regions vs serial within 0.1pp at the default warm-up),
+ * byte-identity when the warm-up covers the whole prefix, and the
+ * CellScheduler's region fan-out.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <sstream>
+
+#include "exp/experiment.hh"
+#include "exp/suite.hh"
+#include "sim/driver.hh"
+#include "synth/sequences.hh"
+#include "vm/trace_file.hh"
+
+namespace {
+
+using namespace vp;
+using namespace vp::exp;
+using vm::TraceEvent;
+
+std::vector<TraceEvent>
+sampleEvents(size_t n)
+{
+    synth::Rng rng(7);
+    std::vector<TraceEvent> events;
+    for (size_t i = 0; i < n; ++i) {
+        TraceEvent event{};
+        event.op = (i % 2 == 0) ? isa::Opcode::Add : isa::Opcode::Ld;
+        event.cat = isa::opcodeCategory(event.op);
+        event.pc = rng.range(200);
+        event.value = rng.next() >> rng.range(40);
+        events.push_back(event);
+    }
+    return events;
+}
+
+std::string
+serializeVpt2(const std::vector<TraceEvent> &events, size_t blockEvents)
+{
+    std::stringstream buf(std::ios::in | std::ios::out |
+                          std::ios::binary);
+    vm::Vpt2Writer writer(buf, blockEvents);
+    for (const auto &event : events)
+        writer.onValue(event);
+    writer.finish();
+    return buf.str();
+}
+
+TEST(RegionPlan, PartitionsExactlyWithBalancedSizes)
+{
+    for (const uint64_t events : {0ull, 1ull, 6ull, 7ull, 100ull,
+                                  99999ull}) {
+        for (const unsigned regions : {1u, 2u, 4u, 7u, 13u}) {
+            SCOPED_TRACE(testing::Message() << events << " events, "
+                                            << regions << " regions");
+            const auto plan = planTraceRegions(events, regions);
+            ASSERT_EQ(plan.size(), regions);
+            uint64_t covered = 0;
+            uint64_t min_size = UINT64_MAX, max_size = 0;
+            for (size_t r = 0; r < plan.size(); ++r) {
+                EXPECT_EQ(plan[r].begin, covered);
+                EXPECT_LE(plan[r].begin, plan[r].end);
+                const uint64_t size = plan[r].end - plan[r].begin;
+                min_size = std::min(min_size, size);
+                max_size = std::max(max_size, size);
+                covered = plan[r].end;
+            }
+            EXPECT_EQ(covered, events);
+            EXPECT_LE(max_size - min_size, 1u);
+        }
+    }
+}
+
+TEST(RegionReader, ServesWarmupThenRegionWithoutStraddling)
+{
+    const auto events = sampleEvents(1000);
+    const auto data = serializeVpt2(events, 64);
+    std::stringstream buf(data, std::ios::in | std::ios::binary);
+    vm::Vpt2Reader cursor(buf);
+
+    const uint64_t begin = 500, end = 800, warmup = 200;
+    vm::TraceRegionReader region(cursor, begin, end, warmup, 128);
+    EXPECT_EQ(region.warmupBegin(), begin - warmup);
+
+    uint64_t pos = begin - warmup;
+    uint64_t counted = 0;
+    for (;;) {
+        const vm::TraceSpan span = region.nextBatch();
+        if (span.empty())
+            break;
+        // A span never straddles the warm-up/region boundary.
+        const bool warm = pos < begin;
+        EXPECT_EQ(region.lastSpanWarmup(), warm);
+        if (warm)
+            EXPECT_LE(pos + span.size(), begin);
+        else
+            counted += span.size();
+        for (const auto &event : span) {
+            EXPECT_EQ(event.pc, events[pos].pc);
+            EXPECT_EQ(event.value, events[pos].value);
+            ++pos;
+        }
+    }
+    EXPECT_EQ(pos, end);
+    EXPECT_EQ(counted, end - begin);
+}
+
+TEST(RegionReader, ClampsWarmupToAvailablePrefix)
+{
+    const auto events = sampleEvents(300);
+    const auto data = serializeVpt2(events, 32);
+    std::stringstream buf(data, std::ios::in | std::ios::binary);
+    vm::Vpt2Reader cursor(buf);
+
+    // More warm-up than there are preceding events: start at 0.
+    vm::TraceRegionReader region(cursor, 100, 200, 100000);
+    EXPECT_EQ(region.warmupBegin(), 0u);
+
+    std::stringstream buf2(data, std::ios::in | std::ios::binary);
+    vm::Vpt2Reader cursor2(buf2);
+    EXPECT_THROW(vm::TraceRegionReader(cursor2, 200, 301, 0),
+                 vm::TraceFileError);
+    EXPECT_THROW(vm::TraceRegionReader(cursor2, 250, 200, 0),
+                 vm::TraceFileError);
+}
+
+TEST(RegionReader, WorksOnForwardOnlyVpt1Cursors)
+{
+    // A VPT1 cursor can only skip forward; regions still replay.
+    const auto events = sampleEvents(400);
+    std::stringstream buf(std::ios::in | std::ios::out |
+                          std::ios::binary);
+    vm::TraceWriter writer(buf);
+    for (const auto &event : events)
+        writer.onValue(event);
+    writer.finish();
+    buf.seekg(0);
+
+    vm::TraceReader cursor(buf);
+    vm::TraceRegionReader region(cursor, 150, 300, 50);
+    uint64_t pos = 100;
+    for (;;) {
+        const vm::TraceSpan span = region.nextBatch();
+        if (span.empty())
+            break;
+        for (const auto &event : span) {
+            EXPECT_EQ(event.pc, events[pos].pc);
+            ++pos;
+        }
+    }
+    EXPECT_EQ(pos, 300u);
+}
+
+// ------------------------------------------- suite-level properties
+
+SuiteOptions
+regionOptions(unsigned regions, uint64_t warmup)
+{
+    SuiteOptions options;
+    options.predictors = {"l", "s2", "fcm3"};
+    options.config.scale = dryRunScale;
+    options.traceReplay = true;
+    options.regions = regions;
+    options.warmupEvents = warmup;
+    return options;
+}
+
+void
+expectIdenticalStats(const BenchmarkRun &a, const BenchmarkRun &b)
+{
+    ASSERT_EQ(a.predictors.size(), b.predictors.size());
+    for (size_t p = 0; p < a.predictors.size(); ++p) {
+        const auto &sa = a.predictors[p].second;
+        const auto &sb = b.predictors[p].second;
+        EXPECT_EQ(sa.total(), sb.total());
+        EXPECT_EQ(sa.predicted(), sb.predicted());
+        EXPECT_EQ(sa.correct(), sb.correct());
+        for (int c = 0; c < isa::numCategories; ++c) {
+            const auto cat = static_cast<isa::Category>(c);
+            EXPECT_EQ(sa.total(cat), sb.total(cat));
+            EXPECT_EQ(sa.predicted(cat), sb.predicted(cat));
+            EXPECT_EQ(sa.correct(cat), sb.correct(cat));
+        }
+    }
+}
+
+TEST(RegionReplay, FullPrefixWarmupIsByteIdenticalToSerial)
+{
+    // With the warm-up window covering everything before each region,
+    // every region sees exactly the serial predictor state at its
+    // begin: the merged result must equal serial replay bit for bit.
+    const std::string dir =
+            (std::filesystem::temp_directory_path() / "vp-region-ident")
+                    .string();
+    std::filesystem::remove_all(dir);
+
+    auto serial = regionOptions(1, 0);
+    serial.traceCacheDir = dir;
+    const auto reference = runBenchmark("compress", serial);
+
+    auto split = regionOptions(4, UINT64_MAX);
+    split.traceCacheDir = dir;
+    const auto merged = runBenchmark("compress", split);
+
+    expectIdenticalStats(reference, merged);
+    EXPECT_EQ(reference.exec.retired, merged.exec.retired);
+    EXPECT_EQ(reference.exec.predicted, merged.exec.predicted);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(RegionReplay, TotalsPartitionExactlyAtAnyWarmup)
+{
+    // total/catTotal count every region event exactly once no matter
+    // the warm-up (only predicted/correct can drift): the partition
+    // invariant that makes merged coverage denominators exact.
+    const std::string dir =
+            (std::filesystem::temp_directory_path() / "vp-region-part")
+                    .string();
+    std::filesystem::remove_all(dir);
+
+    auto serial = regionOptions(1, 0);
+    serial.traceCacheDir = dir;
+    const auto reference = runBenchmark("xlisp", serial);
+
+    auto split = regionOptions(5, 1024);    // deliberately tiny warmup
+    split.traceCacheDir = dir;
+    const auto merged = runBenchmark("xlisp", split);
+
+    for (size_t p = 0; p < reference.predictors.size(); ++p) {
+        EXPECT_EQ(reference.predictors[p].second.total(),
+                  merged.predictors[p].second.total());
+        for (int c = 0; c < isa::numCategories; ++c) {
+            const auto cat = static_cast<isa::Category>(c);
+            EXPECT_EQ(reference.predictors[p].second.total(cat),
+                      merged.predictors[p].second.total(cat)) << c;
+        }
+    }
+    std::filesystem::remove_all(dir);
+}
+
+TEST(RegionReplay, DefaultWarmupDriftStaysUnderTenthOfAPoint)
+{
+    // The tentpole's acceptance pin: W >= 4 regions at the default
+    // warm-up merge to within 0.1pp accuracy of serial replay. xlisp
+    // at smoke scale is the longest workload trace (~184k events), so
+    // its last region genuinely starts mid-trace with a partial
+    // warm-up rather than a full prefix.
+    const std::string dir =
+            (std::filesystem::temp_directory_path() / "vp-region-drift")
+                    .string();
+    std::filesystem::remove_all(dir);
+
+    auto serial = regionOptions(1, 0);
+    serial.traceCacheDir = dir;
+    const auto reference = runBenchmark("xlisp", serial);
+
+    auto split = regionOptions(4, defaultWarmupEvents);
+    split.traceCacheDir = dir;
+    const auto merged = runBenchmark("xlisp", split);
+
+    for (size_t p = 0; p < reference.predictors.size(); ++p) {
+        const double drift_pp =
+                std::fabs(reference.accuracyPct(p) -
+                          merged.accuracyPct(p));
+        EXPECT_LE(drift_pp, 0.1)
+                << reference.predictors[p].first << " drifted "
+                << drift_pp << "pp";
+    }
+    std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------- scheduler fan-out
+
+TEST(RegionScheduler, NormalizationAdoptsAndGatesRegions)
+{
+    ExperimentConfig config;
+    config.regions = 4;
+    config.warmupEvents = 9999;
+
+    SuiteOptions plain;
+    const auto cell = normalizeCellOptions(plain, config);
+    EXPECT_EQ(cell.regions, 4u);
+    EXPECT_EQ(cell.warmupEvents, 9999u);
+
+    // Tracker cells fall back to one whole-trace replay (per-static
+    // tracker state does not merge), with the warm-up canonicalised
+    // so equal work still shares a dedup key.
+    SuiteOptions tracked;
+    tracked.values = true;
+    const auto serial = normalizeCellOptions(tracked, config);
+    EXPECT_EQ(serial.regions, 1u);
+    EXPECT_EQ(serial.warmupEvents, defaultWarmupEvents);
+
+    SuiteOptions own;
+    own.regions = 2;
+    own.warmupEvents = 5;
+    const auto kept = normalizeCellOptions(own, config);
+    EXPECT_EQ(kept.regions, 2u);
+    EXPECT_EQ(kept.warmupEvents, 5u);
+}
+
+TEST(RegionScheduler, FanOutMatchesSerialRegionMergeAtAnyJobCount)
+{
+    // The scheduler's W-tasks-plus-last-finisher-merges fan-out must
+    // reproduce runBenchmark's serial region loop exactly, whether
+    // the pool has 1 worker (no deadlock: no task waits on another)
+    // or many.
+    ExperimentConfig config;
+    config.dryRun = true;
+    config.regions = 4;
+
+    SuiteOptions options;
+    options.predictors = {"l", "s2", "fcm3"};
+    options.benchmarks = {"compress", "xlisp"};
+
+    const auto reference_options = normalizeCellOptions(options, config);
+    std::vector<BenchmarkRun> reference;
+    for (const auto &name : reference_options.benchmarks)
+        reference.push_back(runBenchmark(name, reference_options));
+
+    for (const unsigned jobs : {1u, 4u}) {
+        SCOPED_TRACE(testing::Message() << jobs << " jobs");
+        CellScheduler scheduler(config, jobs);
+        const auto runs = scheduler.suite(options);
+        ASSERT_EQ(runs.size(), reference.size());
+        for (size_t i = 0; i < runs.size(); ++i) {
+            EXPECT_EQ(runs[i].name, reference[i].name);
+            expectIdenticalStats(runs[i], reference[i]);
+        }
+
+        const auto records = scheduler.records();
+        ASSERT_EQ(records.size(), 2u);
+        for (const auto &record : records) {
+            EXPECT_TRUE(record.done);
+            EXPECT_EQ(record.regions, 4u);
+            EXPECT_GT(record.events, 0u);
+        }
+    }
+}
+
+TEST(RegionScheduler, RegionCellErrorsPropagateToWaiters)
+{
+    ExperimentConfig config;
+    config.dryRun = true;
+    config.regions = 4;
+    CellScheduler scheduler(config, 2);
+
+    SuiteOptions options;
+    options.predictors = {"l"};
+    options.benchmarks = {"no-such-workload"};
+    EXPECT_THROW(scheduler.suite(options), std::exception);
+}
+
+} // anonymous namespace

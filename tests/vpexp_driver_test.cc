@@ -102,6 +102,13 @@ TEST(VpexpCli, UsageErrorsExitTwo)
     EXPECT_EQ(runDriver({"table1", "--jobs", "-2"}), 2);
     EXPECT_EQ(runDriver({"table1", "--bogus-flag"}), 2);
     EXPECT_EQ(runDriver({"--jobs"}), 2);               // missing value
+    EXPECT_EQ(runDriver({"table1", "--regions", "banana"}), 2);
+    EXPECT_EQ(runDriver({"table1", "--regions", "0"}), 2);
+    EXPECT_EQ(runDriver({"table1", "--regions", "2x"}), 2);
+    EXPECT_EQ(runDriver({"--regions"}), 2);            // missing value
+    EXPECT_EQ(runDriver({"table1", "--warmup", "soon"}), 2);
+    EXPECT_EQ(runDriver({"table1", "--warmup", "-1"}), 2);
+    EXPECT_EQ(runDriver({"--warmup"}), 2);             // missing value
 }
 
 TEST(VpexpCli, HelpExitsZero)
@@ -224,6 +231,51 @@ TEST(VpexpCli, DryRunSmokesASuiteExperimentQuickly)
     EXPECT_NE(json.find("\"spec\": \"fcm3\""), std::string::npos);
     EXPECT_NE(json.find("\"coverage\": "), std::string::npos);
     EXPECT_NE(json.find("\"profitAtCost4\": "), std::string::npos);
+}
+
+TEST(VpexpCli, RegionFlagsReachTheResultsJson)
+{
+    const ScratchDir scratch;
+    EXPECT_EQ(runDriver({"figure3", "--dry-run", "--regions", "4",
+                         "--warmup", "4096", "--out",
+                         scratch.path().string(), "--format", "json"}),
+              0);
+    const auto json = slurp(scratch.path() / "BENCH_results.json");
+    EXPECT_NE(json.find("\"regions\": 4"), std::string::npos);
+    EXPECT_NE(json.find("\"warmupEvents\": 4096"), std::string::npos);
+}
+
+TEST(VpexpCli, RegionRunMatchesSerialRun)
+{
+    // The driver's region fan-out must not change the numbers: the
+    // same experiment with --regions 1 and --regions 3 (full-prefix
+    // warm-up) emits identical per-cell statistics.
+    const ScratchDir serial_dir, region_dir;
+    EXPECT_EQ(runDriver({"figure3", "--dry-run", "--out",
+                         serial_dir.path().string(), "--format",
+                         "json"}),
+              0);
+    EXPECT_EQ(runDriver({"figure3", "--dry-run", "--regions", "3",
+                         "--warmup", "99999999", "--out",
+                         region_dir.path().string(), "--format",
+                         "json"}),
+              0);
+    auto strip = [](std::string text) {
+        // Drop the volatile fields (wall clock, the region count and
+        // warm-up themselves); everything left must match exactly.
+        for (const std::string_view key :
+             {"\"wallMs\":", "\"nsPerEvent\":", "\"regions\":",
+              "\"warmupEvents\":"}) {
+            for (size_t at = text.find(key); at != std::string::npos;
+                 at = text.find(key, at)) {
+                const size_t end = text.find_first_of(",}\n", at);
+                text.erase(at, end - at);
+            }
+        }
+        return text;
+    };
+    EXPECT_EQ(strip(slurp(serial_dir.path() / "BENCH_results.json")),
+              strip(slurp(region_dir.path() / "BENCH_results.json")));
 }
 
 } // anonymous namespace
