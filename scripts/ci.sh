@@ -52,6 +52,17 @@ if [[ -z "${VP_CTEST_LABEL:-}" || "${VP_CTEST_LABEL}" == "perf" ]]; then
     echo "==> perf smoke (trace campaign: VPT2 sizes + region replay)"
     ./build/bench/trace_campaign_bench --out build/BENCH_campaign.json
     echo "    wrote build/BENCH_campaign.json"
+
+    # Observability smoke: one suite campaign with per-cell counters,
+    # windowed telemetry, and a Chrome trace-event timeline. The
+    # resulting BENCH_results.json (counters + windows for all seven
+    # workloads) and BENCH_trace.json are the artifacts CI uploads.
+    echo "==> observability smoke (counters + trace timeline)"
+    ./build/bench/vpexp figure5 --dry-run --window 8192 \
+        --trace-json build/BENCH_trace.json \
+        --out build/obs-smoke --format json > /dev/null
+    cp build/obs-smoke/BENCH_results.json build/BENCH_results.json
+    echo "    wrote build/BENCH_results.json and build/BENCH_trace.json"
 fi
 
 echo "==> sanitized configuration (ASan + UBSan)"

@@ -46,6 +46,29 @@ boundedSuffix(const BoundedTableConfig &config)
     return s;
 }
 
+void
+emitTableCounters(const BoundedTableTelemetry &telemetry,
+                  const std::string &prefix, CounterSink &sink)
+{
+    sink.gauge(prefix + "capacity", telemetry.capacity);
+    sink.gauge(prefix + "occupancy", telemetry.live);
+    sink.counter(prefix + "evictions", telemetry.evictions);
+    sink.counter(prefix + "aliased_peeks", telemetry.aliasedPeeks);
+    sink.counter(prefix + "aliased_touches", telemetry.aliasedTouches);
+    sink.counter(prefix + "alias_constructive",
+                 telemetry.aliasConstructive);
+    sink.counter(prefix + "alias_destructive",
+                 telemetry.aliasDestructive);
+    sink.counter(prefix + "probes", telemetry.probes);
+    sink.counter(prefix + "hinted_touches", telemetry.hintedTouches);
+    sink.counter(prefix + "hinted_touch_hits",
+                 telemetry.hintedTouchHits);
+    for (size_t d = 0; d < telemetry.probeDepth.size(); ++d) {
+        sink.distribution(prefix + "probe_depth", d,
+                          telemetry.probeDepth[d]);
+    }
+}
+
 // ------------------------------------------------------ last value
 
 BoundedLastValuePredictor::BoundedLastValuePredictor(
@@ -125,6 +148,12 @@ BoundedLastValuePredictor::reset()
     table_.clear();
 }
 
+void
+BoundedLastValuePredictor::collectCounters(CounterSink &sink) const
+{
+    emitTableCounters(table_.telemetry(), "lv.", sink);
+}
+
 // ---------------------------------------------------------- stride
 
 BoundedStridePredictor::BoundedStridePredictor(StrideConfig config,
@@ -194,6 +223,12 @@ void
 BoundedStridePredictor::reset()
 {
     table_.clear();
+}
+
+void
+BoundedStridePredictor::collectCounters(CounterSink &sink) const
+{
+    emitTableCounters(table_.telemetry(), "stride.", sink);
 }
 
 // ------------------------------------------------------------- fcm
@@ -544,6 +579,13 @@ BoundedFcmPredictor::reset()
     vht_.clear();
     vpt_.clear();
     seq_ = 0;
+}
+
+void
+BoundedFcmPredictor::collectCounters(CounterSink &sink) const
+{
+    emitTableCounters(vht_.telemetry(), "fcm.vht.", sink);
+    emitTableCounters(vpt_.telemetry(), "fcm.vpt.", sink);
 }
 
 } // namespace vp::core

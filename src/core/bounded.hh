@@ -39,6 +39,15 @@ std::string boundedSuffix(const BoundedTableConfig &config);
  *  with the fcm "@<vht>/<vpt>x..." rendering. */
 std::string boundedSuffixTail(const BoundedTableConfig &config);
 
+/**
+ * Emit one table's telemetry() dump into @p sink under @p prefix
+ * (e.g. "fcm.vpt." -> "fcm.vpt.evictions", "fcm.vpt.occupancy",
+ * "fcm.vpt.probe_depth", ...). Shared by every bounded family's
+ * collectCounters() so metric names stay uniform across predictors.
+ */
+void emitTableCounters(const BoundedTableTelemetry &telemetry,
+                       const std::string &prefix, CounterSink &sink);
+
 /** Bounded last-value predictor: LvEntry logic on a BoundedTable. */
 class BoundedLastValuePredictor : public ValuePredictor
 {
@@ -70,6 +79,9 @@ class BoundedLastValuePredictor : public ValuePredictor
                     size_t n, uint64_t *valid, uint64_t *correct);
 
     uint64_t evictions() const { return table_.evictions(); }
+
+    /** Table counters under "lv." (see emitTableCounters). */
+    void collectCounters(CounterSink &sink) const override;
 
     /** The underlying table (eviction and aliasing counters). */
     const BoundedTable<LvEntry> &table() const { return table_; }
@@ -105,6 +117,9 @@ class BoundedStridePredictor : public ValuePredictor
                     size_t n, uint64_t *valid, uint64_t *correct);
 
     uint64_t evictions() const { return table_.evictions(); }
+
+    /** Table counters under "stride." (see emitTableCounters). */
+    void collectCounters(CounterSink &sink) const override;
 
     /** The underlying table (eviction and aliasing counters). */
     const BoundedTable<StrideEntry> &table() const { return table_; }
@@ -199,6 +214,9 @@ class BoundedFcmPredictor : public ValuePredictor
     {
         return vpt_.aliasDestructive();
     }
+
+    /** Both tables' counters, under "fcm.vht." and "fcm.vpt.". */
+    void collectCounters(CounterSink &sink) const override;
 
   private:
     /** Most recent values, oldest first. */

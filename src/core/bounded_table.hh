@@ -27,6 +27,7 @@
 #define VP_CORE_BOUNDED_TABLE_HH
 
 #include <algorithm>
+#include <array>
 #include <bit>
 #include <cstdint>
 #include <stdexcept>
@@ -42,6 +43,32 @@ enum class Replacement {
     Lru,        ///< evict the least recently touched entry
     Random,     ///< evict a deterministic pseudo-random way
     Fifo        ///< evict the least recently *inserted* entry
+};
+
+/**
+ * Point-in-time counter dump of one BoundedTable, pulled by the
+ * harness at cell boundaries (obs/registry.hh imports it; nothing
+ * here runs on the replay hot path). All counts are cumulative since
+ * construction or the last clear().
+ */
+struct BoundedTableTelemetry
+{
+    /** Probes that examined exactly d ways land in probeDepth[d]
+     *  (d >= 1; depths beyond 8 clamp into the last slot). A hit in
+     *  way w examined w + 1 ways; a miss examined the whole set. */
+    static constexpr size_t maxDepth = 8;
+
+    size_t capacity = 0;
+    size_t live = 0;                    ///< occupied entries
+    uint64_t evictions = 0;
+    uint64_t aliasedPeeks = 0;
+    uint64_t aliasedTouches = 0;
+    uint64_t aliasConstructive = 0;
+    uint64_t aliasDestructive = 0;
+    uint64_t probes = 0;                ///< total recorded probes
+    std::array<uint64_t, maxDepth + 1> probeDepth{};
+    uint64_t hintedTouches = 0;         ///< touchHinted() calls
+    uint64_t hintedTouchHits = 0;       ///< ... whose hint was trusted
 };
 
 /** Geometry and policy of one bounded table. */
@@ -148,6 +175,25 @@ class BoundedTable
     uint64_t aliasConstructive() const { return aliasConstructive_; }
     uint64_t aliasDestructive() const { return aliasDestructive_; }
 
+    /** Dump every counter the table keeps (see the struct's doc). */
+    BoundedTableTelemetry
+    telemetry() const
+    {
+        BoundedTableTelemetry t;
+        t.capacity = config_.entries;
+        t.live = live_;
+        t.evictions = evictions_;
+        t.aliasedPeeks = aliasedPeeks_;
+        t.aliasedTouches = aliasedTouches_;
+        t.aliasConstructive = aliasConstructive_;
+        t.aliasDestructive = aliasDestructive_;
+        t.probes = probes_;
+        t.probeDepth = probeDepth_;
+        t.hintedTouches = hintedTouches_;
+        t.hintedTouchHits = hintedTouchHits_;
+        return t;
+    }
+
     /**
      * Classify one aliased access: the foreign entry's prediction
      * turned out @p correct (constructive) or not (destructive —
@@ -169,6 +215,7 @@ class BoundedTable
     peek(uint64_t key) const
     {
         if (fullyAssociative()) {
+            noteProbe(1);
             const auto it = index_.find(tagOf(key));
             if (it == index_.end())
                 return nullptr;
@@ -178,6 +225,7 @@ class BoundedTable
         }
         const size_t base = setBase(key);
         const int w = hitWay(base, key);
+        noteProbe(probedWays(w));
         if (w < 0)
             return nullptr;
         const size_t s = base + static_cast<size_t>(w);
@@ -197,6 +245,7 @@ class BoundedTable
     peekSlot(uint64_t key, size_t &slot) const
     {
         if (fullyAssociative()) {
+            noteProbe(1);
             const auto it = index_.find(tagOf(key));
             if (it == index_.end())
                 return nullptr;
@@ -207,6 +256,7 @@ class BoundedTable
         }
         const size_t base = setBase(key);
         const int w = hitWay(base, key);
+        noteProbe(probedWays(w));
         if (w < 0)
             return nullptr;
         const size_t s = base + static_cast<size_t>(w);
@@ -333,8 +383,10 @@ class BoundedTable
     touchHinted(uint64_t key, size_t slot, bool &inserted,
                 bool *aliased = nullptr)
     {
+        ++hintedTouches_;
         if (slot != SIZE_MAX && !fullyAssociative() && valid_[slot] &&
             tagOf(keys_[slot]) == tagOf(key)) {
+            ++hintedTouchHits_;
             inserted = false;
             return touchAt(slot, key, aliased);
         }
@@ -388,11 +440,34 @@ class BoundedTable
         aliasedTouches_ = 0;
         aliasConstructive_ = 0;
         aliasDestructive_ = 0;
+        probes_ = 0;
+        probeDepth_.fill(0);
+        hintedTouches_ = 0;
+        hintedTouchHits_ = 0;
         tick_ = 0;
         rng_ = config_.seed | 1;
     }
 
   private:
+    /** Ways a probe examined: w + 1 on a hit in way w, the whole set
+     *  on a miss (FA mode reports 1 — its index lookup is O(1)). */
+    size_t
+    probedWays(int hit) const
+    {
+        return hit >= 0 ? static_cast<size_t>(hit) + 1 : config_.ways;
+    }
+
+    /** Fold one probe of @p depth ways into the depth distribution.
+     *  Two plain increments amid the probe's own cache traffic; the
+     *  counters are always on (no mode flag, so replay is identical
+     *  with or without a consumer) and pulled via telemetry(). */
+    void
+    noteProbe(size_t depth) const
+    {
+        ++probes_;
+        ++probeDepth_[std::min(depth, BoundedTableTelemetry::maxDepth)];
+    }
+
     /** The age slot @p s's victim scan minimises for this policy. */
     uint64_t
     victimStamp(size_t s) const
@@ -473,6 +548,7 @@ class BoundedTable
         // two cache lines.
         const size_t base = setBase(key);
         const int hit = hitWay(base, key);
+        noteProbe(probedWays(hit));
         if (hit >= 0) {
             inserted = false;
             return base + static_cast<size_t>(hit);
@@ -497,6 +573,7 @@ class BoundedTable
     size_t
     touchFa(uint64_t key, bool &inserted)
     {
+        noteProbe(1);
         const auto it = index_.find(tagOf(key));
         if (it != index_.end()) {
             inserted = false;
@@ -550,6 +627,12 @@ class BoundedTable
     uint64_t aliasedTouches_ = 0;
     uint64_t aliasConstructive_ = 0;
     uint64_t aliasDestructive_ = 0;
+    // Probe-depth distribution (mutable: const peeks probe too).
+    mutable uint64_t probes_ = 0;
+    mutable std::array<uint64_t, BoundedTableTelemetry::maxDepth + 1>
+            probeDepth_{};
+    uint64_t hintedTouches_ = 0;
+    uint64_t hintedTouchHits_ = 0;
     uint64_t tick_ = 0;
     uint64_t rng_;
 };

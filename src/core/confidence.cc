@@ -59,6 +59,10 @@ ConfidencePredictor::update(uint64_t pc, uint64_t actual)
     const bool hit = inner.valid && inner.value == actual;
 
     int &count = counters_[pc];
+    // An inner prediction the gate suppressed: the coverage the
+    // machine paid for caution. Judged on the pre-update counter,
+    // exactly what predict() gated on.
+    gatedDeclines_ += inner.valid && count < config_.threshold;
     if (hit) {
         if (count < config_.maxCount())
             ++count;
@@ -87,6 +91,8 @@ ConfidencePredictor::evalBatch(const uint64_t *pcs,
     for (size_t i = 0; i < n; ++i) {
         const bool hit = bits::test(inner_correct, i);
         int &count = counters_[pcs[i]];
+        gatedDeclines_ += bits::test(inner_valid, i) &&
+                          count < config_.threshold;
 
         // Gate on the counter as it stood before this event, exactly
         // like the scalar predict()-then-update() pair.
@@ -118,6 +124,7 @@ ConfidencePredictor::reset()
 {
     counters_.clear();
     lastFresh_ = false;
+    gatedDeclines_ = 0;
     inner_->reset();
 }
 
@@ -132,6 +139,14 @@ ConfidencePredictor::counter(uint64_t pc) const
 {
     const auto it = counters_.find(pc);
     return it == counters_.end() ? 0 : it->second;
+}
+
+void
+ConfidencePredictor::collectCounters(CounterSink &sink) const
+{
+    sink.counter("confidence.gated_declines", gatedDeclines_);
+    sink.gauge("confidence.counters", counters_.size());
+    inner_->collectCounters(sink);
 }
 
 } // namespace vp::core

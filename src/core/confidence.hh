@@ -114,10 +114,17 @@ class ConfidencePredictor : public ValuePredictor
     /** The wrapped predictor (for tests and reports). */
     const ValuePredictor &inner() const { return *inner_; }
 
+    /** Inner predictions the gate suppressed (coverage given up). */
+    uint64_t gatedDeclines() const { return gatedDeclines_; }
+
+    /** "confidence.*" counters plus the inner predictor's dump. */
+    void collectCounters(CounterSink &sink) const override;
+
   private:
     PredictorPtr inner_;
     ConfidenceConfig config_;
     std::unordered_map<uint64_t, int> counters_;
+    uint64_t gatedDeclines_ = 0;
 
     /**
      * The last inner prediction, so the predict-then-update protocol

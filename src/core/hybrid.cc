@@ -75,7 +75,8 @@ HybridPredictor::update(uint64_t pc, uint64_t actual)
     }
 
     ++choices_;
-    if (*counter >= 0)
+    const bool prefer_second = *counter >= 0;
+    if (prefer_second)
         ++choseSecond_;
 
     // Train the chooser only when the components disagree in outcome.
@@ -83,6 +84,8 @@ HybridPredictor::update(uint64_t pc, uint64_t actual)
         *counter = std::min(*counter + 1, chooser_.max);
     else if (first_ok && !second_ok)
         *counter = std::max(*counter - 1, -chooser_.max - 1);
+
+    chooserFlips_ += (*counter >= 0) != prefer_second;
 
     first_->update(pc, actual);
     second_->update(pc, actual);
@@ -143,6 +146,7 @@ HybridPredictor::evalBatch(const uint64_t *pcs, const uint64_t *values,
                           static_cast<int>(first_ok);
         *counter = std::clamp(*counter + delta, -chooser_.max - 1,
                               chooser_.max);
+        chooserFlips_ += (*counter >= 0) != prefer_second;
 
         // The hybrid's own grade: the preferred component if it
         // predicted, else the fallback (mirrors predict()).
@@ -178,6 +182,7 @@ HybridPredictor::reset()
         boundedChooser_->clear();
     choseSecond_ = 0;
     choices_ = 0;
+    chooserFlips_ = 0;
 }
 
 size_t
@@ -198,6 +203,24 @@ double
 HybridPredictor::fcmChoiceFraction() const
 {
     return choices_ ? static_cast<double>(choseSecond_) / choices_ : 0.0;
+}
+
+void
+HybridPredictor::collectCounters(CounterSink &sink) const
+{
+    sink.counter("hybrid.chooser.choices", choices_);
+    sink.counter("hybrid.chooser.chose_second", choseSecond_);
+    sink.counter("hybrid.chooser.flips", chooserFlips_);
+    sink.gauge("hybrid.chooser.entries", chooserEntries());
+    if (boundedChooser_) {
+        emitTableCounters(boundedChooser_->telemetry(),
+                          "hybrid.chooser.", sink);
+    }
+    // Components report under their own family prefixes; two
+    // same-family components accumulate into one metric (the sink's
+    // documented same-name semantics).
+    first_->collectCounters(sink);
+    second_->collectCounters(sink);
 }
 
 } // namespace vp::core

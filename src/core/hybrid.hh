@@ -112,6 +112,14 @@ class HybridPredictor : public ValuePredictor
      *  component. */
     double fcmChoiceFraction() const;
 
+    /** Times a PC's chooser counter crossed the preference boundary
+     *  (component selection flipped on the next prediction). */
+    uint64_t chooserFlips() const { return chooserFlips_; }
+
+    /** Chooser counters under "hybrid.chooser." plus both components'
+     *  own dumps (their family prefixes). */
+    void collectCounters(CounterSink &sink) const override;
+
   private:
     /** One bounded-chooser counter (init applied on insert). */
     struct ChooserEntry
@@ -129,6 +137,7 @@ class HybridPredictor : public ValuePredictor
     std::optional<BoundedTable<ChooserEntry>> boundedChooser_;
     uint64_t choseSecond_ = 0;
     uint64_t choices_ = 0;
+    uint64_t chooserFlips_ = 0;
     std::vector<uint64_t> scratch_;     ///< component bit rows
 };
 

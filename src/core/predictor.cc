@@ -17,4 +17,11 @@ ValuePredictor::evalBatch(const uint64_t *pcs, const uint64_t *values,
     }
 }
 
+void
+ValuePredictor::collectCounters(CounterSink &sink) const
+{
+    // Unbounded reference predictors: nothing finite to report.
+    (void)sink;
+}
+
 } // namespace vp::core

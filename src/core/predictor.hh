@@ -120,9 +120,46 @@ class ValuePredictor
      */
     virtual void evalBatch(const uint64_t *pcs, const uint64_t *values,
                            size_t n, uint64_t *valid, uint64_t *correct);
+
+    /**
+     * Dump internal counters (evictions, occupancy, probe depths,
+     * chooser flips, ...) into @p sink under dotted, family-prefixed
+     * names ("fcm.vpt.evictions"). Purely observational: must not
+     * change predictor state. The default emits nothing — unbounded
+     * reference predictors have no finite resources worth counting.
+     */
+    virtual void collectCounters(class CounterSink &sink) const;
 };
 
 using PredictorPtr = std::unique_ptr<ValuePredictor>;
+
+/**
+ * Receiver for a predictor's internal counters (collectCounters()).
+ *
+ * A pure interface so core stays free of any metrics dependency: the
+ * harness implements it over the obs registry (exp/suite.cc), tests
+ * implement it over a plain map. Collection happens once per cell at
+ * replay end — never on the per-event path — so implementations can
+ * be as slow as they like.
+ */
+class CounterSink
+{
+  public:
+    virtual ~CounterSink() = default;
+
+    /** Monotonic count ("fcm.vpt.evictions" -> 1234). Same-name calls
+     *  accumulate. */
+    virtual void counter(const std::string &name, uint64_t value) = 0;
+
+    /** Level sample ("fcm.vpt.occupancy"); same-name calls keep the
+     *  maximum (high-water semantics). */
+    virtual void gauge(const std::string &name, uint64_t value) = 0;
+
+    /** Import @p count samples of @p value into the named
+     *  distribution (e.g. a probe-depth histogram bucket). */
+    virtual void distribution(const std::string &name, uint64_t value,
+                              uint64_t count) = 0;
+};
 
 } // namespace vp::core
 

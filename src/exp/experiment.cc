@@ -4,6 +4,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/instrumentation.hh"
 #include "workloads/workload.hh"
 
 namespace vp::exp {
@@ -16,6 +17,10 @@ normalizeCellOptions(SuiteOptions options, const ExperimentConfig &config)
     options.traceReplay = true;
     options.traceCacheDir = config.traceCacheDir;
     options.parallelism = 0;        // cells never fan out internally
+    // The scheduler installs its own per-cell handle; a caller-set one
+    // must not leak into the cell (it is not part of cell identity).
+    options.instrumentation = nullptr;
+    options.windowEvents = config.windowEvents;
     if (options.improvementA == options.improvementB) {
         // Equal indices mean "off" (runBenchmark ignores the values);
         // canonicalise so off-requests always share a dedup key.
@@ -54,7 +59,8 @@ cellKey(const std::string &workload, const SuiteOptions &options)
         << '\x1f' << options.improvementB << '\x1f' << options.values
         << '\x1f' << options.traceReplay << '\x1f'
         << options.traceCacheDir << '\x1f' << options.regions << '\x1f'
-        << options.warmupEvents << '\x1f';
+        << options.warmupEvents << '\x1f' << options.windowEvents
+        << '\x1f';
     for (const auto &spec : options.predictors)
         key << spec << '\x1e';
     return key.str();
@@ -121,6 +127,25 @@ CellScheduler::workerLoop()
 }
 
 /**
+ * Per-cell observability: the registry every task of the cell feeds
+ * and the Instrumentation handle the suite layer sees. Task closures
+ * hold it by shared_ptr so it outlives the submit() call; the
+ * scheduler snapshots the registry into the CellRecord only after the
+ * cell's last task has finished (the promise-fulfilling task), which
+ * is the synchronisation Registry::snapshot requires.
+ */
+struct CellScheduler::CellObs
+{
+    explicit CellObs(obs::TraceLog *log)
+        : instrumentation(&registry, log)
+    {
+    }
+
+    obs::Registry registry;
+    obs::Instrumentation instrumentation;
+};
+
+/**
  * Shared state of one region-split cell: W region tasks feed it, the
  * last one to finish merges the partials (or picks the first error in
  * region order, so failures are deterministic under any scheduling)
@@ -131,6 +156,8 @@ struct CellScheduler::RegionAssembly
     std::string workload;
     SuiteOptions options;
     size_t cellId = 0;
+    std::shared_ptr<CellObs> obs;
+    std::chrono::steady_clock::time_point submitted;
     std::promise<BenchmarkRun> promise;
 
     std::mutex mutex;
@@ -164,15 +191,26 @@ CellScheduler::submit(const std::string &workload,
     using Clock = std::chrono::steady_clock;
     std::shared_future<BenchmarkRun> future;
 
+    // Every cell gets its own registry; the run-wide trace log (when
+    // the driver attached one) is shared. The handle is deliberately
+    // absent from the dedup key — see normalizeCellOptions.
+    auto cell_obs = std::make_shared<CellObs>(config_.traceLog);
+    SuiteOptions cell_options = options;
+    cell_options.instrumentation = &cell_obs->instrumentation;
+    const auto submitted = Clock::now();
+
     if (regionReplayApplies(options)) {
         auto assembly = std::make_shared<RegionAssembly>();
         assembly->workload = workload;
-        assembly->options = options;
+        assembly->options = cell_options;
         assembly->cellId = cell_id;
+        assembly->obs = cell_obs;
+        assembly->submitted = submitted;
         assembly->remaining = options.regions;
         assembly->partials.reserve(options.regions);
         assembly->errors.resize(options.regions);
         future = assembly->promise.get_future().share();
+        tasksTotal_ += options.regions;
 
         for (unsigned r = 0; r < options.regions; ++r) {
             queue_.emplace_back([this, assembly, r] {
@@ -202,6 +240,10 @@ CellScheduler::submit(const std::string &workload,
                         assembly->partials.push_back(std::move(partial));
                     last = --assembly->remaining == 0;
                 }
+                {
+                    const std::lock_guard<std::mutex> lock(mutex_);
+                    ++tasksDone_;
+                }
                 if (!last)
                     return;
                 // Sole owner of the assembly's data from here on.
@@ -219,13 +261,25 @@ CellScheduler::submit(const std::string &workload,
                             std::chrono::duration<double, std::milli>(
                                     Clock::now() - assembly->start)
                                     .count();
+                    const double queued =
+                            std::chrono::duration<double, std::milli>(
+                                    assembly->start - assembly->submitted)
+                                    .count();
+                    // Every region task has finished (remaining hit 0
+                    // under the assembly mutex), so the snapshot sees
+                    // quiesced shards.
+                    obs::Snapshot counters =
+                            assembly->obs->registry.snapshot();
                     {
                         const std::lock_guard<std::mutex> lock(mutex_);
                         auto &rec = records_[assembly->cellId];
                         rec.wallMs = ms;
+                        rec.queuedMs = queued;
                         rec.events = run.exec.predicted;
                         rec.predictors = run.predictors;
+                        rec.counters = std::move(counters);
                         rec.done = true;
+                        ++cellsDone_;
                     }
                     assembly->promise.set_value(std::move(run));
                 } catch (...) {
@@ -238,23 +292,43 @@ CellScheduler::submit(const std::string &workload,
     } else {
         auto promise = std::make_shared<std::promise<BenchmarkRun>>();
         future = promise->get_future().share();
-        queue_.emplace_back([this, cell_id, workload, options, promise] {
+        tasksTotal_ += 1;
+        queue_.emplace_back([this, cell_id, workload, cell_options,
+                             cell_obs, submitted, promise] {
             try {
                 const auto start = Clock::now();
-                BenchmarkRun run = runBenchmark(workload, options);
+                BenchmarkRun run;
+                {
+                    auto timeline = cell_obs->instrumentation.span(
+                            "cell " + workload, "cell");
+                    run = runBenchmark(workload, cell_options);
+                }
                 const double ms =
                         std::chrono::duration<double, std::milli>(
                                 Clock::now() - start)
                                 .count();
                 {
                     const std::lock_guard<std::mutex> lock(mutex_);
-                    records_[cell_id].wallMs = ms;
-                    records_[cell_id].events = run.exec.predicted;
-                    records_[cell_id].predictors = run.predictors;
-                    records_[cell_id].done = true;
+                    auto &rec = records_[cell_id];
+                    rec.wallMs = ms;
+                    rec.queuedMs =
+                            std::chrono::duration<double, std::milli>(
+                                    start - submitted)
+                                    .count();
+                    rec.events = run.exec.predicted;
+                    rec.predictors = run.predictors;
+                    rec.windows = run.windows;
+                    rec.counters = cell_obs->registry.snapshot();
+                    rec.done = true;
+                    ++cellsDone_;
+                    ++tasksDone_;
                 }
                 promise->set_value(std::move(run));
             } catch (...) {
+                {
+                    const std::lock_guard<std::mutex> lock(mutex_);
+                    ++tasksDone_;
+                }
                 promise->set_exception(std::current_exception());
             }
         });
@@ -317,6 +391,18 @@ CellScheduler::records() const
 {
     const std::lock_guard<std::mutex> lock(mutex_);
     return records_;
+}
+
+CellScheduler::Progress
+CellScheduler::progress() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    Progress progress;
+    progress.cellsDone = cellsDone_;
+    progress.cellsTotal = records_.size();
+    progress.tasksDone = tasksDone_;
+    progress.tasksTotal = tasksTotal_;
+    return progress;
 }
 
 std::vector<BenchmarkRun>

@@ -44,6 +44,11 @@
 
 #include "exp/report.hh"
 #include "exp/suite.hh"
+#include "obs/registry.hh"
+
+namespace vp::obs {
+class TraceLog;
+} // namespace vp::obs
 
 namespace vp::exp {
 
@@ -70,6 +75,24 @@ struct ExperimentConfig
 
     /** Warm-up window per region (`vpexp --warmup`). */
     uint64_t warmupEvents = defaultWarmupEvents;
+
+    /**
+     * Windowed replay telemetry for every cell (`vpexp --window`):
+     * close a statistics window every this many events (0 = off).
+     * Part of a cell's identity — the series changes what a cell
+     * computes — and it forces whole-trace serial replay (see
+     * SuiteOptions::windowEvents).
+     */
+    uint64_t windowEvents = 0;
+
+    /**
+     * Run-wide timeline log (`vpexp --trace-json`); the scheduler
+     * hands it to every cell's instrumentation so cell, region,
+     * warm-up, trace-cache and report spans land on one timeline.
+     * Owned by the driver, null = off. Not part of any cell's
+     * identity.
+     */
+    obs::TraceLog *traceLog = nullptr;
 };
 
 /** The workload scale --dry-run shrinks to (same as smoke_test). */
@@ -102,6 +125,13 @@ class CellScheduler
         std::string workload;
         workloads::WorkloadConfig config;
         double wallMs = 0.0;
+
+        /**
+         * Queue wait: time between submit() and the first worker
+         * picking up one of the cell's tasks. wallMs starts at that
+         * pickup, so wallMs + queuedMs is the submit-to-done latency.
+         */
+        double queuedMs = 0.0;
         bool done = false;
 
         /** Dynamic eligible (predicted) events the cell replayed;
@@ -114,6 +144,26 @@ class CellScheduler
         /** (spec, stats) per predictor, bank order. */
         std::vector<std::pair<std::string, core::PredictionStats>>
                 predictors;
+
+        /**
+         * The cell's merged counters/gauges/histograms, snapshot
+         * from its private registry after the cell finished (see
+         * obs/registry.hh for the merge rules). Region-split cells
+         * sum their per-region banks into one snapshot.
+         */
+        obs::Snapshot counters;
+
+        /** Windowed telemetry (ExperimentConfig::windowEvents > 0). */
+        sim::WindowSeries windows;
+    };
+
+    /** Scheduler-level completion counts, for live progress lines. */
+    struct Progress
+    {
+        size_t cellsDone = 0;
+        size_t cellsTotal = 0;      ///< unique cells submitted so far
+        size_t tasksDone = 0;       ///< worker tasks (regions count)
+        size_t tasksTotal = 0;
     };
 
     /** @p jobs worker threads; 0 = the hardware concurrency. */
@@ -149,8 +199,12 @@ class CellScheduler
      *  still in flight have done == false. */
     std::vector<CellRecord> records() const;
 
+    /** Completion counts at this instant (thread-safe). */
+    Progress progress() const;
+
   private:
     struct RegionAssembly;
+    struct CellObs;
 
     std::shared_future<BenchmarkRun> submit(const std::string &workload,
                                             const SuiteOptions &options,
@@ -176,6 +230,9 @@ class CellScheduler
             cells_;
     std::vector<CellRecord> records_;
     size_t requested_ = 0;
+    size_t cellsDone_ = 0;
+    size_t tasksDone_ = 0;
+    size_t tasksTotal_ = 0;
     std::vector<std::thread> threads_;
 };
 

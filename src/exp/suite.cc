@@ -14,6 +14,8 @@
 #include <unistd.h>
 
 #include "exp/spec.hh"
+#include "obs/instrumentation.hh"
+#include "obs/registry_sink.hh"
 #include "sim/driver.hh"
 #include "vm/trace_file.hh"
 
@@ -206,13 +208,20 @@ ensureTraceRecorded(const isa::Program &prog, const std::string &name,
     const fs::path vpt = base.string() + ".vpt";
     const fs::path meta = base.string() + ".meta";
 
+    obs::Instrumentation *obs = options.instrumentation;
     const std::lock_guard<std::mutex> lock(traceCacheMutex(base));
     if (!fs::exists(vpt) || !readTraceMeta(meta, stats)) {
+        obs::add(obs, "trace_cache.miss");
+        obs::add(obs, "trace_cache.record");
+        auto span = obs::span(obs, "record " + name, "trace-cache");
         recordTrace(prog, base);
+        span.close();
         if (!readTraceMeta(meta, stats)) {
             throw std::runtime_error("unreadable trace cache meta: " +
                                      meta.string());
         }
+    } else {
+        obs::add(obs, "trace_cache.hit");
     }
     return base;
 }
@@ -229,6 +238,29 @@ openCachedTrace(const fs::path &vpt)
     return in;
 }
 
+/** Pull a cursor's cumulative I/O work into the cell's registry. */
+void
+collectTraceIo(const vm::TraceCursor &cursor, obs::Instrumentation *obs)
+{
+    const vm::TraceIoStats io = cursor.ioStats();
+    obs::add(obs, "trace.io.blocks", io.blocksRead);
+    obs::add(obs, "trace.io.raw_bytes", io.rawBytes);
+    obs::add(obs, "trace.io.enc_bytes", io.encBytes);
+    obs::add(obs, "trace.io.deflated_blocks", io.deflatedBlocks);
+    obs::add(obs, "trace.io.seeks", io.seeks);
+}
+
+/** Pull every bank member's internal counters into the registry. */
+void
+collectBankCounters(const sim::PredictorBank &bank,
+                    obs::Instrumentation *obs)
+{
+    if (obs == nullptr || obs->registry() == nullptr)
+        return;
+    obs::RegistrySink sink(obs->registry()->local());
+    bank.collectCounters(sink);
+}
+
 /**
  * The record-once/replay-many path of runBenchmark: ensure the
  * workload's trace is on disk (executing the VM only if it is not,
@@ -236,13 +268,15 @@ openCachedTrace(const fs::path &vpt)
  */
 sim::RunOutcome
 replayedOutcome(const isa::Program &prog, const std::string &name,
-                const SuiteOptions &options, sim::PredictorBank &bank)
+                const SuiteOptions &options, sim::PredictorBank &bank,
+                sim::WindowSeries *windows)
 {
     sim::RunOutcome outcome;
     outcome.workload = prog.name;
     const fs::path base = ensureTraceRecorded(prog, name, options,
                                               outcome.vmResult.stats);
     const fs::path vpt = base.string() + ".vpt";
+    obs::Instrumentation *obs = options.instrumentation;
 
     std::ifstream in = openCachedTrace(vpt);
     try {
@@ -251,11 +285,16 @@ replayedOutcome(const isa::Program &prog, const std::string &name,
         // (predictor, block) instead of two per event.
         const auto cursor = vm::openTrace(in);
         vm::ReaderBatchSource source(*cursor);
-        sim::replayTrace(source, bank);
+        auto span = obs::span(obs, "replay " + name, "replay");
+        const uint64_t events =
+                sim::replayTrace(source, bank, obs, windows);
+        span.arg("events", std::to_string(events));
+        span.close();
         // A cached trace with bytes beyond its promised event count
         // is corrupt (a partial overwrite, a concatenated file): the
         // stats above would silently describe a truncated stream.
         cursor->expectEnd();
+        collectTraceIo(*cursor, obs);
     } catch (const vm::TraceFileError &error) {
         throw std::runtime_error("corrupt trace cache file " +
                                  vpt.string() + ": " + error.what());
@@ -291,10 +330,13 @@ planTraceRegions(uint64_t events, unsigned regions)
 bool
 regionReplayApplies(const SuiteOptions &options)
 {
+    // Windowed telemetry also forces the serial whole-trace path:
+    // windows are positions in the global event stream, which the
+    // per-region statistics merge does not preserve.
     return options.traceReplay && options.regions > 1 &&
            options.overlap == 0 &&
            options.improvementA == options.improvementB &&
-           !options.values;
+           !options.values && options.windowEvents == 0;
 }
 
 RegionPartial
@@ -322,6 +364,7 @@ runBenchmarkRegion(const std::string &name, const SuiteOptions &options,
 
     RegionPartial partial;
     partial.region = region;
+    obs::Instrumentation *obs = options.instrumentation;
     std::ifstream in = openCachedTrace(vpt);
     try {
         const auto cursor = vm::openTrace(in);
@@ -329,14 +372,24 @@ runBenchmarkRegion(const std::string &name, const SuiteOptions &options,
                                            options.regions);
         const TraceRegion &r = plan.at(region);
         if (r.begin < r.end) {
+            auto span = obs::span(obs,
+                                  "region " + name + " #" +
+                                          std::to_string(region),
+                                  "region");
             vm::TraceRegionReader reader(*cursor, r.begin, r.end,
                                          options.warmupEvents);
-            partial.events = sim::replayTraceRegion(reader, bank);
+            partial.events = sim::replayTraceRegion(reader, bank, obs);
+            span.arg("events", std::to_string(partial.events));
         }
+        collectTraceIo(*cursor, obs);
     } catch (const vm::TraceFileError &error) {
         throw std::runtime_error("corrupt trace cache file " +
                                  vpt.string() + ": " + error.what());
     }
+    // Each region task trains its own fresh bank, so the per-cell
+    // registry accumulates the *sum* of the region banks' counters
+    // (same-name accumulation — the registry's documented semantics).
+    collectBankCounters(bank, obs);
 
     partial.stats.reserve(bank.size());
     for (size_t i = 0; i < bank.size(); ++i)
@@ -388,6 +441,10 @@ mergeRegionPartials(const std::string &name, const SuiteOptions &options,
 BenchmarkRun
 runBenchmark(const std::string &name, const SuiteOptions &options)
 {
+    if (options.windowEvents != 0 && !options.traceReplay) {
+        throw std::invalid_argument(
+                "windowed telemetry requires trace replay");
+    }
     if (regionReplayApplies(options)) {
         // The region path replayed serially — this is the reference
         // semantics the CellScheduler's parallel fan-out reproduces
@@ -412,13 +469,20 @@ runBenchmark(const std::string &name, const SuiteOptions &options)
     if (options.values)
         bank.trackValues();
 
+    sim::WindowSeries windows;
+    windows.windowEvents = options.windowEvents;
     const auto outcome =
             options.traceReplay
-                    ? replayedOutcome(prog, name, options, bank)
+                    ? replayedOutcome(prog, name, options, bank,
+                                      options.windowEvents != 0
+                                              ? &windows
+                                              : nullptr)
                     : sim::runProgram(prog, bank);
+    collectBankCounters(bank, options.instrumentation);
 
     BenchmarkRun run;
     run.name = name;
+    run.windows = std::move(windows);
     run.exec = outcome.vmResult.stats;
     run.staticPredicted = outcome.staticPredicted;
     run.staticByCategory = outcome.staticByCategory;

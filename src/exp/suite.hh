@@ -21,8 +21,13 @@
 #include "core/predictor.hh"
 #include "core/stats.hh"
 #include "core/value_profile.hh"
+#include "sim/driver.hh"
 #include "vm/exec_stats.hh"
 #include "workloads/workload.hh"
+
+namespace vp::obs {
+class Instrumentation;
+} // namespace vp::obs
 
 namespace vp::exp {
 
@@ -121,6 +126,29 @@ struct SuiteOptions
     /** Warm-up window per region (events before the region trained
      *  into tables but excluded from statistics). */
     uint64_t warmupEvents = defaultWarmupEvents;
+
+    /**
+     * Windowed replay telemetry: close a statistics window every this
+     * many events and record per-predictor coverage/accuracy deltas
+     * into BenchmarkRun::windows (0 = off). Requires traceReplay and
+     * forces a whole-trace serial replay (regionReplayApplies returns
+     * false): windows are positions in the global event stream, which
+     * region-parallel replay does not preserve. Never changes the
+     * per-event protocol — stats with windowing on are byte-identical
+     * to windowing off.
+     */
+    uint64_t windowEvents = 0;
+
+    /**
+     * Optional per-cell instrumentation handle (obs/instrumentation.hh):
+     * the harness pulls predictor-table counters, trace I/O and cache
+     * hit/miss/record counts into its registry and records timeline
+     * spans on its trace log. Null = off (the default): no counter is
+     * read, no name is formatted, replay is byte- and time-identical.
+     * Not part of a cell's identity — two runs differing only here are
+     * the same experiment (see exp/experiment.hh cell keys).
+     */
+    obs::Instrumentation *instrumentation = nullptr;
 };
 
 /** Results for one benchmark. */
@@ -137,6 +165,9 @@ struct BenchmarkRun
     std::optional<core::OverlapTracker> overlap;
     std::optional<core::ImprovementTracker> improvement;
     std::optional<core::ValueProfiler> values;
+
+    /** Windowed telemetry (SuiteOptions::windowEvents > 0 only). */
+    sim::WindowSeries windows;
 
     /** Accuracy (in percent) of the predictor at @p index. */
     double accuracyPct(size_t index) const;

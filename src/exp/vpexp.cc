@@ -1,18 +1,25 @@
 #include "exp/vpexp.hh"
 
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <mutex>
+#include <optional>
 #include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include <unistd.h>
 
 #include "exp/confidence.hh"
 #include "exp/experiment.hh"
 #include "exp/report.hh"
 #include "exp/spec.hh"
+#include "obs/trace_log.hh"
 #include "sim/table.hh"
 
 namespace vp::exp {
@@ -25,7 +32,8 @@ const char *const usageText =
         "usage: vpexp [--list] [--all] [experiment ...]\n"
         "             [--dry-run] [--jobs N] [--out DIR]\n"
         "             [--format table,csv,json] [--trace-cache DIR]\n"
-        "             [--regions W] [--warmup N]\n"
+        "             [--regions W] [--warmup N] [--window N]\n"
+        "             [--stats] [--progress] [--trace-json FILE]\n"
         "\n"
         "  --list         list registered experiments and exit\n"
         "  --spec-help    print the predictor spec grammar and exit\n"
@@ -38,6 +46,17 @@ const char *const usageText =
         "                 W>1 drifts <=0.1pp at the default warmup)\n"
         "  --warmup N     events replayed before each region to train\n"
         "                 tables, excluded from stats (default 131072)\n"
+        "  --window N     sample per-predictor coverage/accuracy every\n"
+        "                 N events into each cell's windows series\n"
+        "                 (JSON + windows.csv; forces serial replay)\n"
+        "  --stats        print the merged instrumentation counters of\n"
+        "                 every cell after the experiment tables\n"
+        "  --progress     live cell/task completion line on stderr\n"
+        "                 (only when stderr is a TTY)\n"
+        "  --trace-json FILE\n"
+        "                 write a Chrome trace-event timeline of the\n"
+        "                 run (cells, regions, warm-up, trace-cache,\n"
+        "                 reports) loadable in Perfetto\n"
         "  --out DIR      write <exp>.txt, <exp>.<table>.csv and\n"
         "                 BENCH_results.json under DIR\n"
         "  --format LIST  comma list of table,csv,json\n"
@@ -57,6 +76,10 @@ struct DriverOptions
     unsigned jobs = 0;
     unsigned regions = 1;
     uint64_t warmup = defaultWarmupEvents;
+    uint64_t window = 0;
+    bool stats = false;
+    bool progress = false;
+    std::string traceJson;
     std::string out;
     std::string formatList;     // raw --format value; empty = default
     std::string traceCacheDir;
@@ -146,6 +169,27 @@ parseArgs(int argc, const char *const *argv)
                 options.ok = false;
                 options.error = "bad --warmup value: " + value;
             }
+        } else if (takeValue(arg, "--window", argc, argv, i, value,
+                             options)) {
+            if (!options.ok)
+                break;
+            try {
+                size_t consumed = 0;
+                const long long window = std::stoll(value, &consumed);
+                if (window < 1 || consumed != value.size())
+                    throw std::invalid_argument(value);
+                options.window = static_cast<uint64_t>(window);
+            } catch (const std::exception &) {
+                options.ok = false;
+                options.error = "bad --window value: " + value;
+            }
+        } else if (arg == "--stats") {
+            options.stats = true;
+        } else if (arg == "--progress") {
+            options.progress = true;
+        } else if (takeValue(arg, "--trace-json", argc, argv, i, value,
+                             options)) {
+            options.traceJson = value;
         } else if (takeValue(arg, "--out", argc, argv, i, value,
                              options)) {
             options.out = value;
@@ -225,6 +269,80 @@ struct ExperimentOutcome
     std::string error;
 };
 
+/**
+ * One cell's counter snapshot as a JSON object: counters and gauges
+ * as name -> value maps, histograms with their summary moments plus
+ * the non-empty log2 buckets as [bucketLow, count] pairs.
+ */
+std::string
+snapshotJson(const obs::Snapshot &snapshot)
+{
+    using report_writer::jsonEscape;
+    using report_writer::jsonNumber;
+
+    std::ostringstream out;
+    out << "{\"counters\": {";
+    bool first = true;
+    for (const auto &[name, value] : snapshot.counters) {
+        out << (first ? "" : ", ") << '"' << jsonEscape(name)
+            << "\": " << value;
+        first = false;
+    }
+    out << "}, \"gauges\": {";
+    first = true;
+    for (const auto &[name, value] : snapshot.gauges) {
+        out << (first ? "" : ", ") << '"' << jsonEscape(name)
+            << "\": " << value;
+        first = false;
+    }
+    out << "}, \"histograms\": {";
+    first = true;
+    for (const auto &[name, hist] : snapshot.histograms) {
+        out << (first ? "" : ", ") << '"' << jsonEscape(name)
+            << "\": {\"count\": " << hist.count << ", \"sum\": "
+            << hist.sum << ", \"min\": "
+            << (hist.count ? hist.min : 0) << ", \"max\": " << hist.max
+            << ", \"mean\": " << jsonNumber(hist.mean())
+            << ", \"buckets\": [";
+        bool first_bucket = true;
+        for (int b = 0; b < obs::Histogram::numBuckets; ++b) {
+            const uint64_t n = hist.buckets[static_cast<size_t>(b)];
+            if (n == 0)
+                continue;
+            out << (first_bucket ? "" : ", ") << '['
+                << obs::Histogram::bucketLow(b) << ", " << n << ']';
+            first_bucket = false;
+        }
+        out << "]}";
+        first = false;
+    }
+    out << "}}";
+    return out.str();
+}
+
+/** One cell's windowed-telemetry series as a JSON object. */
+std::string
+windowsJson(const sim::WindowSeries &windows)
+{
+    std::ostringstream out;
+    out << "{\"windowEvents\": " << windows.windowEvents
+        << ", \"samples\": [";
+    for (size_t s = 0; s < windows.samples.size(); ++s) {
+        const auto &sample = windows.samples[s];
+        out << (s ? ", " : "") << "{\"endEvent\": " << sample.endEvent
+            << ", \"members\": [";
+        for (size_t m = 0; m < sample.members.size(); ++m) {
+            const auto &delta = sample.members[m];
+            out << (m ? ", " : "") << "{\"eligible\": " << delta.eligible
+                << ", \"predicted\": " << delta.predicted
+                << ", \"correct\": " << delta.correct << '}';
+        }
+        out << "]}";
+    }
+    out << "]}";
+    return out.str();
+}
+
 std::string
 resultsJson(const std::vector<ExperimentOutcome> &outcomes,
             const CellScheduler &scheduler, const DriverOptions &options,
@@ -240,6 +358,7 @@ resultsJson(const std::vector<ExperimentOutcome> &outcomes,
     out << "\"jobs\": " << scheduler.workers() << ",\n";
     out << "\"regions\": " << options.regions << ",\n";
     out << "\"warmupEvents\": " << options.warmup << ",\n";
+    out << "\"windowEvents\": " << options.window << ",\n";
     out << "\"wallMs\": " << jsonNumber(total_ms) << ",\n";
     out << "\"uniqueCells\": " << scheduler.uniqueCells() << ",\n";
     out << "\"requestedCells\": " << scheduler.requestedCells()
@@ -275,7 +394,8 @@ resultsJson(const std::vector<ExperimentOutcome> &outcomes,
             << jsonEscape(record.config.flags) << "\", \"scale\": "
             << record.config.scale << ", \"done\": "
             << (record.done ? "true" : "false") << ", \"wallMs\": "
-            << jsonNumber(record.wallMs) << ", \"regions\": "
+            << jsonNumber(record.wallMs) << ", \"queuedMs\": "
+            << jsonNumber(record.queuedMs) << ", \"regions\": "
             << record.regions << ", \"events\": "
             << record.events << ", \"nsPerEvent\": "
             << jsonNumber(record.events
@@ -302,11 +422,157 @@ resultsJson(const std::vector<ExperimentOutcome> &outcomes,
             }
             out << '}';
         }
-        out << "]}" << (c + 1 < records.size() ? "," : "") << '\n';
+        out << "], \"counters\": " << snapshotJson(record.counters);
+        if (record.windows.windowEvents != 0)
+            out << ", \"windows\": " << windowsJson(record.windows);
+        out << '}' << (c + 1 < records.size() ? "," : "") << '\n';
     }
     out << "]\n}\n";
     return out.str();
 }
+
+/**
+ * Windowed telemetry as one flat CSV (written as windows.csv under
+ * --out): a row per (cell, window, predictor).
+ */
+std::string
+windowsCsv(const std::vector<CellScheduler::CellRecord> &records)
+{
+    std::ostringstream out;
+    out << "cell,workload,spec,endEvent,eligible,predicted,correct\n";
+    for (size_t c = 0; c < records.size(); ++c) {
+        const auto &record = records[c];
+        for (const auto &sample : record.windows.samples) {
+            for (size_t m = 0; m < sample.members.size(); ++m) {
+                const auto &delta = sample.members[m];
+                const std::string spec =
+                        m < record.predictors.size()
+                                ? record.predictors[m].first
+                                : "";
+                out << c << ',' << record.workload << ',' << spec << ','
+                    << sample.endEvent << ',' << delta.eligible << ','
+                    << delta.predicted << ',' << delta.correct << '\n';
+            }
+        }
+    }
+    return out.str();
+}
+
+/**
+ * `--stats`: the run's instrumentation, merged across every cell
+ * (counters/histograms sum, gauges keep their maximum) and printed as
+ * text tables.
+ */
+void
+printStatsTables(const std::vector<CellScheduler::CellRecord> &records)
+{
+    obs::Snapshot total;
+    for (const auto &record : records)
+        total.merge(record.counters);
+    if (total.empty()) {
+        std::printf("vpexp: no instrumentation counters collected\n");
+        return;
+    }
+
+    sim::TextTable table;
+    table.row().cell("metric").cell("value").rule();
+    for (const auto &[name, value] : total.counters)
+        table.row().cell(name).cell(std::to_string(value));
+    for (const auto &[name, value] : total.gauges)
+        table.row().cell(name + " (max)").cell(std::to_string(value));
+    std::printf("instrumentation counters (%zu cells)\n\n%s",
+                records.size(), table.render().c_str());
+
+    if (!total.histograms.empty()) {
+        sim::TextTable hists;
+        hists.row().cell("histogram").cell("count").cell("mean")
+                .cell("min").cell("max").rule();
+        for (const auto &[name, hist] : total.histograms) {
+            char mean[32];
+            std::snprintf(mean, sizeof(mean), "%.2f", hist.mean());
+            hists.row().cell(name).cell(std::to_string(hist.count))
+                    .cell(mean)
+                    .cell(std::to_string(hist.count ? hist.min : 0))
+                    .cell(std::to_string(hist.max));
+        }
+        std::printf("\n%s", hists.render().c_str());
+    }
+    std::printf("\n");
+}
+
+/**
+ * `--progress`: a live completion line on stderr, refreshed a few
+ * times a second from CellScheduler::progress() by a tiny poller
+ * thread. Only active when stderr is a terminal; clear() erases the
+ * line so regular output can interleave cleanly.
+ */
+class ProgressMeter
+{
+  public:
+    ProgressMeter(const CellScheduler &scheduler, bool enabled)
+        : scheduler_(scheduler)
+    {
+        if (enabled && isatty(fileno(stderr)) != 0)
+            thread_ = std::thread([this] { loop(); });
+    }
+
+    ~ProgressMeter() { stop(); }
+
+    /** Erase the progress line (before printing to the terminal). */
+    void
+    clear()
+    {
+        if (!thread_.joinable())
+            return;
+        const std::lock_guard<std::mutex> lock(mutex_);
+        eraseLine();
+    }
+
+    void
+    stop()
+    {
+        if (!thread_.joinable())
+            return;
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            stop_ = true;
+        }
+        wake_.notify_all();
+        thread_.join();
+        eraseLine();
+    }
+
+  private:
+    static void
+    eraseLine()
+    {
+        std::fprintf(stderr, "\r\33[2K");
+        std::fflush(stderr);
+    }
+
+    void
+    loop()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        while (!stop_) {
+            const CellScheduler::Progress p = scheduler_.progress();
+            std::fprintf(stderr,
+                         "\r\33[2Kvpexp: %zu/%zu cells done "
+                         "(%zu/%zu tasks)",
+                         p.cellsDone, p.cellsTotal, p.tasksDone,
+                         p.tasksTotal);
+            std::fflush(stderr);
+            wake_.wait_for(lock, std::chrono::milliseconds(200),
+                           [this] { return stop_; });
+        }
+    }
+
+    const CellScheduler &scheduler_;
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    bool stop_ = false;
+    std::thread thread_;
+};
 
 bool
 writeFile(const fs::path &path, const std::string &content)
@@ -378,10 +644,18 @@ vpexpMain(int argc, const char *const *argv)
     config.traceCacheDir = options.traceCacheDir;
     config.regions = options.regions;
     config.warmupEvents = options.warmup;
+    config.windowEvents = options.window;
+
+    std::optional<obs::TraceLog> traceLog;
+    if (!options.traceJson.empty()) {
+        traceLog.emplace();
+        config.traceLog = &*traceLog;
+    }
 
     using Clock = std::chrono::steady_clock;
     const auto run_start = Clock::now();
     CellScheduler scheduler(config, options.jobs);
+    ProgressMeter meter(scheduler, options.progress);
 
     // Queue every declared cell of every selected experiment before
     // the first hook blocks: the worker pool then crunches the whole
@@ -403,6 +677,9 @@ vpexpMain(int argc, const char *const *argv)
         ExperimentContext ctx(config, scheduler);
         const auto start = Clock::now();
         try {
+            auto span = obs::TraceLog::span(config.traceLog,
+                                            "report " + experiment->name,
+                                            "report");
             experiment->run(ctx);
         } catch (const std::exception &e) {
             outcome.ok = false;
@@ -416,10 +693,12 @@ vpexpMain(int argc, const char *const *argv)
         outcome.cells = ctx.cellsUsed();
 
         if (!outcome.ok) {
+            meter.clear();
             std::fprintf(stderr, "vpexp: experiment %s failed: %s\n",
                          experiment->name.c_str(),
                          outcome.error.c_str());
         } else if (print_tables) {
+            meter.clear();
             std::printf("%s\n\n%s",
                         experiment->title.c_str(),
                         report_writer::renderText(outcome.report)
@@ -430,6 +709,10 @@ vpexpMain(int argc, const char *const *argv)
     const double total_ms = std::chrono::duration<double, std::milli>(
                                     Clock::now() - run_start)
                                     .count();
+    meter.stop();
+
+    if (options.stats)
+        printStatsTables(scheduler.records());
 
     if (print_tables) {
         std::printf("vpexp: %zu experiment%s, %zu unique cell%s "
@@ -484,6 +767,10 @@ vpexpMain(int argc, const char *const *argv)
             wrote = wrote &&
                     writeFile(out / "BENCH_results.json", json);
         }
+        if (options.window != 0) {
+            wrote = wrote && writeFile(out / "windows.csv",
+                                       windowsCsv(scheduler.records()));
+        }
         if (!wrote) {
             std::fprintf(stderr, "vpexp: failed writing under %s\n",
                          options.out.c_str());
@@ -491,6 +778,15 @@ vpexpMain(int argc, const char *const *argv)
         }
     } else if (formats.count("json")) {
         std::fputs(json.c_str(), stdout);
+    }
+
+    if (traceLog) {
+        if (!writeFile(fs::path(options.traceJson),
+                       traceLog->render())) {
+            std::fprintf(stderr, "vpexp: cannot write %s\n",
+                         options.traceJson.c_str());
+            return 1;
+        }
     }
 
     return failed ? 1 : 0;

@@ -1,0 +1,57 @@
+#include "obs/registry.hh"
+
+#include <atomic>
+#include <unordered_map>
+
+namespace vp::obs {
+
+uint64_t
+Registry::nextId()
+{
+    // Process-unique, never reused: a thread's shard cache keyed by
+    // this id can never resolve a stale entry for a registry that was
+    // destroyed and whose address was recycled.
+    static std::atomic<uint64_t> next{1};
+    return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+Registry::Shard &
+Registry::local()
+{
+    // Per-thread cache: registry id -> this thread's shard. Entries
+    // for destroyed registries linger (harmless: ids are unique, so
+    // they can never be looked up again) until the thread exits; the
+    // count is bounded by registries-ever-created, each entry a few
+    // dozen bytes.
+    thread_local std::unordered_map<uint64_t, Shard *> cache;
+    const auto it = cache.find(id_);
+    if (it != cache.end())
+        return *it->second;
+
+    const std::lock_guard<std::mutex> lock(mutex_);
+    shards_.push_back(std::make_unique<Shard>());
+    Shard *shard = shards_.back().get();
+    cache.emplace(id_, shard);
+    return *shard;
+}
+
+Snapshot
+Registry::snapshot() const
+{
+    Snapshot merged;
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &shard : shards_) {
+        for (const auto &[name, value] : shard->counters_)
+            merged.counters[name] += value;
+        for (const auto &[name, value] : shard->gauges_) {
+            auto [it, fresh] = merged.gauges.try_emplace(name, value);
+            if (!fresh && value > it->second)
+                it->second = value;
+        }
+        for (const auto &[name, hist] : shard->histograms_)
+            merged.histograms[name].merge(hist);
+    }
+    return merged;
+}
+
+} // namespace vp::obs

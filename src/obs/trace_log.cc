@@ -1,0 +1,143 @@
+#include "obs/trace_log.hh"
+
+#include <cstdio>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <thread>
+
+namespace vp::obs {
+
+namespace {
+
+/** Escape @p text as the body of a JSON string literal. */
+std::string
+escape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                      static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** Fixed-point microseconds: trace viewers dislike exponents. */
+std::string
+us(double value)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.3f", value);
+    return buf;
+}
+
+} // anonymous namespace
+
+int
+TraceLog::laneForThisThread()
+{
+    // Called under mutex_. Lane per OS thread, first-event order;
+    // events are span-granular (hundreds per run), so a map lookup
+    // per completed span is cold-path cheap.
+    const auto id = std::this_thread::get_id();
+    const auto it = lanes_.find(id);
+    if (it != lanes_.end())
+        return it->second;
+    const int lane = static_cast<int>(laneNames_.size());
+    laneNames_.push_back("thread-" + std::to_string(lane));
+    lanes_.emplace(id, lane);
+    return lane;
+}
+
+void
+TraceLog::complete(const std::string &name, const std::string &category,
+                   Clock::time_point start, Clock::time_point end,
+                   Args args)
+{
+    if (end < start)
+        end = start;
+    const std::lock_guard<std::mutex> lock(mutex_);
+    Event event;
+    event.name = name;
+    event.category = category;
+    event.tsUs = std::chrono::duration<double, std::micro>(
+                         start - origin_)
+                         .count();
+    event.durUs =
+            std::chrono::duration<double, std::micro>(end - start)
+                    .count();
+    event.tid = laneForThisThread();
+    event.args = std::move(args);
+    events_.push_back(std::move(event));
+}
+
+size_t
+TraceLog::eventCount() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return events_.size();
+}
+
+std::string
+TraceLog::render() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::ostringstream out;
+    out << "{\n\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n";
+    bool first = true;
+    for (size_t lane = 0; lane < laneNames_.size(); ++lane) {
+        // Metadata events name the lanes so the viewer groups spans
+        // by worker thread.
+        out << (first ? "" : ",\n")
+            << "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
+               "\"tid\": "
+            << lane << ", \"args\": {\"name\": \""
+            << escape(laneNames_[lane]) << "\"}}";
+        first = false;
+    }
+    for (const Event &event : events_) {
+        out << (first ? "" : ",\n") << "{\"name\": \""
+            << escape(event.name) << "\", \"cat\": \""
+            << escape(event.category)
+            << "\", \"ph\": \"X\", \"pid\": 1, \"tid\": " << event.tid
+            << ", \"ts\": " << us(event.tsUs)
+            << ", \"dur\": " << us(event.durUs);
+        if (!event.args.empty()) {
+            out << ", \"args\": {";
+            for (size_t a = 0; a < event.args.size(); ++a) {
+                out << (a ? ", " : "") << '"'
+                    << escape(event.args[a].first) << "\": \""
+                    << escape(event.args[a].second) << '"';
+            }
+            out << '}';
+        }
+        out << '}';
+        first = false;
+    }
+    out << "\n]\n}\n";
+    return out.str();
+}
+
+void
+TraceLog::write(std::ostream &out) const
+{
+    out << render();
+}
+
+} // namespace vp::obs

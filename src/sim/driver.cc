@@ -1,7 +1,9 @@
 #include "sim/driver.hh"
 
+#include <algorithm>
 #include <stdexcept>
 
+#include "obs/instrumentation.hh"
 #include "vm/trace_file.hh"
 
 namespace vp::sim {
@@ -156,6 +158,13 @@ PredictorBank::onBatch(vm::TraceSpan batch)
     }
 }
 
+void
+PredictorBank::collectCounters(core::CounterSink &sink) const
+{
+    for (const auto &member : members_)
+        member.predictor->collectCounters(sink);
+}
+
 int
 PredictorBank::indexOf(const std::string &name) const
 {
@@ -174,32 +183,113 @@ replayTrace(const std::vector<vm::TraceEvent> &events,
         bank.onValue(event);
 }
 
-uint64_t
-replayTrace(vm::TraceBatchSource &source, PredictorBank &bank)
+namespace {
+
+/**
+ * Close one telemetry window: sample every member's cumulative stats,
+ * emit the delta against the previous boundary, advance the boundary.
+ */
+void
+closeWindow(const PredictorBank &bank, WindowSeries &windows,
+            uint64_t end_event,
+            std::vector<WindowSample::Delta> &at_last_boundary)
 {
+    WindowSample sample;
+    sample.endEvent = end_event;
+    sample.members.resize(bank.size());
+    for (size_t m = 0; m < bank.size(); ++m) {
+        const core::PredictionStats &stats = bank.member(m).stats;
+        WindowSample::Delta &prev = at_last_boundary[m];
+        sample.members[m].eligible = stats.total() - prev.eligible;
+        sample.members[m].predicted = stats.predicted() - prev.predicted;
+        sample.members[m].correct = stats.correct() - prev.correct;
+        prev = {stats.total(), stats.predicted(), stats.correct()};
+    }
+    windows.samples.push_back(std::move(sample));
+}
+
+} // anonymous namespace
+
+uint64_t
+replayTrace(vm::TraceBatchSource &source, PredictorBank &bank,
+            obs::Instrumentation *obs, WindowSeries *windows)
+{
+    const uint64_t window_n =
+            windows != nullptr ? windows->windowEvents : 0;
+    std::vector<WindowSample::Delta> boundary(
+            window_n != 0 ? bank.size() : 0);
     uint64_t n = 0;
     for (;;) {
-        const vm::TraceSpan span = source.nextBatch();
+        vm::TraceSpan span = source.nextBatch();
         if (span.empty())
-            return n;
-        bank.onBatch(span);
-        n += span.size();
+            break;
+        obs::add(obs, "replay.batches");
+        obs::add(obs, "replay.events", span.size());
+        obs::record(obs, "replay.batch_fill", span.size());
+        while (!span.empty()) {
+            size_t take = span.size();
+            if (window_n != 0) {
+                // Split at the boundary so windows close at exact
+                // multiples of windowEvents regardless of how the
+                // source batches events.
+                const uint64_t room = window_n - n % window_n;
+                take = static_cast<size_t>(
+                        std::min<uint64_t>(take, room));
+            }
+            bank.onBatch(span.first(take));
+            span = span.subspan(take);
+            n += take;
+            if (window_n != 0 && n % window_n == 0)
+                closeWindow(bank, *windows, n, boundary);
+        }
     }
+    if (window_n != 0 && n % window_n != 0)
+        closeWindow(bank, *windows, n, boundary);
+    return n;
 }
 
 uint64_t
-replayTraceRegion(vm::TraceRegionReader &region, PredictorBank &bank)
+replayTrace(vm::TraceBatchSource &source, PredictorBank &bank)
+{
+    return replayTrace(source, bank, nullptr, nullptr);
+}
+
+uint64_t
+replayTraceRegion(vm::TraceRegionReader &region, PredictorBank &bank,
+                  obs::Instrumentation *obs)
 {
     uint64_t n = 0;
+    uint64_t warm = 0;
+    // The reader serves every warm-up span before the first region
+    // span, so one timeline span covers each phase; both are inert
+    // when obs is null or has no trace log.
+    auto timeline = obs::span(obs, "warmup", "replay");
+    bool in_warmup = true;
     for (;;) {
         const vm::TraceSpan span = region.nextBatch();
         if (span.empty())
             break;
+        if (in_warmup && !region.lastSpanWarmup()) {
+            timeline.arg("events", std::to_string(warm));
+            timeline = obs::span(obs, "region", "replay");
+            in_warmup = false;
+        }
+        obs::add(obs, "replay.batches");
+        obs::record(obs, "replay.batch_fill", span.size());
         bank.setWarmup(region.lastSpanWarmup());
         bank.onBatch(span);
-        if (!region.lastSpanWarmup())
+        if (region.lastSpanWarmup()) {
+            warm += span.size();
+            obs::add(obs, "replay.warmup_events", span.size());
+        } else {
             n += span.size();
+            obs::add(obs, "replay.events", span.size());
+        }
     }
+    if (in_warmup)
+        timeline.arg("events", std::to_string(warm));
+    else
+        timeline.arg("events", std::to_string(n));
     bank.setWarmup(false);
     return n;
 }

@@ -26,6 +26,10 @@ namespace vp::vm {
 class TraceRegionReader;
 } // namespace vp::vm
 
+namespace vp::obs {
+class Instrumentation;
+} // namespace vp::obs
+
 namespace vp::sim {
 
 /**
@@ -122,6 +126,14 @@ class PredictorBank : public vm::TraceSink
     /** Find a member by predictor name; -1 when absent. */
     int indexOf(const std::string &name) const;
 
+    /**
+     * Pull every member's internal counters into @p sink (see
+     * ValuePredictor::collectCounters). Members share the sink, so
+     * same-family members accumulate into one metric per name —
+     * family prefixes keep different families apart.
+     */
+    void collectCounters(core::CounterSink &sink) const;
+
     const core::OverlapTracker *overlap() const { return overlap_.get(); }
     const core::ImprovementTracker *improvement() const
     {
@@ -178,11 +190,58 @@ void replayTrace(const std::vector<vm::TraceEvent> &events,
                  PredictorBank &bank);
 
 /**
+ * One windowed-telemetry sample: every bank member's statistics delta
+ * over one window of events (exactly WindowSeries::windowEvents of
+ * them, except possibly the final partial window).
+ */
+struct WindowSample
+{
+    /** Per-member delta over the window, bank order. */
+    struct Delta
+    {
+        uint64_t eligible = 0;      ///< events graded in the window
+        uint64_t predicted = 0;
+        uint64_t correct = 0;
+    };
+
+    uint64_t endEvent = 0;          ///< events replayed at window close
+    std::vector<Delta> members;
+};
+
+/**
+ * Windowed replay telemetry: per-window coverage/accuracy series for
+ * every bank member. Windows close at *exact* multiples of
+ * windowEvents — replayTrace splits spans at the boundary, so the
+ * series is independent of the source's batching. The final partial
+ * window (if any) is emitted too; consumers can tell it apart by
+ * endEvent % windowEvents != 0.
+ */
+struct WindowSeries
+{
+    uint64_t windowEvents = 0;      ///< 0 disables windowing
+    std::vector<WindowSample> samples;
+};
+
+/**
  * Streaming batched replay: drain @p source span by span through
  * PredictorBank::onBatch. Memory stays bounded by the source's block
  * size regardless of trace length (pair with vm::ReaderBatchSource to
  * stream a trace file). Returns the number of events replayed.
+ *
+ * @param obs optional instrumentation: batch-fill histogram and
+ *        replay event/batch counters (null = off, zero extra work
+ *        beyond one branch per span).
+ * @param windows optional windowed telemetry (windowEvents > 0):
+ *        spans are split at exact window boundaries and every bank
+ *        member's stats delta is sampled per window. Splitting only
+ *        changes batch geometry, never the per-event protocol, so
+ *        results are byte-identical with windowing on or off.
  */
+uint64_t replayTrace(vm::TraceBatchSource &source, PredictorBank &bank,
+                     obs::Instrumentation *obs,
+                     WindowSeries *windows = nullptr);
+
+/** Uninstrumented streaming replay (the pre-telemetry signature). */
 uint64_t replayTrace(vm::TraceBatchSource &source, PredictorBank &bank);
 
 /**
@@ -190,9 +249,14 @@ uint64_t replayTrace(vm::TraceBatchSource &source, PredictorBank &bank);
  * with statistics gated off (PredictorBank::setWarmup), region spans
  * count. Returns the number of region (non-warm-up) events replayed;
  * the bank is left with warm-up off.
+ *
+ * With @p obs, the warm-up window and the region body each get a
+ * timeline span ("warmup" / "region", annotated with their event
+ * counts) plus the same batch counters as replayTrace; null is off.
  */
 uint64_t replayTraceRegion(vm::TraceRegionReader &region,
-                           PredictorBank &bank);
+                           PredictorBank &bank,
+                           obs::Instrumentation *obs = nullptr);
 
 /**
  * Batched replay of an in-memory trace: zero-copy spans of @p batch

@@ -576,6 +576,9 @@ Vpt2Reader::openBlock()
     blockRemaining_ = events;
     lastPc_ = 0;
     ++blocksSeen_;
+    ioRawBytes_ += raw_bytes;
+    ioEncBytes_ += enc_bytes;
+    ioDeflatedBlocks_ += codec == codecZlib;
     return true;
 }
 
@@ -670,6 +673,18 @@ Vpt2Reader::blockCount() const
     return indexed_ ? index_.size() : static_cast<size_t>(blocksSeen_);
 }
 
+TraceIoStats
+Vpt2Reader::ioStats() const
+{
+    TraceIoStats stats;
+    stats.blocksRead = blocksSeen_;
+    stats.rawBytes = ioRawBytes_;
+    stats.encBytes = ioEncBytes_;
+    stats.deflatedBlocks = ioDeflatedBlocks_;
+    stats.seeks = ioSeeks_;
+    return stats;
+}
+
 void
 Vpt2Reader::seekToEvent(uint64_t target)
 {
@@ -700,6 +715,7 @@ Vpt2Reader::seekToEvent(uint64_t target)
     in_.seekg(static_cast<std::istream::off_type>(entry.offset));
     if (!in_)
         throw TraceFileError("VPT2 seek failed");
+    ++ioSeeks_;
     ended_ = false;
     blockRemaining_ = 0;
     pos_ = entry.firstEvent;

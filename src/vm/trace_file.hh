@@ -152,6 +152,22 @@ class Vpt2Writer : public TraceSink
 };
 
 /**
+ * Cumulative I/O work a cursor has performed, for the harness's trace
+ * I/O telemetry (vpexp --stats / the per-cell counters block). Only
+ * the blocked VPT2 format has block/compression structure to report;
+ * a VPT1 cursor returns the all-zero default. The deflate ratio is
+ * encBytes / rawBytes over the deflated blocks actually read.
+ */
+struct TraceIoStats
+{
+    uint64_t blocksRead = 0;        ///< blocks decoded (re-reads count)
+    uint64_t rawBytes = 0;          ///< decoded payload bytes
+    uint64_t encBytes = 0;          ///< on-disk payload bytes
+    uint64_t deflatedBlocks = 0;    ///< blocksRead that were deflated
+    uint64_t seeks = 0;             ///< index-backed stream repositions
+};
+
+/**
  * Format-independent read cursor over a recorded trace. Concrete
  * cursors are TraceReader (VPT1) and Vpt2Reader (VPT2); openTrace()
  * sniffs the magic and returns the right one.
@@ -211,6 +227,10 @@ class TraceCursor
      * @throws TraceFileError on trailing garbage or a short trace.
      */
     virtual void expectEnd() = 0;
+
+    /** Cumulative I/O counters; zeroes for formats without block
+     *  structure. Purely observational. */
+    virtual TraceIoStats ioStats() const { return {}; }
 
     /** Replay the remaining events into @p sink; returns the count. */
     uint64_t replay(TraceSink &sink);
@@ -277,6 +297,9 @@ class Vpt2Reader : public TraceCursor
      *  non-seekable streams. */
     void seekToEvent(uint64_t target) override;
 
+    /** Blocks decoded, payload bytes, deflated-block and seek counts. */
+    TraceIoStats ioStats() const override;
+
   private:
     struct IndexEntry
     {
@@ -299,6 +322,10 @@ class Vpt2Reader : public TraceCursor
     uint64_t lastPc_ = 0;       ///< restarts per block
     std::vector<IndexEntry> index_;
     uint64_t blocksSeen_ = 0;
+    uint64_t ioRawBytes_ = 0;
+    uint64_t ioEncBytes_ = 0;
+    uint64_t ioDeflatedBlocks_ = 0;
+    uint64_t ioSeeks_ = 0;
 
     std::string enc_;           ///< encoded (possibly deflated) block
     std::string rawBuf_;        ///< decoded block payload

@@ -13,6 +13,7 @@
 #include <cstdio>
 
 #include "exp/experiment.hh"
+#include "obs/instrumentation.hh"
 
 namespace {
 
@@ -199,6 +200,79 @@ TEST(CellScheduler, MultiExperimentRunBeatsLegacySerialBinaries)
     EXPECT_LE(sched_ms, legacy_ms * 1.25);
 }
 
+TEST(CellScheduler, RecordsCarryQueuedMsAndCounters)
+{
+    ExperimentConfig config;
+    CellScheduler scheduler(config, 2);
+    SuiteOptions narrowed = smokeOptions();
+    narrowed.benchmarks = {"compress", "gcc"};
+    scheduler.suite(narrowed);
+
+    for (const auto &record : scheduler.records()) {
+        ASSERT_TRUE(record.done);
+        EXPECT_GE(record.queuedMs, 0.0);
+        // Every cell's registry saw the replay-layer counters, and
+        // they reconcile with the cell's own event count.
+        EXPECT_EQ(record.counters.counter("replay.events"),
+                  record.events);
+        EXPECT_GT(record.counters.counter("replay.batches"), 0u);
+        EXPECT_EQ(record.counters.counter("trace_cache.record"), 1u);
+        const auto hist =
+                record.counters.histograms.find("replay.batch_fill");
+        ASSERT_NE(hist, record.counters.histograms.end());
+        EXPECT_GT(hist->second.count, 0u);
+    }
+
+    const auto progress = scheduler.progress();
+    EXPECT_EQ(progress.cellsDone, 2u);
+    EXPECT_EQ(progress.cellsTotal, 2u);
+    EXPECT_EQ(progress.tasksDone, progress.tasksTotal);
+    EXPECT_GE(progress.tasksTotal, 2u);
+}
+
+TEST(CellScheduler, WindowedTelemetryNeverChangesTheStats)
+{
+    SuiteOptions narrowed = smokeOptions();
+    narrowed.benchmarks = {"compress"};
+
+    ExperimentConfig plain;
+    CellScheduler unwindowed(plain, 1);
+    const auto without = unwindowed.suite(narrowed);
+
+    ExperimentConfig windowed_config;
+    windowed_config.windowEvents = 4096;
+    CellScheduler windowed(windowed_config, 1);
+    const auto with = windowed.suite(narrowed);
+
+    // Windowing only changes batch geometry, never the per-event
+    // protocol: statistics must stay byte-identical.
+    expectIdenticalRuns(without, with);
+
+    // And the series itself reconciles: windows close at exact
+    // multiples, per-member deltas sum to the cumulative totals.
+    const auto records = windowed.records();
+    ASSERT_EQ(records.size(), 1u);
+    const auto &windows = records[0].windows;
+    EXPECT_EQ(windows.windowEvents, 4096u);
+    ASSERT_FALSE(windows.samples.empty());
+    std::vector<uint64_t> eligible(records[0].predictors.size(), 0);
+    std::vector<uint64_t> correct(records[0].predictors.size(), 0);
+    for (size_t s = 0; s < windows.samples.size(); ++s) {
+        const auto &sample = windows.samples[s];
+        if (s + 1 < windows.samples.size())
+            EXPECT_EQ(sample.endEvent % 4096, 0u);
+        ASSERT_EQ(sample.members.size(), eligible.size());
+        for (size_t m = 0; m < sample.members.size(); ++m) {
+            eligible[m] += sample.members[m].eligible;
+            correct[m] += sample.members[m].correct;
+        }
+    }
+    for (size_t m = 0; m < eligible.size(); ++m) {
+        EXPECT_EQ(eligible[m], records[0].predictors[m].second.total());
+        EXPECT_EQ(correct[m], records[0].predictors[m].second.correct());
+    }
+}
+
 TEST(NormalizeCellOptions, AppliesDryRunAndCanonicalises)
 {
     ExperimentConfig config;
@@ -211,6 +285,12 @@ TEST(NormalizeCellOptions, AppliesDryRunAndCanonicalises)
     options.improvementA = 3;       // == improvementB: tracker off
     options.improvementB = 3;
 
+    // A caller-set handle must not leak into the cell (it is not part
+    // of cell identity; the scheduler installs its own).
+    obs::Registry stray;
+    obs::Instrumentation handle(&stray);
+    options.instrumentation = &handle;
+
     const auto cell = normalizeCellOptions(options, config);
     EXPECT_EQ(cell.config.scale, dryRunScale);
     EXPECT_TRUE(cell.traceReplay);
@@ -218,6 +298,16 @@ TEST(NormalizeCellOptions, AppliesDryRunAndCanonicalises)
     EXPECT_EQ(cell.parallelism, 0u);
     EXPECT_EQ(cell.improvementA, 0u);
     EXPECT_EQ(cell.improvementB, 0u);
+    EXPECT_EQ(cell.instrumentation, nullptr);
+
+    // Cells adopt the run-wide window, and windowing forces a serial
+    // whole-trace replay (regions canonicalised away).
+    ExperimentConfig windowed = config;
+    windowed.windowEvents = 4096;
+    windowed.regions = 8;
+    const auto windowed_cell = normalizeCellOptions(options, windowed);
+    EXPECT_EQ(windowed_cell.windowEvents, 4096u);
+    EXPECT_EQ(windowed_cell.regions, 1u);
 
     // Without dry-run the requested scale survives.
     config.dryRun = false;

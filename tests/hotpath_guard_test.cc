@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "exp/suite.hh"
+#include "obs/instrumentation.hh"
 #include "sim/driver.hh"
 #include "vm/machine.hh"
 #include "workloads/workload.hh"
@@ -92,6 +93,72 @@ TEST(HotpathGuard, BatchedReplayDoesNotRegressPastScalar)
             << "batched replay regressed past the scalar path: "
             << batched * ns_per_event << " ns/event batched vs "
             << scalar * ns_per_event << " ns/event scalar over "
+            << events.size() << " events";
+}
+
+TEST(HotpathGuard, InstrumentationStaysOffTheHotPath)
+{
+    // The observability contract: counters are pulled at cell
+    // boundaries, never pushed per event, so an instrumented replay
+    // must produce byte-identical statistics and stay within a loose
+    // wall-clock bar of the uninstrumented one (per-span counter work
+    // only — a handful of map lookups per ~4K-event batch).
+    workloads::WorkloadConfig config;
+    config.scale = 5;
+    std::vector<vm::TraceEvent> events;
+    for (const auto &info : workloads::allWorkloads()) {
+        vm::RecordingSink sink;
+        vm::Machine machine;
+        machine.setSink(&sink);
+        ASSERT_TRUE(machine.run(info.build(config)).ok()) << info.name;
+        events.insert(events.end(), sink.events.begin(),
+                      sink.events.end());
+    }
+    ASSERT_FALSE(events.empty());
+
+    {   // Warm-up pass (first-touch page faults).
+        auto bank = makeBank();
+        vm::VectorBatchSource source(events);
+        sim::replayTrace(source, bank);
+    }
+
+    std::vector<core::PredictionStats> statsOff, statsOn;
+    const double off = bestOf(3, [&] {
+        auto bank = makeBank();
+        vm::VectorBatchSource source(events);
+        sim::replayTrace(source, bank);
+        statsOff.clear();
+        for (size_t m = 0; m < bank.size(); ++m)
+            statsOff.push_back(bank.member(m).stats);
+    });
+    obs::Registry registry;
+    obs::Instrumentation instr(&registry);
+    const double on = bestOf(3, [&] {
+        auto bank = makeBank();
+        vm::VectorBatchSource source(events);
+        sim::replayTrace(source, bank, &instr);
+        statsOn.clear();
+        for (size_t m = 0; m < bank.size(); ++m)
+            statsOn.push_back(bank.member(m).stats);
+    });
+
+    ASSERT_EQ(statsOff.size(), statsOn.size());
+    for (size_t m = 0; m < statsOff.size(); ++m) {
+        EXPECT_EQ(statsOff[m].total(), statsOn[m].total());
+        EXPECT_EQ(statsOff[m].predicted(), statsOn[m].predicted());
+        EXPECT_EQ(statsOff[m].correct(), statsOn[m].correct());
+    }
+
+    // The counters themselves must be exact, not just cheap.
+    const obs::Snapshot snap = registry.snapshot();
+    EXPECT_EQ(snap.counter("replay.events"),
+              3 * static_cast<uint64_t>(events.size()));
+
+    const double ns_per_event = 1e9 / static_cast<double>(events.size());
+    EXPECT_LE(on, off * 1.25)
+            << "instrumented replay regressed past instrumented-off: "
+            << on * ns_per_event << " ns/event on vs "
+            << off * ns_per_event << " ns/event off over "
             << events.size() << " events";
 }
 

@@ -79,6 +79,33 @@ slurp(const fs::path &path)
     return out.str();
 }
 
+/** Braces/brackets balance and strings terminate outside strings. */
+void
+expectStructurallyValidJson(const std::string &text)
+{
+    int braces = 0, brackets = 0;
+    bool in_string = false, escaped = false;
+    for (const char c : text) {
+        if (escaped) {
+            escaped = false;
+            continue;
+        }
+        if (c == '\\') {
+            escaped = true;
+        } else if (c == '"') {
+            in_string = !in_string;
+        } else if (!in_string) {
+            braces += c == '{' ? 1 : c == '}' ? -1 : 0;
+            brackets += c == '[' ? 1 : c == ']' ? -1 : 0;
+            ASSERT_GE(braces, 0);
+            ASSERT_GE(brackets, 0);
+        }
+    }
+    EXPECT_FALSE(in_string);
+    EXPECT_EQ(braces, 0);
+    EXPECT_EQ(brackets, 0);
+}
+
 TEST(VpexpCli, ListShowsEveryRegisteredExperiment)
 {
     std::string out;
@@ -109,6 +136,11 @@ TEST(VpexpCli, UsageErrorsExitTwo)
     EXPECT_EQ(runDriver({"table1", "--warmup", "soon"}), 2);
     EXPECT_EQ(runDriver({"table1", "--warmup", "-1"}), 2);
     EXPECT_EQ(runDriver({"--warmup"}), 2);             // missing value
+    EXPECT_EQ(runDriver({"table1", "--window", "never"}), 2);
+    EXPECT_EQ(runDriver({"table1", "--window", "0"}), 2);
+    EXPECT_EQ(runDriver({"table1", "--window", "-4"}), 2);
+    EXPECT_EQ(runDriver({"--window"}), 2);             // missing value
+    EXPECT_EQ(runDriver({"--trace-json"}), 2);         // missing value
 }
 
 TEST(VpexpCli, HelpExitsZero)
@@ -163,24 +195,7 @@ TEST(VpexpCli, JsonFormatPrintsMachineReadableResults)
     EXPECT_EQ(out.find("vpexp: "), std::string::npos);
 
     // Structural sanity: braces and brackets balance.
-    int braces = 0, brackets = 0;
-    bool in_string = false, escaped = false;
-    for (const char c : out) {
-        if (escaped) {
-            escaped = false;
-            continue;
-        }
-        if (c == '\\') {
-            escaped = true;
-        } else if (c == '"') {
-            in_string = !in_string;
-        } else if (!in_string) {
-            braces += c == '{' ? 1 : c == '}' ? -1 : 0;
-            brackets += c == '[' ? 1 : c == ']' ? -1 : 0;
-        }
-    }
-    EXPECT_EQ(braces, 0);
-    EXPECT_EQ(brackets, 0);
+    expectStructurallyValidJson(out);
 }
 
 TEST(VpexpCli, OutDirectoryGetsTextCsvAndResultsJson)
@@ -264,18 +279,99 @@ TEST(VpexpCli, RegionRunMatchesSerialRun)
         // Drop the volatile fields (wall clock, the region count and
         // warm-up themselves); everything left must match exactly.
         for (const std::string_view key :
-             {"\"wallMs\":", "\"nsPerEvent\":", "\"regions\":",
-              "\"warmupEvents\":"}) {
+             {"\"wallMs\":", "\"queuedMs\":", "\"nsPerEvent\":",
+              "\"regions\":", "\"warmupEvents\":"}) {
             for (size_t at = text.find(key); at != std::string::npos;
                  at = text.find(key, at)) {
                 const size_t end = text.find_first_of(",}\n", at);
                 text.erase(at, end - at);
             }
         }
+        // The counters block is telemetry about *how* the cell ran
+        // (warm-up replays, trace I/O, cache hits), which region
+        // fan-out legitimately changes; erase the balanced object.
+        const std::string_view key = "\"counters\": {";
+        for (size_t at = text.find(key); at != std::string::npos;
+             at = text.find(key, at)) {
+            size_t end = at + key.size();
+            int depth = 1;
+            while (end < text.size() && depth > 0) {
+                depth += text[end] == '{' ? 1 : text[end] == '}' ? -1 : 0;
+                ++end;
+            }
+            text.erase(at, end - at);
+        }
         return text;
     };
     EXPECT_EQ(strip(slurp(serial_dir.path() / "BENCH_results.json")),
               strip(slurp(region_dir.path() / "BENCH_results.json")));
+}
+
+TEST(VpexpCli, ResultsJsonCarriesPerCellCounters)
+{
+    const ScratchDir scratch;
+    EXPECT_EQ(runDriver({"figure5", "--dry-run", "--out",
+                         scratch.path().string(), "--format", "json"}),
+              0);
+    const auto json = slurp(scratch.path() / "BENCH_results.json");
+    expectStructurallyValidJson(json);
+    EXPECT_NE(json.find("\"counters\": {"), std::string::npos);
+    EXPECT_NE(json.find("\"replay.events\""), std::string::npos);
+    EXPECT_NE(json.find("\"trace.io.blocks\""), std::string::npos);
+    EXPECT_NE(json.find("\"replay.batch_fill\""), std::string::npos);
+    EXPECT_NE(json.find("\"queuedMs\""), std::string::npos);
+}
+
+TEST(VpexpCli, WindowFlagEmitsSeriesAndCsv)
+{
+    const ScratchDir scratch;
+    EXPECT_EQ(runDriver({"figure5", "--dry-run", "--window", "8192",
+                         "--out", scratch.path().string(), "--format",
+                         "json"}),
+              0);
+    const auto json = slurp(scratch.path() / "BENCH_results.json");
+    expectStructurallyValidJson(json);
+    EXPECT_NE(json.find("\"windowEvents\": 8192"), std::string::npos);
+    EXPECT_NE(json.find("\"windows\": {"), std::string::npos);
+    EXPECT_NE(json.find("\"endEvent\": 8192"), std::string::npos);
+
+    const auto csv = slurp(scratch.path() / "windows.csv");
+    EXPECT_EQ(csv.rfind("cell,workload,spec,endEvent,eligible,"
+                        "predicted,correct\n",
+                        0),
+              0u);
+    EXPECT_NE(csv.find(",compress,"), std::string::npos);
+    EXPECT_NE(csv.find(",8192,"), std::string::npos);
+}
+
+TEST(VpexpCli, TraceJsonWritesALoadableTimeline)
+{
+    const ScratchDir scratch;
+    const auto trace_path = scratch.path() / "timeline.json";
+    EXPECT_EQ(runDriver({"figure5", "--dry-run", "--trace-json",
+                         trace_path.string()}),
+              0);
+    ASSERT_TRUE(fs::exists(trace_path));
+    const auto json = slurp(trace_path);
+    expectStructurallyValidJson(json);
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+    // The layers all reported in: scheduler cells, suite replays,
+    // trace-cache recordings, report generation.
+    EXPECT_NE(json.find("\"cell compress\""), std::string::npos);
+    EXPECT_NE(json.find("\"cat\": \"replay\""), std::string::npos);
+    EXPECT_NE(json.find("\"cat\": \"trace-cache\""), std::string::npos);
+    EXPECT_NE(json.find("\"report figure5\""), std::string::npos);
+}
+
+TEST(VpexpCli, StatsFlagPrintsTheCounterTables)
+{
+    std::string out;
+    EXPECT_EQ(runDriver({"figure5", "--dry-run", "--stats"}, &out), 0);
+    EXPECT_NE(out.find("instrumentation counters"), std::string::npos);
+    EXPECT_NE(out.find("replay.events"), std::string::npos);
+    EXPECT_NE(out.find("replay.batch_fill"), std::string::npos);
 }
 
 } // anonymous namespace
