@@ -53,6 +53,15 @@ if [[ -z "${VP_CTEST_LABEL:-}" || "${VP_CTEST_LABEL}" == "perf" ]]; then
     ./build/bench/trace_campaign_bench --out build/BENCH_campaign.json
     echo "    wrote build/BENCH_campaign.json"
 
+    # vpd server loadgen: the seven workload traces replayed as
+    # concurrent loopback clients through both connection engines,
+    # with the per-tenant byte-identity check against serial replay
+    # built in (the binary exits nonzero on any divergence).
+    echo "==> perf smoke (vpd server loadgen)"
+    ./build/bench/vpd_loadgen --scale 5 --clients 1,4 \
+        --out build/BENCH_vpd.json
+    echo "    wrote build/BENCH_vpd.json"
+
     # Observability smoke: one suite campaign with per-cell counters,
     # windowed telemetry, and a Chrome trace-event timeline. The
     # resulting BENCH_results.json (counters + windows for all seven
@@ -67,6 +76,21 @@ fi
 
 echo "==> sanitized configuration (ASan + UBSan)"
 run_config build-asan -DVP_SANITIZE=ON
+
+# ThreadSanitizer over the concurrent subsystems: the sharded bank
+# map, both vpd server engines, the frame decoder under concurrent
+# connections, and the obs registry shards. TSan and ASan cannot
+# share a process, so this is its own configuration; benches and
+# examples are skipped for build speed and the run is restricted to
+# the multithreaded test binaries.
+echo "==> thread-sanitized configuration (TSan)"
+rm -rf build-tsan
+cmake -B build-tsan -S . -DVP_TSAN=ON \
+      -DVP_BUILD_BENCH=OFF -DVP_BUILD_EXAMPLES=OFF
+cmake --build build-tsan -j "$jobs" \
+      --target sharded_bank_test vpd_server_test net_protocol_test obs_test
+(cd build-tsan && ctest --output-on-failure -j "$jobs" \
+      -R "ShardedBank|VpdServer|NetProtocol|Registry|Snapshot|Histogram|Instrumentation|TraceLog")
 
 echo "==> coverage configuration (gcov instrumentation)"
 run_config build-cov -DVP_COVERAGE=ON -DCMAKE_BUILD_TYPE=Debug

@@ -21,6 +21,14 @@
  * the constructive/destructive outcome counters the bounded
  * predictors feed via noteAliasOutcome() — without affecting the
  * hardware behaviour being modelled.
+ *
+ * Thread-safety contract: none. The table mutates on every touch,
+ * including const-looking peeks (LRU recency stamps, the mutable
+ * aliasedPeeks_ and probe-depth counters), so a table — and any
+ * predictor built on one — must be confined to a single thread or
+ * held under one lock for reads and writes alike. That is the
+ * contract net::ShardedBankMap codifies: every bank touch, even a
+ * PREDICT query, happens under its stripe mutex.
  */
 
 #ifndef VP_CORE_BOUNDED_TABLE_HH

@@ -1,0 +1,219 @@
+#include "net/client.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <system_error>
+#include <utility>
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace vp::net {
+
+namespace {
+
+[[noreturn]] void
+throwErrno(const char *what)
+{
+    throw std::system_error(errno, std::generic_category(), what);
+}
+
+} // anonymous namespace
+
+VpdClient::~VpdClient()
+{
+    close();
+}
+
+VpdClient::VpdClient(VpdClient &&other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      decoder_(std::move(other.decoder_)),
+      request_(std::move(other.request_)),
+      chunk_(std::move(other.chunk_))
+{
+}
+
+VpdClient &
+VpdClient::operator=(VpdClient &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        fd_ = std::exchange(other.fd_, -1);
+        decoder_ = std::move(other.decoder_);
+        request_ = std::move(other.request_);
+        chunk_ = std::move(other.chunk_);
+    }
+    return *this;
+}
+
+VpdClient
+VpdClient::connectTcp(uint16_t port)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        throwErrno("socket(AF_INET)");
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) < 0) {
+        ::close(fd);
+        throwErrno("connect(127.0.0.1)");
+    }
+    int one = 1;
+    (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one,
+                       sizeof(one));
+    return VpdClient(fd);
+}
+
+VpdClient
+VpdClient::connectUnix(const std::string &path)
+{
+    sockaddr_un addr{};
+    if (path.size() >= sizeof(addr.sun_path))
+        throw std::system_error(ENAMETOOLONG, std::generic_category(),
+                                "unix socket path");
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        throwErrno("socket(AF_UNIX)");
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) < 0) {
+        ::close(fd);
+        throwErrno("connect(unix)");
+    }
+    return VpdClient(fd);
+}
+
+void
+VpdClient::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+void
+VpdClient::sendRaw(const uint8_t *data, size_t n)
+{
+    size_t off = 0;
+    while (off < n) {
+        const ssize_t w =
+                ::send(fd_, data + off, n - off, MSG_NOSIGNAL);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            throwErrno("send");
+        }
+        off += static_cast<size_t>(w);
+    }
+}
+
+std::optional<VpdClient::RawFrame>
+VpdClient::readFrame()
+{
+    if (chunk_.empty())
+        chunk_.resize(64 * 1024);
+    for (;;) {
+        if (auto frame = decoder_.next()) {
+            RawFrame raw;
+            raw.op = frame->op;
+            raw.payload.assign(frame->payload.begin(),
+                               frame->payload.end());
+            return raw;
+        }
+        const ssize_t n = ::recv(fd_, chunk_.data(), chunk_.size(), 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            throwErrno("recv");
+        }
+        if (n == 0)
+            return std::nullopt;
+        decoder_.feed(chunk_.data(), static_cast<size_t>(n));
+    }
+}
+
+VpdClient::RawFrame
+VpdClient::roundTrip(Op expect)
+{
+    sendRaw(request_.data(), request_.size());
+    auto frame = readFrame();
+    if (!frame.has_value()) {
+        throw ProtocolError(ProtoError::Truncated,
+                            "connection closed before reply");
+    }
+    if (frame->op == Op::Error) {
+        const ErrorReply error = decodeErrorReply(
+                std::span<const uint8_t>(frame->payload));
+        throw ProtocolError(error.code,
+                            "server error (" +
+                                    std::string(protoErrorName(
+                                            error.code)) +
+                                    "): " + error.message);
+    }
+    if (frame->op != expect) {
+        throw ProtocolError(
+                ProtoError::BadValue,
+                "unexpected reply opcode " +
+                        std::to_string(static_cast<unsigned>(
+                                frame->op)));
+    }
+    return *frame;
+}
+
+PredictReply
+VpdClient::predict(uint64_t tenant, uint64_t pc)
+{
+    request_.clear();
+    encodePredict(request_, tenant, pc);
+    const RawFrame reply = roundTrip(Op::RPredict);
+    return decodePredictReply(
+            std::span<const uint8_t>(reply.payload));
+}
+
+TrainReply
+VpdClient::train(uint64_t tenant, const vm::TraceEvent &event)
+{
+    request_.clear();
+    encodeTrain(request_, tenant, event);
+    const RawFrame reply = roundTrip(Op::RTrain);
+    return decodeTrainReply(std::span<const uint8_t>(reply.payload));
+}
+
+BatchReply
+VpdClient::batch(uint64_t tenant, vm::TraceSpan events)
+{
+    request_.clear();
+    encodeBatch(request_, tenant, events);
+    const RawFrame reply = roundTrip(Op::RBatch);
+    return decodeBatchReply(std::span<const uint8_t>(reply.payload));
+}
+
+std::string
+VpdClient::stats()
+{
+    request_.clear();
+    encodeStats(request_);
+    const RawFrame reply = roundTrip(Op::RStats);
+    return decodeStatsReply(std::span<const uint8_t>(reply.payload));
+}
+
+std::optional<TenantStats>
+VpdClient::tenantStats(uint64_t tenant)
+{
+    request_.clear();
+    encodeTenantStats(request_, tenant);
+    const RawFrame reply = roundTrip(Op::RTenantStats);
+    return decodeTenantStatsReply(
+            std::span<const uint8_t>(reply.payload));
+}
+
+} // namespace vp::net

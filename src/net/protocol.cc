@@ -1,0 +1,408 @@
+#include "net/protocol.hh"
+
+#include <cstring>
+
+namespace vp::net {
+
+const char *
+protoErrorName(ProtoError code)
+{
+    switch (code) {
+    case ProtoError::BadLength: return "bad-length";
+    case ProtoError::Oversized: return "oversized";
+    case ProtoError::UnknownOpcode: return "unknown-opcode";
+    case ProtoError::Truncated: return "truncated";
+    case ProtoError::BadValue: return "bad-value";
+    case ProtoError::Remote: return "remote";
+    }
+    return "unknown";
+}
+
+void
+WireReader::expectEnd(const char *what) const
+{
+    if (remaining() != 0) {
+        throw ProtocolError(ProtoError::Truncated,
+                            std::string(what) +
+                                    ": trailing payload bytes");
+    }
+}
+
+size_t
+beginFrame(std::vector<uint8_t> &out, Op op)
+{
+    const size_t at = out.size();
+    putU32(out, 0);     // backpatched by endFrame
+    putU8(out, static_cast<uint8_t>(op));
+    return at;
+}
+
+void
+endFrame(std::vector<uint8_t> &out, size_t at)
+{
+    const uint32_t length = static_cast<uint32_t>(out.size() - at - 4);
+    for (int i = 0; i < 4; ++i)
+        out[at + static_cast<size_t>(i)] =
+                static_cast<uint8_t>(length >> (8 * i));
+}
+
+namespace {
+
+void
+putEvent(std::vector<uint8_t> &out, const vm::TraceEvent &event)
+{
+    putU64(out, event.pc);
+    putU64(out, event.value);
+    putU8(out, static_cast<uint8_t>(event.op));
+    putU8(out, static_cast<uint8_t>(event.cat));
+}
+
+vm::TraceEvent
+readEvent(WireReader &reader)
+{
+    vm::TraceEvent event;
+    event.pc = reader.u64();
+    event.value = reader.u64();
+    const uint8_t op = reader.u8();
+    const uint8_t cat = reader.u8();
+    if (op >= static_cast<uint8_t>(isa::numOpcodes))
+        throw ProtocolError(ProtoError::BadValue,
+                            "opcode byte out of range");
+    if (cat >= static_cast<uint8_t>(isa::numCategories))
+        throw ProtocolError(ProtoError::BadValue,
+                            "category byte out of range");
+    event.op = static_cast<isa::Opcode>(op);
+    event.cat = static_cast<isa::Category>(cat);
+    return event;
+}
+
+void
+putText(std::vector<uint8_t> &out, const std::string &text)
+{
+    const size_t at = out.size();
+    out.resize(at + text.size());
+    std::memcpy(out.data() + at, text.data(), text.size());
+}
+
+} // anonymous namespace
+
+void
+encodePredict(std::vector<uint8_t> &out, uint64_t tenant, uint64_t pc)
+{
+    const size_t at = beginFrame(out, Op::Predict);
+    putU64(out, tenant);
+    putU64(out, pc);
+    endFrame(out, at);
+}
+
+void
+encodeTrain(std::vector<uint8_t> &out, uint64_t tenant,
+            const vm::TraceEvent &event)
+{
+    const size_t at = beginFrame(out, Op::Train);
+    putU64(out, tenant);
+    putEvent(out, event);
+    endFrame(out, at);
+}
+
+void
+encodeBatch(std::vector<uint8_t> &out, uint64_t tenant,
+            vm::TraceSpan events)
+{
+    const size_t at = beginFrame(out, Op::Batch);
+    putU64(out, tenant);
+    putU32(out, static_cast<uint32_t>(events.size()));
+    for (const auto &event : events)
+        putEvent(out, event);
+    endFrame(out, at);
+}
+
+void
+encodeStats(std::vector<uint8_t> &out)
+{
+    endFrame(out, beginFrame(out, Op::Stats));
+}
+
+void
+encodeTenantStats(std::vector<uint8_t> &out, uint64_t tenant)
+{
+    const size_t at = beginFrame(out, Op::TenantStats);
+    putU64(out, tenant);
+    endFrame(out, at);
+}
+
+void
+encodePredictReply(std::vector<uint8_t> &out, bool valid,
+                   uint64_t value)
+{
+    const size_t at = beginFrame(out, Op::RPredict);
+    putU8(out, valid ? 1 : 0);
+    putU64(out, value);
+    endFrame(out, at);
+}
+
+void
+encodeTrainReply(std::vector<uint8_t> &out, bool predicted,
+                 bool correct)
+{
+    const size_t at = beginFrame(out, Op::RTrain);
+    putU8(out, predicted ? 1 : 0);
+    putU8(out, correct ? 1 : 0);
+    endFrame(out, at);
+}
+
+void
+encodeBatchReply(std::vector<uint8_t> &out, uint32_t count,
+                 uint64_t predicted, uint64_t correct)
+{
+    const size_t at = beginFrame(out, Op::RBatch);
+    putU32(out, count);
+    putU64(out, predicted);
+    putU64(out, correct);
+    endFrame(out, at);
+}
+
+void
+encodeStatsReply(std::vector<uint8_t> &out, const std::string &text)
+{
+    const size_t at = beginFrame(out, Op::RStats);
+    putText(out, text);
+    endFrame(out, at);
+}
+
+void
+encodeError(std::vector<uint8_t> &out, ProtoError code,
+            const std::string &message)
+{
+    const size_t at = beginFrame(out, Op::Error);
+    putU8(out, static_cast<uint8_t>(code));
+    putText(out, message);
+    endFrame(out, at);
+}
+
+TenantStats
+TenantStats::from(const core::PredictionStats &stats)
+{
+    TenantStats out;
+    out.total = stats.total();
+    out.predicted = stats.predicted();
+    out.correct = stats.correct();
+    for (int c = 0; c < isa::numCategories; ++c) {
+        const auto cat = static_cast<isa::Category>(c);
+        out.catTotal[static_cast<size_t>(c)] = stats.total(cat);
+        out.catPredicted[static_cast<size_t>(c)] = stats.predicted(cat);
+        out.catCorrect[static_cast<size_t>(c)] = stats.correct(cat);
+    }
+    return out;
+}
+
+void
+encodeTenantStatsReply(std::vector<uint8_t> &out,
+                       const std::optional<TenantStats> &stats)
+{
+    const size_t at = beginFrame(out, Op::RTenantStats);
+    putU8(out, stats.has_value() ? 1 : 0);
+    if (stats.has_value()) {
+        putU64(out, stats->total);
+        putU64(out, stats->predicted);
+        putU64(out, stats->correct);
+        for (int c = 0; c < isa::numCategories; ++c) {
+            putU64(out, stats->catTotal[static_cast<size_t>(c)]);
+            putU64(out, stats->catPredicted[static_cast<size_t>(c)]);
+            putU64(out, stats->catCorrect[static_cast<size_t>(c)]);
+        }
+    }
+    endFrame(out, at);
+}
+
+PredictRequest
+decodePredict(std::span<const uint8_t> payload)
+{
+    WireReader reader(payload);
+    PredictRequest req;
+    req.tenant = reader.u64();
+    req.pc = reader.u64();
+    reader.expectEnd("PREDICT");
+    return req;
+}
+
+TrainRequest
+decodeTrain(std::span<const uint8_t> payload)
+{
+    WireReader reader(payload);
+    TrainRequest req;
+    req.tenant = reader.u64();
+    req.event = readEvent(reader);
+    reader.expectEnd("TRAIN");
+    return req;
+}
+
+uint64_t
+decodeBatch(std::span<const uint8_t> payload,
+            std::vector<vm::TraceEvent> &events)
+{
+    WireReader reader(payload);
+    const uint64_t tenant = reader.u64();
+    const uint32_t count = reader.u32();
+    if (reader.remaining() != static_cast<size_t>(count) *
+                                      kWireEventBytes) {
+        throw ProtocolError(ProtoError::Truncated,
+                            "BATCH count does not match payload size");
+    }
+    events.clear();
+    events.reserve(count);
+    for (uint32_t i = 0; i < count; ++i)
+        events.push_back(readEvent(reader));
+    return tenant;
+}
+
+uint64_t
+decodeTenantStatsRequest(std::span<const uint8_t> payload)
+{
+    WireReader reader(payload);
+    const uint64_t tenant = reader.u64();
+    reader.expectEnd("TENANT_STATS");
+    return tenant;
+}
+
+PredictReply
+decodePredictReply(std::span<const uint8_t> payload)
+{
+    WireReader reader(payload);
+    PredictReply reply;
+    reply.valid = reader.u8() != 0;
+    reply.value = reader.u64();
+    reader.expectEnd("R_PREDICT");
+    return reply;
+}
+
+TrainReply
+decodeTrainReply(std::span<const uint8_t> payload)
+{
+    WireReader reader(payload);
+    TrainReply reply;
+    reply.predicted = reader.u8() != 0;
+    reply.correct = reader.u8() != 0;
+    reader.expectEnd("R_TRAIN");
+    return reply;
+}
+
+BatchReply
+decodeBatchReply(std::span<const uint8_t> payload)
+{
+    WireReader reader(payload);
+    BatchReply reply;
+    reply.count = reader.u32();
+    reply.predicted = reader.u64();
+    reply.correct = reader.u64();
+    reader.expectEnd("R_BATCH");
+    return reply;
+}
+
+std::string
+decodeStatsReply(std::span<const uint8_t> payload)
+{
+    WireReader reader(payload);
+    return reader.text();
+}
+
+std::optional<TenantStats>
+decodeTenantStatsReply(std::span<const uint8_t> payload)
+{
+    WireReader reader(payload);
+    if (reader.u8() == 0) {
+        reader.expectEnd("R_TENANT_STATS");
+        return std::nullopt;
+    }
+    TenantStats stats;
+    stats.total = reader.u64();
+    stats.predicted = reader.u64();
+    stats.correct = reader.u64();
+    for (int c = 0; c < isa::numCategories; ++c) {
+        stats.catTotal[static_cast<size_t>(c)] = reader.u64();
+        stats.catPredicted[static_cast<size_t>(c)] = reader.u64();
+        stats.catCorrect[static_cast<size_t>(c)] = reader.u64();
+    }
+    reader.expectEnd("R_TENANT_STATS");
+    return stats;
+}
+
+ErrorReply
+decodeErrorReply(std::span<const uint8_t> payload)
+{
+    WireReader reader(payload);
+    ErrorReply reply;
+    reply.code = static_cast<ProtoError>(reader.u8());
+    reply.message = reader.text();
+    return reply;
+}
+
+void
+FrameDecoder::feed(const uint8_t *data, size_t n)
+{
+    // Drop delivered frames before appending; compacting here keeps
+    // next()'s returned views stable between feeds and bounds the
+    // buffer by (one frame + one read chunk).
+    if (consumed_ + pending_ > 0) {
+        buf_.erase(buf_.begin(),
+                   buf_.begin() +
+                           static_cast<std::ptrdiff_t>(consumed_ +
+                                                       pending_));
+        consumed_ = 0;
+        pending_ = 0;
+    }
+    buf_.insert(buf_.end(), data, data + n);
+}
+
+std::optional<FrameDecoder::Frame>
+FrameDecoder::next()
+{
+    // Retire the frame handed out by the previous next() call.
+    consumed_ += pending_;
+    pending_ = 0;
+
+    const size_t avail = buf_.size() - consumed_;
+    if (avail < 4)
+        return std::nullopt;
+
+    uint32_t length = 0;
+    for (int i = 0; i < 4; ++i)
+        length |= static_cast<uint32_t>(
+                          buf_[consumed_ + static_cast<size_t>(i)])
+                  << (8 * i);
+    if (length == 0)
+        throw ProtocolError(ProtoError::BadLength,
+                            "zero frame length prefix");
+    if (length > maxLength_) {
+        throw ProtocolError(ProtoError::Oversized,
+                            "frame length " + std::to_string(length) +
+                                    " exceeds limit " +
+                                    std::to_string(maxLength_));
+    }
+    if (avail < 4 + static_cast<size_t>(length))
+        return std::nullopt;
+
+    Frame frame;
+    frame.op = static_cast<Op>(buf_[consumed_ + 4]);
+    frame.payload = std::span<const uint8_t>(
+            buf_.data() + consumed_ + 5, length - 1);
+    pending_ = 4 + static_cast<size_t>(length);
+    return frame;
+}
+
+bool
+isRequestOp(uint8_t op)
+{
+    switch (static_cast<Op>(op)) {
+    case Op::Predict:
+    case Op::Train:
+    case Op::Batch:
+    case Op::Stats:
+    case Op::TenantStats:
+        return true;
+    default:
+        return false;
+    }
+}
+
+} // namespace vp::net

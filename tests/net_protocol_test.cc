@@ -1,0 +1,460 @@
+/**
+ * @file
+ * Tests for the vpd wire protocol: encode/decode round trips, the
+ * incremental frame decoder under arbitrary chunking, typed errors
+ * for malformed length prefixes and opcodes, and a truncation fuzz
+ * (cut the byte stream at every offset) mirroring trace_file_test.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "net/protocol.hh"
+#include "synth/sequences.hh"
+
+namespace {
+
+using namespace vp;
+using namespace vp::net;
+using vm::TraceEvent;
+
+std::vector<TraceEvent>
+sampleEvents(size_t n, uint64_t seed = 7)
+{
+    synth::Rng rng(seed);
+    std::vector<TraceEvent> events;
+    for (size_t i = 0; i < n; ++i) {
+        TraceEvent event{};
+        event.op = (i % 3 == 0) ? isa::Opcode::Add
+                 : (i % 3 == 1) ? isa::Opcode::Ld
+                                : isa::Opcode::Slli;
+        event.cat = isa::opcodeCategory(event.op);
+        event.pc = rng.next() >> rng.range(64);
+        event.value = rng.next() >> rng.range(64);
+        events.push_back(event);
+    }
+    return events;
+}
+
+/** A frame with its payload copied out of the decoder. */
+struct OwnedFrame
+{
+    Op op;
+    std::vector<uint8_t> payload;
+};
+
+/** Feed @p bytes to a decoder in chunks of @p chunk, collect frames. */
+std::vector<OwnedFrame>
+decodeAll(const std::vector<uint8_t> &bytes, size_t chunk)
+{
+    FrameDecoder decoder;
+    std::vector<OwnedFrame> frames;
+    for (size_t at = 0; at < bytes.size(); at += chunk) {
+        decoder.feed(bytes.data() + at,
+                     std::min(chunk, bytes.size() - at));
+        while (auto frame = decoder.next()) {
+            OwnedFrame raw;
+            raw.op = frame->op;
+            raw.payload.assign(frame->payload.begin(),
+                               frame->payload.end());
+            frames.push_back(std::move(raw));
+        }
+    }
+    return frames;
+}
+
+TEST(NetProtocol, PredictRoundTrip)
+{
+    std::vector<uint8_t> out;
+    encodePredict(out, 0xfeedfacecafebeefull, 0x1234567890abcdefull);
+
+    FrameDecoder decoder;
+    decoder.feed(out.data(), out.size());
+    const auto frame = decoder.next();
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_EQ(frame->op, Op::Predict);
+    const auto req = decodePredict(frame->payload);
+    EXPECT_EQ(req.tenant, 0xfeedfacecafebeefull);
+    EXPECT_EQ(req.pc, 0x1234567890abcdefull);
+    EXPECT_FALSE(decoder.next().has_value());
+    EXPECT_EQ(decoder.pendingBytes(), 0u);
+}
+
+TEST(NetProtocol, TrainRoundTrip)
+{
+    const auto events = sampleEvents(1);
+    std::vector<uint8_t> out;
+    encodeTrain(out, 42, events[0]);
+
+    FrameDecoder decoder;
+    decoder.feed(out.data(), out.size());
+    const auto frame = decoder.next();
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_EQ(frame->op, Op::Train);
+    const auto req = decodeTrain(frame->payload);
+    EXPECT_EQ(req.tenant, 42u);
+    EXPECT_EQ(req.event.pc, events[0].pc);
+    EXPECT_EQ(req.event.value, events[0].value);
+    EXPECT_EQ(req.event.op, events[0].op);
+    EXPECT_EQ(req.event.cat, events[0].cat);
+}
+
+TEST(NetProtocol, BatchRoundTrip)
+{
+    const auto events = sampleEvents(257);
+    std::vector<uint8_t> out;
+    encodeBatch(out, 9, vm::TraceSpan(events.data(), events.size()));
+
+    FrameDecoder decoder;
+    decoder.feed(out.data(), out.size());
+    const auto frame = decoder.next();
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_EQ(frame->op, Op::Batch);
+    std::vector<TraceEvent> decoded;
+    EXPECT_EQ(decodeBatch(frame->payload, decoded), 9u);
+    ASSERT_EQ(decoded.size(), events.size());
+    for (size_t i = 0; i < events.size(); ++i) {
+        EXPECT_EQ(decoded[i].pc, events[i].pc);
+        EXPECT_EQ(decoded[i].value, events[i].value);
+        EXPECT_EQ(decoded[i].op, events[i].op);
+        EXPECT_EQ(decoded[i].cat, events[i].cat);
+    }
+}
+
+TEST(NetProtocol, ReplyRoundTrips)
+{
+    {
+        std::vector<uint8_t> out;
+        encodePredictReply(out, true, 0xdeadbeefull);
+        FrameDecoder decoder;
+        decoder.feed(out.data(), out.size());
+        const auto frame = decoder.next();
+        ASSERT_TRUE(frame.has_value());
+        EXPECT_EQ(frame->op, Op::RPredict);
+        const auto reply = decodePredictReply(frame->payload);
+        EXPECT_TRUE(reply.valid);
+        EXPECT_EQ(reply.value, 0xdeadbeefull);
+    }
+    {
+        std::vector<uint8_t> out;
+        encodeTrainReply(out, true, false);
+        FrameDecoder decoder;
+        decoder.feed(out.data(), out.size());
+        const auto reply = decodeTrainReply(decoder.next()->payload);
+        EXPECT_TRUE(reply.predicted);
+        EXPECT_FALSE(reply.correct);
+    }
+    {
+        std::vector<uint8_t> out;
+        encodeBatchReply(out, 1000, 700, 400);
+        FrameDecoder decoder;
+        decoder.feed(out.data(), out.size());
+        const auto reply = decodeBatchReply(decoder.next()->payload);
+        EXPECT_EQ(reply.count, 1000u);
+        EXPECT_EQ(reply.predicted, 700u);
+        EXPECT_EQ(reply.correct, 400u);
+    }
+    {
+        std::vector<uint8_t> out;
+        encodeStatsReply(out, "net.frames 3\n");
+        FrameDecoder decoder;
+        decoder.feed(out.data(), out.size());
+        EXPECT_EQ(decodeStatsReply(decoder.next()->payload),
+                  "net.frames 3\n");
+    }
+    {
+        std::vector<uint8_t> out;
+        encodeError(out, ProtoError::UnknownOpcode, "opcode 0x42");
+        FrameDecoder decoder;
+        decoder.feed(out.data(), out.size());
+        const auto frame = decoder.next();
+        ASSERT_TRUE(frame.has_value());
+        EXPECT_EQ(frame->op, Op::Error);
+        const auto reply = decodeErrorReply(frame->payload);
+        EXPECT_EQ(reply.code, ProtoError::UnknownOpcode);
+        EXPECT_EQ(reply.message, "opcode 0x42");
+    }
+}
+
+TEST(NetProtocol, TenantStatsReplyRoundTrip)
+{
+    TenantStats stats;
+    stats.total = 1000;
+    stats.predicted = 700;
+    stats.correct = 650;
+    for (size_t i = 0; i < isa::numCategories; ++i) {
+        stats.catTotal[i] = 10 * i;
+        stats.catPredicted[i] = 7 * i;
+        stats.catCorrect[i] = 6 * i;
+    }
+    std::vector<uint8_t> out;
+    encodeTenantStatsReply(out, stats);
+
+    FrameDecoder decoder;
+    decoder.feed(out.data(), out.size());
+    const auto frame = decoder.next();
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_EQ(frame->op, Op::RTenantStats);
+    const auto reply = decodeTenantStatsReply(frame->payload);
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_EQ(*reply, stats);
+
+    // Unknown tenant: known=0, no body.
+    std::vector<uint8_t> none;
+    encodeTenantStatsReply(none, std::nullopt);
+    FrameDecoder decoder2;
+    decoder2.feed(none.data(), none.size());
+    EXPECT_FALSE(decodeTenantStatsReply(decoder2.next()->payload)
+                         .has_value());
+}
+
+TEST(NetProtocol, DecoderHandlesArbitraryChunking)
+{
+    const auto events = sampleEvents(100);
+    std::vector<uint8_t> stream;
+    encodePredict(stream, 1, 2);
+    encodeBatch(stream, 3, vm::TraceSpan(events.data(), events.size()));
+    encodeStats(stream);
+    encodeTenantStats(stream, 4);
+    encodeTrain(stream, 5, events[0]);
+
+    for (const size_t chunk : {1ul, 2ul, 3ul, 7ul, 64ul, stream.size()}) {
+        SCOPED_TRACE(chunk);
+        const auto frames = decodeAll(stream, chunk);
+        ASSERT_EQ(frames.size(), 5u);
+        EXPECT_EQ(frames[0].op, Op::Predict);
+        EXPECT_EQ(frames[1].op, Op::Batch);
+        EXPECT_EQ(frames[2].op, Op::Stats);
+        EXPECT_EQ(frames[3].op, Op::TenantStats);
+        EXPECT_EQ(frames[4].op, Op::Train);
+        std::vector<TraceEvent> decoded;
+        decodeBatch(std::span<const uint8_t>(frames[1].payload),
+                    decoded);
+        EXPECT_EQ(decoded.size(), events.size());
+    }
+}
+
+TEST(NetProtocol, ZeroLengthPrefixIsBadLength)
+{
+    const uint8_t zero[4] = {0, 0, 0, 0};
+    FrameDecoder decoder;
+    decoder.feed(zero, sizeof(zero));
+    try {
+        (void)decoder.next();
+        FAIL() << "expected ProtocolError";
+    } catch (const ProtocolError &error) {
+        EXPECT_EQ(error.code, ProtoError::BadLength);
+    }
+}
+
+TEST(NetProtocol, OversizedLengthPrefixIsOversized)
+{
+    // Length prefix above the frame ceiling: must throw before any
+    // attempt to buffer the announced payload.
+    std::vector<uint8_t> out;
+    putU32(out, kMaxFrameLength + 1);
+    FrameDecoder decoder;
+    decoder.feed(out.data(), out.size());
+    try {
+        (void)decoder.next();
+        FAIL() << "expected ProtocolError";
+    } catch (const ProtocolError &error) {
+        EXPECT_EQ(error.code, ProtoError::Oversized);
+    }
+
+    // A configurable smaller ceiling applies the same way.
+    FrameDecoder small(64);
+    std::vector<uint8_t> big;
+    putU32(big, 65);
+    small.feed(big.data(), big.size());
+    EXPECT_THROW((void)small.next(), ProtocolError);
+}
+
+TEST(NetProtocol, UnknownOpcodeDetection)
+{
+    EXPECT_TRUE(isRequestOp(static_cast<uint8_t>(Op::Predict)));
+    EXPECT_TRUE(isRequestOp(static_cast<uint8_t>(Op::Batch)));
+    EXPECT_TRUE(isRequestOp(static_cast<uint8_t>(Op::Stats)));
+    EXPECT_FALSE(isRequestOp(0x00));
+    EXPECT_FALSE(isRequestOp(0x42));
+    EXPECT_FALSE(isRequestOp(static_cast<uint8_t>(Op::RPredict)));
+    EXPECT_FALSE(isRequestOp(static_cast<uint8_t>(Op::Error)));
+}
+
+TEST(NetProtocol, BatchCountPayloadMismatchIsTruncated)
+{
+    const auto events = sampleEvents(4);
+    std::vector<uint8_t> out;
+    encodeBatch(out, 1, vm::TraceSpan(events.data(), events.size()));
+
+    // Inflate the count without growing the payload.
+    // Payload layout after the 5-byte header: u64 tenant | u32 count.
+    out[4 + 1 + 8] = 5;
+    FrameDecoder decoder;
+    decoder.feed(out.data(), out.size());
+    const auto frame = decoder.next();
+    ASSERT_TRUE(frame.has_value());
+    std::vector<TraceEvent> decoded;
+    try {
+        decodeBatch(frame->payload, decoded);
+        FAIL() << "expected ProtocolError";
+    } catch (const ProtocolError &error) {
+        EXPECT_EQ(error.code, ProtoError::Truncated);
+    }
+}
+
+TEST(NetProtocol, BadOpcodeOrCategoryByteIsBadValue)
+{
+    const auto events = sampleEvents(1);
+    std::vector<uint8_t> out;
+    encodeTrain(out, 1, events[0]);
+    // Last byte of the TRAIN payload is the category.
+    out[out.size() - 1] = 0xff;
+    FrameDecoder decoder;
+    decoder.feed(out.data(), out.size());
+    try {
+        (void)decodeTrain(decoder.next()->payload);
+        FAIL() << "expected ProtocolError";
+    } catch (const ProtocolError &error) {
+        EXPECT_EQ(error.code, ProtoError::BadValue);
+    }
+}
+
+TEST(NetProtocol, TrailingGarbageAfterPayloadIsTruncatedError)
+{
+    std::vector<uint8_t> out;
+    encodePredict(out, 1, 2);
+    // Grow the frame by one byte: length says 18, payload is 17 + junk.
+    out.push_back(0x5a);
+    out[0] = 18;        // u32 LE length: opcode + 16 payload + 1 junk
+    FrameDecoder decoder;
+    decoder.feed(out.data(), out.size());
+    const auto frame = decoder.next();
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_THROW((void)decodePredict(frame->payload), ProtocolError);
+}
+
+TEST(NetProtocolFuzz, TruncationAtEveryByteNeverFabricatesFrames)
+{
+    // Mirror of Vpt2Fuzz.TruncationAtEveryByte: cut a five-frame
+    // stream at every byte offset. Complete frames before the cut
+    // must decode exactly; the cut frame must never surface, neither
+    // as a frame nor as decoded junk — only as "need more bytes".
+    const auto events = sampleEvents(37, 2027);
+    std::vector<uint8_t> stream;
+    std::vector<size_t> boundaries;     // frame end offsets
+    encodePredict(stream, 1, 2);
+    boundaries.push_back(stream.size());
+    encodeTrain(stream, 1, events[0]);
+    boundaries.push_back(stream.size());
+    encodeBatch(stream, 1, vm::TraceSpan(events.data(), events.size()));
+    boundaries.push_back(stream.size());
+    encodeStats(stream);
+    boundaries.push_back(stream.size());
+    encodeTenantStats(stream, 1);
+    boundaries.push_back(stream.size());
+
+    for (size_t cut = 0; cut <= stream.size(); ++cut) {
+        SCOPED_TRACE(cut);
+        const size_t expectFrames =
+                static_cast<size_t>(std::count_if(
+                        boundaries.begin(), boundaries.end(),
+                        [cut](size_t end) { return end <= cut; }));
+
+        FrameDecoder decoder;
+        decoder.feed(stream.data(), cut);
+        size_t got = 0;
+        while (true) {
+            const auto frame = decoder.next();
+            if (!frame.has_value())
+                break;
+            ++got;
+            // Every surfaced frame must decode cleanly per opcode.
+            std::vector<TraceEvent> scratch;
+            switch (frame->op) {
+            case Op::Predict:
+                (void)decodePredict(frame->payload);
+                break;
+            case Op::Train:
+                (void)decodeTrain(frame->payload);
+                break;
+            case Op::Batch:
+                (void)decodeBatch(frame->payload, scratch);
+                break;
+            case Op::Stats:
+                EXPECT_TRUE(frame->payload.empty());
+                break;
+            case Op::TenantStats:
+                (void)decodeTenantStatsRequest(frame->payload);
+                break;
+            default:
+                FAIL() << "fabricated opcode";
+            }
+        }
+        EXPECT_EQ(got, expectFrames);
+        // The remainder is buffered, never silently dropped.
+        EXPECT_EQ(decoder.pendingBytes(),
+                  cut - (expectFrames == 0
+                                 ? 0
+                                 : boundaries[expectFrames - 1]));
+    }
+}
+
+TEST(NetProtocolFuzz, PayloadTruncationAtEveryByteThrowsTyped)
+{
+    // Reframe a valid BATCH payload at every shorter length: the
+    // decoder delivers the frame (framing is self-consistent), but
+    // the payload decoder must throw a typed ProtocolError — never
+    // crash, never fabricate events.
+    const auto events = sampleEvents(5);
+    std::vector<uint8_t> full;
+    encodeBatch(full, 6, vm::TraceSpan(events.data(), events.size()));
+    const std::vector<uint8_t> payload(full.begin() + 5, full.end());
+
+    for (size_t cut = 0; cut < payload.size(); ++cut) {
+        SCOPED_TRACE(cut);
+        std::vector<uint8_t> frame;
+        putU32(frame, static_cast<uint32_t>(1 + cut));
+        putU8(frame, static_cast<uint8_t>(Op::Batch));
+        frame.insert(frame.end(), payload.begin(),
+                     payload.begin() + static_cast<long>(cut));
+
+        FrameDecoder decoder;
+        decoder.feed(frame.data(), frame.size());
+        const auto got = decoder.next();
+        ASSERT_TRUE(got.has_value());
+        std::vector<TraceEvent> decoded;
+        try {
+            decodeBatch(got->payload, decoded);
+            FAIL() << "expected ProtocolError at cut " << cut;
+        } catch (const ProtocolError &error) {
+            EXPECT_EQ(error.code, ProtoError::Truncated);
+        }
+    }
+}
+
+TEST(NetProtocol, DecoderBufferReuseAcrossFrames)
+{
+    // Steady-state: many frames through one decoder, buffer reclaimed
+    // at the end (the pooling hook the server connections use).
+    const auto events = sampleEvents(16);
+    FrameDecoder decoder;
+    for (int round = 0; round < 100; ++round) {
+        std::vector<uint8_t> out;
+        encodeBatch(out, static_cast<uint64_t>(round),
+                    vm::TraceSpan(events.data(), events.size()));
+        decoder.feed(out.data(), out.size());
+        const auto frame = decoder.next();
+        ASSERT_TRUE(frame.has_value());
+        std::vector<TraceEvent> decoded;
+        EXPECT_EQ(decodeBatch(frame->payload, decoded),
+                  static_cast<uint64_t>(round));
+    }
+    EXPECT_FALSE(decoder.next().has_value());
+    auto buffer = decoder.takeBuffer();
+    EXPECT_GT(buffer.capacity(), 0u);
+}
+
+} // namespace
