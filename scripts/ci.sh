@@ -30,6 +30,13 @@ run_config() {
                         ${ctest_args[@]+"${ctest_args[@]}"})
 }
 
+# Static analysis first: vplint needs no build and fails fast on
+# invariant violations (hot-path allocation, undocumented counters,
+# naked mutexes); the clang-tidy half runs when the toolchain is
+# present (see scripts/lint.sh and the dedicated CI job).
+echo "==> lint (vplint + clang-tidy when available)"
+./scripts/lint.sh build
+
 echo "==> default configuration"
 run_config build
 

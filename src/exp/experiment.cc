@@ -96,7 +96,7 @@ CellScheduler::CellScheduler(const ExperimentConfig &config, unsigned jobs)
 CellScheduler::~CellScheduler()
 {
     {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const util::MutexLock lock(mutex_);
         stop_ = true;
         // Abandon cells nobody will ever read (a failed run tears the
         // scheduler down with work still queued); their futures get
@@ -114,9 +114,11 @@ CellScheduler::workerLoop()
     for (;;) {
         std::packaged_task<void()> task;
         {
-            std::unique_lock<std::mutex> lock(mutex_);
-            available_.wait(lock,
-                            [this] { return stop_ || !queue_.empty(); });
+            const util::MutexLock lock(mutex_);
+            // Predicate loop spelled out so the guarded reads stay in
+            // this (annotated) scope — see util/mutex.hh.
+            while (!stop_ && queue_.empty())
+                available_.wait(mutex_);
             if (queue_.empty())
                 return;     // stop requested and queue drained
             task = std::move(queue_.front());
@@ -149,7 +151,9 @@ struct CellScheduler::CellObs
  * Shared state of one region-split cell: W region tasks feed it, the
  * last one to finish merges the partials (or picks the first error in
  * region order, so failures are deterministic under any scheduling)
- * and fulfills the cell's promise.
+ * and fulfills the cell's promise. The merging task keeps holding the
+ * assembly mutex for the merge itself, so its exclusive access is
+ * lock-provable rather than inferred from "remaining hit zero".
  */
 struct CellScheduler::RegionAssembly
 {
@@ -160,12 +164,13 @@ struct CellScheduler::RegionAssembly
     std::chrono::steady_clock::time_point submitted;
     std::promise<BenchmarkRun> promise;
 
-    std::mutex mutex;
-    bool started = false;
-    std::chrono::steady_clock::time_point start;
-    unsigned remaining = 0;
-    std::vector<RegionPartial> partials;
-    std::vector<std::exception_ptr> errors;     ///< slot per region
+    util::Mutex mutex;
+    bool started VP_GUARDED_BY(mutex) = false;
+    std::chrono::steady_clock::time_point start VP_GUARDED_BY(mutex);
+    unsigned remaining VP_GUARDED_BY(mutex) = 0;
+    std::vector<RegionPartial> partials VP_GUARDED_BY(mutex);
+    /** slot per region */
+    std::vector<std::exception_ptr> errors VP_GUARDED_BY(mutex);
 };
 
 std::shared_future<BenchmarkRun>
@@ -173,7 +178,7 @@ CellScheduler::submit(const std::string &workload,
                       const SuiteOptions &options, size_t *id)
 {
     const std::string key = cellKey(workload, options);
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     ++requested_;
     if (const auto it = cells_.find(key); it != cells_.end()) {
         if (id)
@@ -206,17 +211,21 @@ CellScheduler::submit(const std::string &workload,
         assembly->cellId = cell_id;
         assembly->obs = cell_obs;
         assembly->submitted = submitted;
-        assembly->remaining = options.regions;
-        assembly->partials.reserve(options.regions);
-        assembly->errors.resize(options.regions);
+        {
+            // No task can run before the queue_ insertions below, but
+            // the guarded members still initialise under their lock.
+            const util::MutexLock init(assembly->mutex);
+            assembly->remaining = options.regions;
+            assembly->partials.reserve(options.regions);
+            assembly->errors.resize(options.regions);
+        }
         future = assembly->promise.get_future().share();
         tasksTotal_ += options.regions;
 
         for (unsigned r = 0; r < options.regions; ++r) {
             queue_.emplace_back([this, assembly, r] {
                 {
-                    const std::lock_guard<std::mutex> lock(
-                            assembly->mutex);
+                    const util::MutexLock lock(assembly->mutex);
                     if (!assembly->started) {
                         assembly->started = true;
                         assembly->start = Clock::now();
@@ -232,8 +241,7 @@ CellScheduler::submit(const std::string &workload,
                 }
                 bool last = false;
                 {
-                    const std::lock_guard<std::mutex> lock(
-                            assembly->mutex);
+                    const util::MutexLock lock(assembly->mutex);
                     if (error)
                         assembly->errors[r] = error;
                     else
@@ -241,12 +249,20 @@ CellScheduler::submit(const std::string &workload,
                     last = --assembly->remaining == 0;
                 }
                 {
-                    const std::lock_guard<std::mutex> lock(mutex_);
+                    const util::MutexLock lock(mutex_);
                     ++tasksDone_;
                 }
                 if (!last)
                     return;
-                // Sole owner of the assembly's data from here on.
+                // The last region task merges. Every producer
+                // published its partial under the assembly mutex
+                // before the remaining count hit zero; holding the
+                // (now uncontended) mutex for the merge makes the
+                // exclusive access lock-provable instead of
+                // join-ordered. Lock order is assembly->mutex before
+                // mutex_ here; no path takes them the other way
+                // around.
+                const util::MutexLock merge_lock(assembly->mutex);
                 for (auto &err : assembly->errors) {
                     if (err) {
                         assembly->promise.set_exception(err);
@@ -271,7 +287,7 @@ CellScheduler::submit(const std::string &workload,
                     obs::Snapshot counters =
                             assembly->obs->registry.snapshot();
                     {
-                        const std::lock_guard<std::mutex> lock(mutex_);
+                        const util::MutexLock lock(mutex_);
                         auto &rec = records_[assembly->cellId];
                         rec.wallMs = ms;
                         rec.queuedMs = queued;
@@ -308,7 +324,7 @@ CellScheduler::submit(const std::string &workload,
                                 Clock::now() - start)
                                 .count();
                 {
-                    const std::lock_guard<std::mutex> lock(mutex_);
+                    const util::MutexLock lock(mutex_);
                     auto &rec = records_[cell_id];
                     rec.wallMs = ms;
                     rec.queuedMs =
@@ -326,7 +342,7 @@ CellScheduler::submit(const std::string &workload,
                 promise->set_value(std::move(run));
             } catch (...) {
                 {
-                    const std::lock_guard<std::mutex> lock(mutex_);
+                    const util::MutexLock lock(mutex_);
                     ++tasksDone_;
                 }
                 promise->set_exception(std::current_exception());
@@ -375,28 +391,28 @@ CellScheduler::suite(const SuiteOptions &options,
 size_t
 CellScheduler::requestedCells() const
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     return requested_;
 }
 
 size_t
 CellScheduler::uniqueCells() const
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     return records_.size();
 }
 
 std::vector<CellScheduler::CellRecord>
 CellScheduler::records() const
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     return records_;
 }
 
 CellScheduler::Progress
 CellScheduler::progress() const
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     Progress progress;
     progress.cellsDone = cellsDone_;
     progress.cellsTotal = records_.size();

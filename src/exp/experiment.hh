@@ -32,12 +32,10 @@
 #ifndef VP_EXP_EXPERIMENT_HH
 #define VP_EXP_EXPERIMENT_HH
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <future>
 #include <map>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -45,6 +43,7 @@
 #include "exp/report.hh"
 #include "exp/suite.hh"
 #include "obs/registry.hh"
+#include "util/mutex.hh"
 
 namespace vp::obs {
 class TraceLog;
@@ -212,11 +211,11 @@ class CellScheduler
     void workerLoop();
 
     ExperimentConfig config_;
-    unsigned workers_ = 1;
+    unsigned workers_ = 1;      ///< set once in the ctor, then read-only
 
-    mutable std::mutex mutex_;
-    std::condition_variable available_;
-    bool stop_ = false;
+    mutable util::Mutex mutex_;
+    util::CondVar available_;
+    bool stop_ VP_GUARDED_BY(mutex_) = false;
     /**
      * Unit of worker execution. A serial cell is one task fulfilling
      * its promise directly; a region-split cell enqueues one task per
@@ -224,16 +223,16 @@ class CellScheduler
      * task ever blocks on another task, so any worker count
      * (including 1) drains the queue without deadlock.
      */
-    std::deque<std::packaged_task<void()>> queue_;
+    std::deque<std::packaged_task<void()>> queue_ VP_GUARDED_BY(mutex_);
     std::map<std::string,
              std::pair<size_t, std::shared_future<BenchmarkRun>>>
-            cells_;
-    std::vector<CellRecord> records_;
-    size_t requested_ = 0;
-    size_t cellsDone_ = 0;
-    size_t tasksDone_ = 0;
-    size_t tasksTotal_ = 0;
-    std::vector<std::thread> threads_;
+            cells_ VP_GUARDED_BY(mutex_);
+    std::vector<CellRecord> records_ VP_GUARDED_BY(mutex_);
+    size_t requested_ VP_GUARDED_BY(mutex_) = 0;
+    size_t cellsDone_ VP_GUARDED_BY(mutex_) = 0;
+    size_t tasksDone_ VP_GUARDED_BY(mutex_) = 0;
+    size_t tasksTotal_ VP_GUARDED_BY(mutex_) = 0;
+    std::vector<std::thread> threads_;      ///< ctor/dtor only
 };
 
 /**

@@ -7,7 +7,6 @@
 #include <fstream>
 #include <future>
 #include <map>
-#include <mutex>
 #include <stdexcept>
 #include <thread>
 
@@ -17,6 +16,7 @@
 #include "obs/instrumentation.hh"
 #include "obs/registry_sink.hh"
 #include "sim/driver.hh"
+#include "util/mutex.hh"
 #include "vm/trace_file.hh"
 
 namespace vp::exp {
@@ -97,13 +97,15 @@ traceCacheBase(const std::string &name, const SuiteOptions &options)
 }
 
 /** One mutex per cache entry so parallel suite workers record
- *  different workloads concurrently but never the same one twice. */
-std::mutex &
+ *  different workloads concurrently but never the same one twice.
+ *  The table is append-only and node-based, so a returned reference
+ *  stays valid while other entries are created. */
+util::Mutex &
 traceCacheMutex(const fs::path &base)
 {
-    static std::mutex table_mutex;
-    static std::map<std::string, std::mutex> table;
-    const std::lock_guard<std::mutex> lock(table_mutex);
+    static util::Mutex table_mutex;
+    static std::map<std::string, util::Mutex> table;
+    const util::MutexLock lock(table_mutex);
     return table[base.string()];
 }
 
@@ -209,7 +211,7 @@ ensureTraceRecorded(const isa::Program &prog, const std::string &name,
     const fs::path meta = base.string() + ".meta";
 
     obs::Instrumentation *obs = options.instrumentation;
-    const std::lock_guard<std::mutex> lock(traceCacheMutex(base));
+    const util::MutexLock lock(traceCacheMutex(base));
     if (!fs::exists(vpt) || !readTraceMeta(meta, stats)) {
         obs::add(obs, "trace_cache.miss");
         obs::add(obs, "trace_cache.record");

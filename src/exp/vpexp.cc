@@ -1,11 +1,9 @@
 #include "exp/vpexp.hh"
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
-#include <mutex>
 #include <optional>
 #include <set>
 #include <sstream>
@@ -21,6 +19,7 @@
 #include "exp/spec.hh"
 #include "obs/trace_log.hh"
 #include "sim/table.hh"
+#include "util/mutex.hh"
 
 namespace vp::exp {
 
@@ -524,7 +523,7 @@ class ProgressMeter
     {
         if (!thread_.joinable())
             return;
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const util::MutexLock lock(mutex_);
         eraseLine();
     }
 
@@ -534,7 +533,7 @@ class ProgressMeter
         if (!thread_.joinable())
             return;
         {
-            const std::lock_guard<std::mutex> lock(mutex_);
+            const util::MutexLock lock(mutex_);
             stop_ = true;
         }
         wake_.notify_all();
@@ -553,7 +552,10 @@ class ProgressMeter
     void
     loop()
     {
-        std::unique_lock<std::mutex> lock(mutex_);
+        // Manual predicate loop: a wait_for predicate lambda would
+        // read stop_ from an unannotated scope (thread-safety
+        // analysis treats lambda bodies as separate functions).
+        const util::MutexLock lock(mutex_);
         while (!stop_) {
             const CellScheduler::Progress p = scheduler_.progress();
             std::fprintf(stderr,
@@ -562,15 +564,14 @@ class ProgressMeter
                          p.cellsDone, p.cellsTotal, p.tasksDone,
                          p.tasksTotal);
             std::fflush(stderr);
-            wake_.wait_for(lock, std::chrono::milliseconds(200),
-                           [this] { return stop_; });
+            wake_.wait_for(mutex_, std::chrono::milliseconds(200));
         }
     }
 
     const CellScheduler &scheduler_;
-    std::mutex mutex_;
-    std::condition_variable wake_;
-    bool stop_ = false;
+    util::Mutex mutex_;
+    util::CondVar wake_;
+    bool stop_ VP_GUARDED_BY(mutex_) = false;
     std::thread thread_;
 };
 

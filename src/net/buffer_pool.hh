@@ -19,8 +19,9 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <vector>
+
+#include "util/mutex.hh"
 
 namespace vp::net {
 
@@ -38,7 +39,7 @@ class BufferPool
     acquire()
     {
         acquires_.fetch_add(1, std::memory_order_relaxed);
-        std::lock_guard<std::mutex> lock(mutex_);
+        const util::MutexLock lock(mutex_);
         if (free_.empty())
             return {};
         std::vector<uint8_t> buffer = std::move(free_.back());
@@ -54,7 +55,7 @@ class BufferPool
     {
         if (buffer.capacity() == 0)
             return;
-        std::lock_guard<std::mutex> lock(mutex_);
+        const util::MutexLock lock(mutex_);
         if (free_.size() < maxBuffers_)
             free_.push_back(std::move(buffer));
     }
@@ -74,14 +75,14 @@ class BufferPool
     size_t
     pooled() const
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        const util::MutexLock lock(mutex_);
         return free_.size();
     }
 
   private:
     size_t maxBuffers_;
-    mutable std::mutex mutex_;
-    std::vector<std::vector<uint8_t>> free_;
+    mutable util::Mutex mutex_;
+    std::vector<std::vector<uint8_t>> free_ VP_GUARDED_BY(mutex_);
     std::atomic<uint64_t> acquires_{0};
     std::atomic<uint64_t> reuses_{0};
 };

@@ -166,8 +166,11 @@ struct VpdServer::Loop
     int epollFd = -1;
     int eventFd = -1;
     std::thread thread;
-    std::mutex pendingMutex;
-    std::vector<int> pending;       ///< fds handed over by accept
+    util::Mutex pendingMutex;
+    /** fds handed over by accept — the one cross-thread hand-off. */
+    std::vector<int> pending VP_GUARDED_BY(pendingMutex);
+    // conns and chunk are confined to the loop thread while it runs;
+    // stop() touches them only after joining it.
     std::unordered_map<int, EpollConn *> conns;
     std::vector<uint8_t> chunk;     ///< shared read buffer
 };
@@ -255,20 +258,26 @@ VpdServer::stop()
 
     // Thread engine: wake every connection (shutdown makes blocked
     // reads return 0 after any in-flight frame finishes) and join.
+    // The whole sweep holds connMutex_: the join loop used to walk
+    // conns_ unlocked, relying on the accept thread having been
+    // joined above — true, but invisible to the thread-safety
+    // analysis and fragile against future accessors. Holding the
+    // lock is deadlock-free because connection threads never take
+    // connMutex_ (only the accept thread and stop() do).
     {
-        std::lock_guard<std::mutex> lock(connMutex_);
+        const util::MutexLock lock(connMutex_);
         for (auto &conn : conns_) {
             if (!conn->done.load() && conn->fd >= 0)
                 ::shutdown(conn->fd, SHUT_RD);
         }
+        for (auto &conn : conns_) {
+            if (conn->thread.joinable())
+                conn->thread.join();
+            if (conn->fd >= 0)
+                ::close(conn->fd);
+        }
+        conns_.clear();
     }
-    for (auto &conn : conns_) {
-        if (conn->thread.joinable())
-            conn->thread.join();
-        if (conn->fd >= 0)
-            ::close(conn->fd);
-    }
-    conns_.clear();
 
     // Epoll engine: wake the loops, join, then reap what they left.
     for (auto &loop : loops_) {
@@ -318,7 +327,7 @@ VpdServer::runAccept()
             setNonBlocking(fd);
             Loop &loop = *loops_[nextLoop_.fetch_add(1) % loops_.size()];
             {
-                std::lock_guard<std::mutex> lock(loop.pendingMutex);
+                const util::MutexLock lock(loop.pendingMutex);
                 loop.pending.push_back(fd);
             }
             const uint64_t one = 1;
@@ -327,7 +336,7 @@ VpdServer::runAccept()
         }
 
         // Thread engine: reap finished connections, then spawn.
-        std::lock_guard<std::mutex> lock(connMutex_);
+        const util::MutexLock lock(connMutex_);
         for (auto it = conns_.begin(); it != conns_.end();) {
             if ((*it)->done.load()) {
                 if ((*it)->thread.joinable())
@@ -467,7 +476,7 @@ VpdServer::runEpollLoop(Loop &loop)
                 // Adopt newly accepted connections.
                 std::vector<int> pending;
                 {
-                    std::lock_guard<std::mutex> lock(loop.pendingMutex);
+                    const util::MutexLock lock(loop.pendingMutex);
                     pending.swap(loop.pending);
                 }
                 for (const int fd : pending) {

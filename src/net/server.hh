@@ -48,6 +48,7 @@
 #include "net/protocol.hh"
 #include "net/sharded_bank.hh"
 #include "obs/registry.hh"
+#include "util/mutex.hh"
 
 namespace vp::net {
 
@@ -130,9 +131,11 @@ class VpdServer
 
     std::thread acceptThread_;
 
-    // Thread engine state.
-    std::mutex connMutex_;
-    std::vector<std::unique_ptr<Conn>> conns_;
+    // Thread engine state. stop() holds connMutex_ across the
+    // shutdown + join + clear sweep, so the connection list is
+    // lock-guarded for its whole lifetime (not merely join-ordered).
+    util::Mutex connMutex_;
+    std::vector<std::unique_ptr<Conn>> conns_ VP_GUARDED_BY(connMutex_);
 
     // Epoll engine state.
     std::vector<std::unique_ptr<Loop>> loops_;

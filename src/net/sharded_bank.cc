@@ -1,6 +1,7 @@
 #include "net/sharded_bank.hh"
 
 #include <bit>
+#include <mutex>         // std::adopt_lock
 
 #include "exp/suite.hh"
 #include "obs/registry.hh"
@@ -20,15 +21,13 @@ ShardedBankMap::ShardedBankMap(ShardedBankConfig config)
     stripeMask_ = stripes - 1;
 }
 
-std::unique_lock<std::mutex>
+void
 ShardedBankMap::lockStripe(Stripe &stripe)
 {
-    std::unique_lock<std::mutex> lock(stripe.mutex, std::try_to_lock);
-    if (!lock.owns_lock()) {
-        lock.lock();
-        ++stripe.contentions;   // now guarded by the mutex just taken
-    }
-    return lock;
+    if (stripe.mutex.try_lock())
+        return;
+    stripe.mutex.lock();
+    ++stripe.contentions;   // now guarded by the mutex just taken
 }
 
 ShardedBankMap::TenantBank &
@@ -48,7 +47,8 @@ ShardedBankMap::applyOne(uint64_t tenant, const vm::TraceEvent &event)
 {
     const Key key{tenant, groupOf(event.pc)};
     Stripe &stripe = stripeOf(key);
-    auto lock = lockStripe(stripe);
+    lockStripe(stripe);
+    const util::MutexLock lock(stripe.mutex, std::adopt_lock);
     TenantBank &tb = bankFor(stripe, key);
 
     // The scalar protocol, exactly as PredictorBank::onValue runs it
@@ -85,7 +85,8 @@ ShardedBankMap::applyBatch(uint64_t tenant, vm::TraceSpan events)
 
         const Key key{tenant, group};
         Stripe &stripe = stripeOf(key);
-        auto lock = lockStripe(stripe);
+        lockStripe(stripe);
+        const util::MutexLock lock(stripe.mutex, std::adopt_lock);
         TenantBank &tb = bankFor(stripe, key);
 
         const auto &stats = tb.bank.member(0).stats;
@@ -104,7 +105,8 @@ ShardedBankMap::predict(uint64_t tenant, uint64_t pc)
 {
     const Key key{tenant, groupOf(pc)};
     Stripe &stripe = stripeOf(key);
-    auto lock = lockStripe(stripe);
+    lockStripe(stripe);
+    const util::MutexLock lock(stripe.mutex, std::adopt_lock);
     TenantBank &tb = bankFor(stripe, key);
     return tb.bank.member(0).predictor->predict(pc);
 }
@@ -115,7 +117,7 @@ ShardedBankMap::tenantStats(uint64_t tenant) const
     core::PredictionStats merged;
     bool found = false;
     for (const Stripe &stripe : stripes_) {
-        std::lock_guard<std::mutex> lock(stripe.mutex);
+        const util::MutexLock lock(stripe.mutex);
         for (const auto &[key, bank] : stripe.banks) {
             if (key.tenant != tenant)
                 continue;
@@ -133,7 +135,7 @@ ShardedBankMap::bankCount() const
 {
     size_t n = 0;
     for (const Stripe &stripe : stripes_) {
-        std::lock_guard<std::mutex> lock(stripe.mutex);
+        const util::MutexLock lock(stripe.mutex);
         n += stripe.banks.size();
     }
     return n;
@@ -144,7 +146,7 @@ ShardedBankMap::lockContentions() const
 {
     uint64_t n = 0;
     for (const Stripe &stripe : stripes_) {
-        std::lock_guard<std::mutex> lock(stripe.mutex);
+        const util::MutexLock lock(stripe.mutex);
         n += stripe.contentions;
     }
     return n;

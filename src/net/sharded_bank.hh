@@ -23,6 +23,12 @@
  * against a serial single-bank replay under 1..8 concurrent client
  * threads, and the TSAN CI config re-runs it under ThreadSanitizer.
  *
+ * The contract is compiler-enforced: stripe state carries
+ * VP_GUARDED_BY(mutex) annotations and the bank accessor requires the
+ * stripe capability, so a `-DVP_THREAD_SAFETY=ON` clang build proves
+ * every touch — including the const-looking STATS snapshot walks —
+ * happens under the right stripe lock (util/thread_annotations.hh).
+ *
  * pc-grouping: with pcGroupBits = 64 (the default) the group is
  * always 0 and a tenant's whole stream trains one bank, which is what
  * makes server-side stats byte-identical to a serial replay for every
@@ -39,7 +45,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -47,6 +52,7 @@
 
 #include "core/stats.hh"
 #include "sim/driver.hh"
+#include "util/mutex.hh"
 #include "vm/trace.hh"
 
 namespace vp::obs {
@@ -180,10 +186,10 @@ class ShardedBankMap
 
     struct Stripe
     {
-        mutable std::mutex mutex;
+        mutable util::Mutex mutex;
         std::unordered_map<Key, std::unique_ptr<TenantBank>, KeyHash>
-                banks;
-        uint64_t contentions = 0;   ///< guarded by mutex
+                banks VP_GUARDED_BY(mutex);
+        uint64_t contentions VP_GUARDED_BY(mutex) = 0;
     };
 
     uint64_t
@@ -200,12 +206,17 @@ class ShardedBankMap
                 mix64(key.tenant ^ mix64(key.group)) & stripeMask_)];
     }
 
-    /** Lock @p stripe, counting contention. */
-    static std::unique_lock<std::mutex> lockStripe(Stripe &stripe);
+    /** Lock @p stripe, counting contention. Pair with an adopting
+     *  util::MutexLock so release stays scoped:
+     *  @code
+     *    lockStripe(stripe);
+     *    const util::MutexLock lock(stripe.mutex, std::adopt_lock);
+     *  @endcode */
+    static void lockStripe(Stripe &stripe) VP_ACQUIRE(stripe.mutex);
 
-    /** The bank for @p key, created on first touch. Caller holds the
-     *  stripe lock. */
-    TenantBank &bankFor(Stripe &stripe, const Key &key);
+    /** The bank for @p key, created on first touch. */
+    TenantBank &bankFor(Stripe &stripe, const Key &key)
+            VP_REQUIRES(stripe.mutex);
 
     ShardedBankConfig config_;
     std::vector<Stripe> stripes_;

@@ -28,7 +28,7 @@ Registry::local()
     if (it != cache.end())
         return *it->second;
 
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     shards_.push_back(std::make_unique<Shard>());
     Shard *shard = shards_.back().get();
     cache.emplace(id_, shard);
@@ -39,7 +39,7 @@ Snapshot
 Registry::snapshot() const
 {
     Snapshot merged;
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     for (const auto &shard : shards_) {
         for (const auto &[name, value] : shard->counters_)
             merged.counters[name] += value;

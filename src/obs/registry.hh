@@ -36,9 +36,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/mutex.hh"
 
 namespace vp::obs {
 
@@ -260,8 +261,10 @@ class Registry
     Snapshot snapshot() const;
 
   private:
-    mutable std::mutex mutex_;      ///< guards shards_ (list, not slots)
-    std::vector<std::unique_ptr<Shard>> shards_;
+    /** Guards the shard *list*; shard slots stay thread-owned and
+     *  deliberately unannotated (see the class comment). */
+    mutable util::Mutex mutex_;
+    std::vector<std::unique_ptr<Shard>> shards_ VP_GUARDED_BY(mutex_);
     uint64_t id_ = nextId();        ///< process-unique (cache key)
 
     static uint64_t nextId();

@@ -52,7 +52,7 @@ us(double value)
 int
 TraceLog::laneForThisThread()
 {
-    // Called under mutex_. Lane per OS thread, first-event order;
+    // VP_REQUIRES(mutex_). Lane per OS thread, first-event order;
     // events are span-granular (hundreds per run), so a map lookup
     // per completed span is cold-path cheap.
     const auto id = std::this_thread::get_id();
@@ -72,7 +72,7 @@ TraceLog::complete(const std::string &name, const std::string &category,
 {
     if (end < start)
         end = start;
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     Event event;
     event.name = name;
     event.category = category;
@@ -90,14 +90,14 @@ TraceLog::complete(const std::string &name, const std::string &category,
 size_t
 TraceLog::eventCount() const
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     return events_.size();
 }
 
 std::string
 TraceLog::render() const
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     std::ostringstream out;
     out << "{\n\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n";
     bool first = true;

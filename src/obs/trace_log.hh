@@ -32,11 +32,12 @@
 #include <cstdint>
 #include <iosfwd>
 #include <map>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "util/mutex.hh"
 
 namespace vp::obs {
 
@@ -164,13 +165,14 @@ class TraceLog
     };
 
     /** Small per-thread lane id, assigned on first event. */
-    int laneForThisThread();
+    int laneForThisThread() VP_REQUIRES(mutex_);
 
     Clock::time_point origin_;
-    mutable std::mutex mutex_;
-    std::vector<Event> events_;
-    std::vector<std::string> laneNames_;            ///< index = tid
-    std::map<std::thread::id, int> lanes_;
+    mutable util::Mutex mutex_;
+    std::vector<Event> events_ VP_GUARDED_BY(mutex_);
+    /** index = tid */
+    std::vector<std::string> laneNames_ VP_GUARDED_BY(mutex_);
+    std::map<std::thread::id, int> lanes_ VP_GUARDED_BY(mutex_);
 };
 
 } // namespace vp::obs

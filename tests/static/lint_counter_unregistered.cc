@@ -1,0 +1,22 @@
+// vplint fixture: emitting a counter whose dotted name is not
+// documented in the README counter table. `tools/vplint` on this
+// file must exit nonzero with a [counter-registry] violation.
+
+#include <cstdint>
+#include <string>
+
+namespace fixture {
+
+struct Registry
+{
+    void add(const std::string &name, uint64_t delta);
+};
+
+inline void
+emit(Registry &registry)
+{
+    // Not in README.md and not covered by any `family.*` entry.
+    registry.add("bogus.unregistered_counter", 1);
+}
+
+} // namespace fixture

@@ -1,0 +1,26 @@
+// vplint fixture: naked std::mutex / std::lock_guard outside
+// src/util/. `tools/vplint` on this file must exit nonzero with
+// [mutex-discipline] violations — every lock outside util/ goes
+// through the annotated util::Mutex wrappers so -Wthread-safety can
+// see it.
+
+#include <mutex>
+
+namespace fixture {
+
+class Counter
+{
+  public:
+    void
+    increment()
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        ++value_;
+    }
+
+  private:
+    std::mutex mutex_;
+    long value_ = 0;
+};
+
+} // namespace fixture

@@ -1,0 +1,73 @@
+// Positive thread-safety fixture: the sanctioned idioms from
+// util/mutex.hh — scoped locking, adopt-lock after a manual acquire,
+// condition-variable predicate loops written manually in the
+// annotated scope, and a VP_REQUIRES helper. Must compile CLEAN
+// under `clang++ -Wthread-safety -Werror`; a warning here means the
+// wrapper annotations regressed and every converted call site in
+// src/ is about to go red.
+
+#include "util/mutex.hh"
+
+#include <mutex>
+
+namespace {
+
+class Queue
+{
+  public:
+    void
+    push(int value)
+    {
+        const vp::util::MutexLock lock(mutex_);
+        items_[slotLocked()] = value;
+        ++count_;
+        ready_.notify_one();
+    }
+
+    int
+    pop()
+    {
+        const vp::util::MutexLock lock(mutex_);
+        while (count_ == 0)
+            ready_.wait(mutex_);
+        --count_;
+        return items_[slotLocked()];
+    }
+
+    /** Adopt-lock after a manual acquire (the lockStripe shape). */
+    int
+    peekContended()
+    {
+        if (!mutex_.try_lock())
+            mutex_.lock();
+        const vp::util::MutexLock lock(mutex_, std::adopt_lock);
+        return count_ == 0 ? 0 : items_[(count_ - 1) % kSlots];
+    }
+
+  private:
+    static constexpr unsigned kSlots = 8;
+
+    /** Caller-holds helper (the laneForThisThread shape). */
+    unsigned
+    slotLocked() const VP_REQUIRES(mutex_)
+    {
+        return count_ % kSlots;
+    }
+
+    mutable vp::util::Mutex mutex_;
+    vp::util::CondVar ready_;
+    unsigned count_ VP_GUARDED_BY(mutex_) = 0;
+    int items_[kSlots] VP_GUARDED_BY(mutex_) = {};
+};
+
+} // anonymous namespace
+
+int
+main()
+{
+    Queue queue;
+    queue.push(1);
+    if (queue.peekContended() != 1)
+        return 1;
+    return queue.pop() == 1 ? 0 : 1;
+}

@@ -1,0 +1,31 @@
+// Negative thread-safety fixture: a path that acquires a mutex and
+// returns without releasing it. Must FAIL to compile under
+// `clang++ -Wthread-safety -Werror` (expected-warning: mutex is
+// still held at the end of function). See ts_unlocked_access.cc for
+// how the fixtures are wired into ctest.
+
+#include "util/mutex.hh"
+
+namespace {
+
+vp::util::Mutex g_mutex;
+int g_value VP_GUARDED_BY(g_mutex) = 0;
+
+int
+takeAndLeak(bool flag)
+{
+    g_mutex.lock();
+    if (flag)
+        return 0;       // early return with g_mutex held: warning
+    const int value = g_value;
+    g_mutex.unlock();
+    return value;
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    return takeAndLeak(false);
+}

@@ -1,0 +1,41 @@
+// Negative thread-safety fixture: reading and writing a
+// VP_GUARDED_BY member without holding its mutex. Must FAIL to
+// compile under `clang++ -Wthread-safety -Werror` — the ctest entry
+// (label `static`, WILL_FAIL) pins that the annotations in
+// util/mutex.hh actually bite. Compiles silently under gcc, where
+// the macros are no-ops; the test is only registered for Clang.
+
+#include "util/mutex.hh"
+
+namespace {
+
+class Account
+{
+  public:
+    void
+    depositLocked(int amount)
+    {
+        const vp::util::MutexLock lock(mutex_);
+        balance_ += amount;
+    }
+
+    int
+    balanceRace() const
+    {
+        return balance_;    // guarded read, no lock: -Wthread-safety
+    }
+
+  private:
+    mutable vp::util::Mutex mutex_;
+    int balance_ VP_GUARDED_BY(mutex_) = 0;
+};
+
+} // anonymous namespace
+
+int
+main()
+{
+    Account account;
+    account.depositLocked(1);
+    return account.balanceRace();
+}
